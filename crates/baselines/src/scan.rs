@@ -1,0 +1,93 @@
+//! Sequential scan baseline (§6).
+//!
+//! The absolute reference point of the evaluation: check every value,
+//! materialize every qualifying id. Zero index storage, zero index probes,
+//! one comparison per row. Modern optimizers fall back to this plan for
+//! low-selectivity predicates — exactly the crossover Figures 8–10 chart.
+
+use colstore::{AccessStats, Column, IdList, RangeIndex, RangePredicate, Scalar};
+
+/// The sequential-scan pseudo-index.
+///
+/// # Examples
+///
+/// ```
+/// use colstore::{Column, RangeIndex, RangePredicate};
+/// use baselines::SeqScan;
+///
+/// let col: Column<i32> = (0..100).collect();
+/// let ids = SeqScan::new(&col).evaluate(&col, &RangePredicate::less_than(3));
+/// assert_eq!(ids.as_slice(), &[0, 1, 2]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SeqScan {
+    rows: usize,
+}
+
+impl SeqScan {
+    /// Creates the scan "index" for a column (records only the row count,
+    /// used for the coverage assertion).
+    pub fn new<T: Scalar>(col: &Column<T>) -> Self {
+        SeqScan { rows: col.len() }
+    }
+}
+
+impl<T: Scalar> RangeIndex<T> for SeqScan {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn size_bytes(&self) -> usize {
+        0
+    }
+
+    fn evaluate_with_stats(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+    ) -> (IdList, AccessStats) {
+        assert_eq!(col.len(), self.rows, "scan bound to a different column");
+        let stats = AccessStats {
+            value_comparisons: col.len() as u64,
+            lines_fetched: col.cacheline_count() as u64,
+            ..AccessStats::default()
+        };
+        let mut res = Vec::new();
+        for (id, v) in col.values().iter().enumerate() {
+            if pred.matches(v) {
+                res.push(id as u64);
+            }
+        }
+        (IdList::from_sorted(res), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_finds_everything() {
+        let col: Column<i32> = (0..1000).map(|i| i % 10).collect();
+        let scan = SeqScan::new(&col);
+        let (ids, stats) = scan.evaluate_with_stats(&col, &RangePredicate::equals(3));
+        assert_eq!(ids.len(), 100);
+        assert_eq!(stats.value_comparisons, 1000);
+        assert_eq!(stats.index_probes, 0);
+        assert_eq!(<SeqScan as RangeIndex<i32>>::size_bytes(&scan), 0);
+    }
+
+    #[test]
+    fn scan_empty_predicate() {
+        let col: Column<f32> = (0..100).map(|i| i as f32).collect();
+        let scan = SeqScan::new(&col);
+        assert!(scan.evaluate(&col, &RangePredicate::between(5.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn scan_name() {
+        let col: Column<u8> = Column::new();
+        let scan = SeqScan::new(&col);
+        assert_eq!(<SeqScan as RangeIndex<u8>>::name(&scan), "scan");
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks: range-query evaluation (Figures 8–10).
+//!
+//! Benches each competitor at a very selective (1%), a medium (40%) and a
+//! non-selective (95%) predicate over a clustered and an unclustered
+//! column. The paper's shape: imprints win big on selective queries over
+//! clustered data, converge to scan as selectivity drops, and WAH pays its
+//! decompression overhead in main memory.
+
+use baselines::{SeqScan, WahBitmap, ZoneMap};
+use colstore::{Column, RangeIndex, RangePredicate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imprints::ColumnImprints;
+
+const ROWS: usize = 1 << 20;
+
+fn columns() -> Vec<(&'static str, Column<i64>)> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let clustered: Column<i64> = (0..ROWS as i64).map(|i| i / 16).collect();
+    let mut rng = StdRng::seed_from_u64(9);
+    let random: Column<i64> = (0..ROWS).map(|_| rng.gen_range(0..(ROWS as i64 / 16))).collect();
+    vec![("clustered", clustered), ("random", random)]
+}
+
+/// A predicate returning ~`sel` of the rows of a column over 0..ROWS/16.
+fn predicate(sel: f64) -> RangePredicate<i64> {
+    let domain = (ROWS / 16) as i64;
+    let span = (domain as f64 * sel) as i64;
+    let lo = domain / 4;
+    RangePredicate::between(lo, lo + span.max(0))
+}
+
+fn bench_query(c: &mut Criterion) {
+    for (data_name, col) in columns() {
+        let imprints = ColumnImprints::build(&col);
+        let zonemap = ZoneMap::build(&col);
+        let wah = WahBitmap::build_with_binning(&col, imprints.binning().clone());
+        let scan = SeqScan::new(&col);
+        for sel in [0.01, 0.4, 0.95] {
+            let pred = predicate(sel);
+            let mut g = c.benchmark_group(format!("query/{data_name}/sel{sel}"));
+            g.throughput(Throughput::Elements(ROWS as u64));
+            g.sample_size(20);
+            g.bench_function(BenchmarkId::from_parameter("scan"), |b| {
+                b.iter(|| scan.evaluate(&col, &pred))
+            });
+            g.bench_function(BenchmarkId::from_parameter("imprints"), |b| {
+                b.iter(|| imprints.evaluate(&col, &pred))
+            });
+            g.bench_function(BenchmarkId::from_parameter("zonemap"), |b| {
+                b.iter(|| zonemap.evaluate(&col, &pred))
+            });
+            g.bench_function(BenchmarkId::from_parameter("wah"), |b| {
+                b.iter(|| wah.evaluate(&col, &pred))
+            });
+            g.finish();
+        }
+    }
+}
+
+fn bench_count_only(c: &mut Criterion) {
+    // Count-only evaluation skips id materialization: the index-probing
+    // cost in isolation.
+    let col: Column<i64> = (0..ROWS as i64).map(|i| i / 16).collect();
+    let imprints = ColumnImprints::build(&col);
+    let pred = predicate(0.4);
+    let mut g = c.benchmark_group("count_only");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.bench_function("imprints_count", |b| {
+        b.iter(|| imprints::query::count(&imprints, &col, &pred))
+    });
+    g.bench_function("imprints_materialize", |b| b.iter(|| imprints.evaluate(&col, &pred)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_query, bench_count_only);
+criterion_main!(benches);

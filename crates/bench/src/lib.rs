@@ -1,0 +1,40 @@
+//! # imprints-bench — the harness regenerating every table and figure
+//!
+//! One experiment runner per table/figure of the paper's §6 evaluation,
+//! invoked through the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p imprints-bench --bin experiments -- --experiment all
+//! ```
+//!
+//! Results print as aligned tables and are also written as CSV under
+//! `bench_results/`. The per-experiment mapping lives in DESIGN.md §4 and
+//! the measured-vs-paper comparison in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+/// Dispatches a [`colstore::relation::AnyColumn`] to generic code: binds
+/// the typed `Column<T>` to `$c` and evaluates `$body` for whichever scalar
+/// type the column holds.
+#[macro_export]
+macro_rules! with_typed_column {
+    ($any:expr, $c:ident => $body:expr) => {{
+        use colstore::relation::AnyColumn;
+        match $any {
+            AnyColumn::I8($c) => $body,
+            AnyColumn::U8($c) => $body,
+            AnyColumn::I16($c) => $body,
+            AnyColumn::U16($c) => $body,
+            AnyColumn::I32($c) => $body,
+            AnyColumn::U32($c) => $body,
+            AnyColumn::I64($c) => $body,
+            AnyColumn::U64($c) => $body,
+            AnyColumn::F32($c) => $body,
+            AnyColumn::F64($c) => $body,
+        }
+    }};
+}

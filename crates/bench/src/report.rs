@@ -1,0 +1,195 @@
+//! Table/series output helpers for the experiment harness.
+//!
+//! Every experiment prints an aligned, human-readable table and also
+//! persists the same rows as CSV so the figures can be re-plotted.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table that mirrors one paper table or the data
+/// series behind one figure.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Writes the rows as CSV into `dir/<name>.csv`.
+    pub fn save_csv(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", escaped.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Formats a byte count human-readably (KiB/MiB with two decimals).
+pub fn fmt_bytes(bytes: usize) -> String {
+    const KI: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KI * KI * KI {
+        format!("{:.2}GiB", b / (KI * KI * KI))
+    } else if b >= KI * KI {
+        format!("{:.2}MiB", b / (KI * KI))
+    } else if b >= KI {
+        format!("{:.2}KiB", b / KI)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Formats a duration in adaptive units (ns/µs/ms/s).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The median of a (possibly unsorted, non-empty) sample.
+pub fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "23".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("imprints_bench_test_csv");
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into(), "with,comma".into()]);
+        let path = t.save_csv(&dir, "t").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,\"with,comma\"\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn byte_and_time_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.00KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00MiB");
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

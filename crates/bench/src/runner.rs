@@ -1,0 +1,188 @@
+//! Shared measurement machinery: builds the four competitors over a column
+//! and times workloads against them, cross-checking that every index
+//! returns identical answers.
+
+use std::time::{Duration, Instant};
+
+use baselines::{SeqScan, WahBitmap, ZoneMap};
+use colstore::{AccessStats, Column, RangeIndex, RangePredicate, Scalar};
+use datagen::workload::{measured_selectivity, QueryWorkload};
+use imprints::ColumnImprints;
+
+/// One value per competitor, in the fixed order scan, imprints, zonemap,
+/// WAH (the order of the paper's figures).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PerIndex<V> {
+    /// Sequential scan.
+    pub scan: V,
+    /// Column imprints.
+    pub imprints: V,
+    /// Zonemap.
+    pub zonemap: V,
+    /// Bit-binned bitmap with WAH.
+    pub wah: V,
+}
+
+impl<V> PerIndex<V> {
+    /// The competitor names, aligned with [`PerIndex::values`].
+    pub const NAMES: [&'static str; 4] = ["scan", "imprints", "zonemap", "wah"];
+
+    /// The four values in canonical order.
+    pub fn values(&self) -> [&V; 4] {
+        [&self.scan, &self.imprints, &self.zonemap, &self.wah]
+    }
+}
+
+/// The four competitors built over one column.
+pub struct IndexSet<T: Scalar> {
+    /// The scan pseudo-index.
+    pub scan: SeqScan,
+    /// The column imprints index.
+    pub imprints: ColumnImprints<T>,
+    /// The zonemap.
+    pub zonemap: ZoneMap<T>,
+    /// The WAH bitmap (sharing the imprints binning, as in §6).
+    pub wah: WahBitmap<T>,
+}
+
+impl<T: Scalar> IndexSet<T> {
+    /// Index sizes in bytes (scan is 0).
+    pub fn sizes(&self) -> PerIndex<usize> {
+        PerIndex {
+            scan: 0,
+            imprints: RangeIndex::<T>::size_bytes(&self.imprints),
+            zonemap: self.zonemap.size_bytes(),
+            wah: self.wah.size_bytes(),
+        }
+    }
+}
+
+/// Builds all four competitors, timing each construction (Fig. 5 bottom).
+pub fn build_all<T: Scalar>(col: &Column<T>) -> (IndexSet<T>, PerIndex<Duration>) {
+    let t0 = Instant::now();
+    let scan = SeqScan::new(col);
+    let t_scan = t0.elapsed();
+
+    let t0 = Instant::now();
+    let imprints = ColumnImprints::build(col);
+    let t_imprints = t0.elapsed();
+
+    let t0 = Instant::now();
+    let zonemap = ZoneMap::build(col);
+    let t_zonemap = t0.elapsed();
+
+    let t0 = Instant::now();
+    let wah = WahBitmap::build_with_binning(col, imprints.binning().clone());
+    let t_wah = t0.elapsed();
+
+    (
+        IndexSet { scan, imprints, zonemap, wah },
+        PerIndex { scan: t_scan, imprints: t_imprints, zonemap: t_zonemap, wah: t_wah },
+    )
+}
+
+/// Everything measured for one query of the workload.
+#[derive(Debug, Clone)]
+pub struct QueryMeasurement {
+    /// Selectivity the workload generator aimed for.
+    pub target_selectivity: f64,
+    /// Fraction of rows the query actually returns.
+    pub actual_selectivity: f64,
+    /// Result cardinality.
+    pub result_count: u64,
+    /// Wall-clock evaluation time per competitor.
+    pub time: PerIndex<Duration>,
+    /// Access statistics per competitor.
+    pub stats: PerIndex<AccessStats>,
+}
+
+/// Runs every query of `workload` against all four competitors.
+///
+/// Cross-validates: all competitors must return the *same id list*; a
+/// mismatch is a correctness bug and panics loudly rather than producing a
+/// pretty but wrong figure.
+pub fn run_workload<T: Scalar>(
+    col: &Column<T>,
+    set: &IndexSet<T>,
+    workload: &QueryWorkload<T>,
+) -> Vec<QueryMeasurement> {
+    workload
+        .queries()
+        .iter()
+        .map(|q| {
+            let m = measure_query(col, set, &q.predicate);
+            QueryMeasurement { target_selectivity: q.target_selectivity, ..m }
+        })
+        .collect()
+}
+
+/// Measures a single predicate against all four competitors.
+pub fn measure_query<T: Scalar>(
+    col: &Column<T>,
+    set: &IndexSet<T>,
+    pred: &RangePredicate<T>,
+) -> QueryMeasurement {
+    let t0 = Instant::now();
+    let (ids_scan, st_scan) = set.scan.evaluate_with_stats(col, pred);
+    let t_scan = t0.elapsed();
+
+    let t0 = Instant::now();
+    let (ids_imp, st_imp) = set.imprints.evaluate_with_stats(col, pred);
+    let t_imp = t0.elapsed();
+
+    let t0 = Instant::now();
+    let (ids_zm, st_zm) = set.zonemap.evaluate_with_stats(col, pred);
+    let t_zm = t0.elapsed();
+
+    let t0 = Instant::now();
+    let (ids_wah, st_wah) = set.wah.evaluate_with_stats(col, pred);
+    let t_wah = t0.elapsed();
+
+    assert_eq!(ids_scan, ids_imp, "imprints disagrees with scan on {pred}");
+    assert_eq!(ids_scan, ids_zm, "zonemap disagrees with scan on {pred}");
+    assert_eq!(ids_scan, ids_wah, "wah disagrees with scan on {pred}");
+
+    QueryMeasurement {
+        target_selectivity: 0.0,
+        actual_selectivity: measured_selectivity(col, pred),
+        result_count: ids_scan.len() as u64,
+        time: PerIndex { scan: t_scan, imprints: t_imp, zonemap: t_zm, wah: t_wah },
+        stats: PerIndex { scan: st_scan, imprints: st_imp, zonemap: st_zm, wah: st_wah },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_all_and_cross_validate() {
+        let col: Column<i32> = (0..30_000).map(|i| (i * 13) % 1000).collect();
+        let (set, times) = build_all(&col);
+        assert!(times.imprints.as_nanos() > 0);
+        let wl = QueryWorkload::for_column(&col, 1, 7);
+        let ms = run_workload(&col, &set, &wl);
+        assert_eq!(ms.len(), 10);
+        for m in &ms {
+            assert!((m.actual_selectivity - m.target_selectivity).abs() < 0.15);
+            assert_eq!(m.stats.scan.value_comparisons, 30_000);
+        }
+    }
+
+    #[test]
+    fn sizes_ranking_on_clustered_data() {
+        // Clustered data: imprints must be the smallest index (Fig. 5/6).
+        let col: Column<i64> = (0..100_000).map(|i| i / 100).collect();
+        let (set, _) = build_all(&col);
+        let sizes = set.sizes();
+        assert!(sizes.imprints < sizes.zonemap, "{sizes:?}");
+        assert!(sizes.imprints > 0);
+    }
+
+    #[test]
+    fn per_index_names_order() {
+        assert_eq!(PerIndex::<u32>::NAMES, ["scan", "imprints", "zonemap", "wah"]);
+        let p = PerIndex { scan: 1, imprints: 2, zonemap: 3, wah: 4 };
+        assert_eq!(p.values().map(|v| *v), [1, 2, 3, 4]);
+    }
+}

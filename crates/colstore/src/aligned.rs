@@ -1,0 +1,359 @@
+//! Cacheline-aligned growable buffer.
+//!
+//! The whole point of column imprints is to filter at *cacheline*
+//! granularity, so the column data itself must start on a cacheline
+//! boundary: otherwise the index's notion of "cacheline `i`" and the
+//! hardware's disagree, and the index would touch two physical lines per
+//! logical line. [`AlignedVec`] is a `Vec`-like container whose backing
+//! allocation is always aligned to [`crate::CACHELINE_BYTES`].
+//!
+//! Only `Copy` element types are supported — columns hold plain fixed-width
+//! scalars — which keeps the unsafe surface minimal (no element drops, no
+//! panics mid-construction to worry about).
+
+use std::alloc::{self, Layout};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+use crate::CACHELINE_BYTES;
+
+/// A growable, heap-allocated array whose storage is 64-byte aligned.
+///
+/// Behaves like a `Vec<T>` for the operations a column store needs: `push`,
+/// `extend_from_slice`, indexing, slicing and iteration (via `Deref<[T]>`).
+///
+/// # Examples
+///
+/// ```
+/// use colstore::AlignedVec;
+///
+/// let mut v: AlignedVec<u32> = AlignedVec::new();
+/// v.extend_from_slice(&[1, 2, 3]);
+/// assert_eq!(&v[..], &[1, 2, 3]);
+/// assert_eq!(v.as_ptr() as usize % 64, 0);
+/// ```
+pub struct AlignedVec<T: Copy> {
+    ptr: NonNull<T>,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: AlignedVec owns its buffer exclusively, exactly like Vec<T>.
+unsafe impl<T: Copy + Send> Send for AlignedVec<T> {}
+// SAFETY: shared access only hands out &[T].
+unsafe impl<T: Copy + Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy> AlignedVec<T> {
+    const ELEM: usize = std::mem::size_of::<T>();
+
+    /// Creates an empty vector without allocating.
+    pub fn new() -> Self {
+        assert!(Self::ELEM > 0, "zero-sized types are not storable in a column");
+        assert!(
+            Self::ELEM <= CACHELINE_BYTES && CACHELINE_BYTES.is_multiple_of(Self::ELEM),
+            "element size must divide the cacheline size"
+        );
+        AlignedVec { ptr: NonNull::dangling(), len: 0, cap: 0 }
+    }
+
+    /// Creates an empty vector with room for at least `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut v = Self::new();
+        v.reserve_exact(cap);
+        v
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn layout(cap: usize) -> Layout {
+        Layout::from_size_align(cap * Self::ELEM, CACHELINE_BYTES)
+            .expect("column allocation exceeds isize::MAX bytes")
+    }
+
+    /// Ensures capacity for at least `additional` more elements, growing
+    /// geometrically (doubling) to amortize reallocation.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = self.len.checked_add(additional).expect("capacity overflow");
+        if needed <= self.cap {
+            return;
+        }
+        // Start at one full cacheline worth of elements; doubling after that.
+        let min_cap = CACHELINE_BYTES / Self::ELEM;
+        let new_cap = needed.max(self.cap * 2).max(min_cap);
+        self.grow_to(new_cap);
+    }
+
+    /// Ensures capacity for at least `additional` more elements, allocating
+    /// exactly the requested amount.
+    pub fn reserve_exact(&mut self, additional: usize) {
+        let needed = self.len.checked_add(additional).expect("capacity overflow");
+        if needed > self.cap {
+            self.grow_to(needed);
+        }
+    }
+
+    fn grow_to(&mut self, new_cap: usize) {
+        debug_assert!(new_cap > self.cap);
+        let new_layout = Self::layout(new_cap);
+        let new_ptr = if self.cap == 0 {
+            // SAFETY: layout has non-zero size (new_cap > 0, ELEM > 0).
+            unsafe { alloc::alloc(new_layout) }
+        } else {
+            let old_layout = Self::layout(self.cap);
+            // SAFETY: ptr was allocated with old_layout by this allocator;
+            // realloc preserves the 64-byte alignment of the layout.
+            unsafe { alloc::realloc(self.ptr.as_ptr().cast(), old_layout, new_layout.size()) }
+        };
+        let Some(p) = NonNull::new(new_ptr.cast::<T>()) else {
+            alloc::handle_alloc_error(new_layout);
+        };
+        self.ptr = p;
+        self.cap = new_cap;
+    }
+
+    /// Appends one element.
+    pub fn push(&mut self, value: T) {
+        if self.len == self.cap {
+            self.reserve(1);
+        }
+        // SAFETY: len < cap after reserve, so the write is in bounds.
+        unsafe { self.ptr.as_ptr().add(self.len).write(value) };
+        self.len += 1;
+    }
+
+    /// Appends all elements of `src`.
+    pub fn extend_from_slice(&mut self, src: &[T]) {
+        self.reserve(src.len());
+        // SAFETY: reserve guarantees room for src.len() elements past len;
+        // src cannot overlap the freshly (re)allocated tail.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.as_ptr().add(self.len), src.len());
+        }
+        self.len += src.len();
+    }
+
+    /// Shortens the vector to `new_len` elements. No-op if already shorter.
+    pub fn truncate(&mut self, new_len: usize) {
+        if new_len < self.len {
+            self.len = new_len;
+        }
+    }
+
+    /// Removes all elements, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Raw pointer to the first element (64-byte aligned once allocated).
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr.as_ptr()
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr is valid for len reads (or dangling with len == 0).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: ptr is valid for len reads/writes and uniquely borrowed.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Heap bytes currently allocated by this vector.
+    pub fn allocated_bytes(&self) -> usize {
+        self.cap * Self::ELEM
+    }
+}
+
+impl<T: Copy> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.cap != 0 {
+            // SAFETY: allocated with this exact layout; T: Copy needs no drops.
+            unsafe { alloc::dealloc(self.ptr.as_ptr().cast(), Self::layout(self.cap)) };
+        }
+    }
+}
+
+impl<T: Copy> Default for AlignedVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> Deref for AlignedVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedVec<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        let mut v = Self::with_capacity(self.len);
+        v.extend_from_slice(self);
+        v
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for AlignedVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy> From<&[T]> for AlignedVec<T> {
+    fn from(src: &[T]) -> Self {
+        let mut v = Self::with_capacity(src.len());
+        v.extend_from_slice(src);
+        v
+    }
+}
+
+impl<T: Copy> From<Vec<T>> for AlignedVec<T> {
+    fn from(src: Vec<T>) -> Self {
+        Self::from(src.as_slice())
+    }
+}
+
+impl<T: Copy> FromIterator<T> for AlignedVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut v = Self::with_capacity(iter.size_hint().0);
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+impl<'a, T: Copy> IntoIterator for &'a AlignedVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_vec_has_no_allocation() {
+        let v: AlignedVec<u64> = AlignedVec::new();
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), 0);
+        assert_eq!(v.allocated_bytes(), 0);
+        assert_eq!(v.as_slice(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn push_preserves_alignment() {
+        let mut v: AlignedVec<u8> = AlignedVec::new();
+        for i in 0..1000u32 {
+            v.push(i as u8);
+        }
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v.as_ptr() as usize % CACHELINE_BYTES, 0);
+        assert!(v.iter().enumerate().all(|(i, &b)| b == i as u8));
+    }
+
+    #[test]
+    fn realloc_keeps_alignment_across_many_growths() {
+        let mut v: AlignedVec<f64> = AlignedVec::with_capacity(1);
+        for i in 0..100_000 {
+            v.push(i as f64);
+            debug_assert_eq!(v.as_ptr() as usize % CACHELINE_BYTES, 0);
+        }
+        assert_eq!(v.as_ptr() as usize % CACHELINE_BYTES, 0);
+        assert_eq!(v[99_999], 99_999.0);
+    }
+
+    #[test]
+    fn extend_from_slice_appends() {
+        let mut v: AlignedVec<i32> = AlignedVec::new();
+        v.extend_from_slice(&[1, 2]);
+        v.extend_from_slice(&[3, 4, 5]);
+        assert_eq!(&v[..], &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn clone_is_deep_and_aligned() {
+        let v: AlignedVec<u16> = (0..500u16).collect();
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_ne!(v.as_ptr(), w.as_ptr());
+        assert_eq!(w.as_ptr() as usize % CACHELINE_BYTES, 0);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let v: AlignedVec<i64> = vec![5, -3, 8].into();
+        assert_eq!(&v[..], &[5, -3, 8]);
+    }
+
+    #[test]
+    fn truncate_and_clear() {
+        let mut v: AlignedVec<u32> = (0..10).collect();
+        v.truncate(20); // no-op
+        assert_eq!(v.len(), 10);
+        v.truncate(3);
+        assert_eq!(&v[..], &[0, 1, 2]);
+        let cap = v.capacity();
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), cap);
+    }
+
+    #[test]
+    fn mutable_slice_access() {
+        let mut v: AlignedVec<i8> = (0..5).collect();
+        v.as_mut_slice()[2] = 42;
+        v[0] = -1;
+        assert_eq!(&v[..], &[-1, 1, 42, 3, 4]);
+    }
+
+    #[test]
+    fn reserve_exact_allocates_requested() {
+        let mut v: AlignedVec<u64> = AlignedVec::new();
+        v.reserve_exact(100);
+        assert!(v.capacity() >= 100);
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: AlignedVec<u32> = (0..257).collect();
+        assert_eq!(v.len(), 257);
+        assert_eq!(v[256], 256);
+    }
+}

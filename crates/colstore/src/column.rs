@@ -1,0 +1,244 @@
+//! Dense, typed, cacheline-aligned columns.
+//!
+//! A [`Column<T>`] is the unit of storage the secondary indexes are defined
+//! over: a single dense array of fixed-width values. Row ids are implicit —
+//! the value at position `i` has id `i` — matching the paper's description
+//! of MonetDB's ordered `(id, value)` representation where "ids need not be
+//! materialized since they can be easily derived from the position of the
+//! values in the array".
+
+use crate::aligned::AlignedVec;
+use crate::types::Scalar;
+use crate::{values_per_cacheline, CACHELINE_BYTES};
+
+/// A dense in-memory column of scalar values, 64-byte aligned.
+///
+/// # Examples
+///
+/// ```
+/// use colstore::Column;
+///
+/// let col: Column<i32> = Column::from(vec![1, 8, 4, 1, 6, 2]);
+/// assert_eq!(col.len(), 6);
+/// assert_eq!(col.values_per_cacheline(), 16);
+/// assert_eq!(col.cacheline_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Column<T: Scalar> {
+    data: AlignedVec<T>,
+}
+
+impl<T: Scalar> Column<T> {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        Column { data: AlignedVec::new() }
+    }
+
+    /// Creates an empty column with room for `cap` values.
+    pub fn with_capacity(cap: usize) -> Self {
+        Column { data: AlignedVec::with_capacity(cap) }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Values per cacheline for this column's type (the paper's `vpc`).
+    pub fn values_per_cacheline(&self) -> usize {
+        values_per_cacheline::<T>()
+    }
+
+    /// Number of cachelines the column occupies (last one may be partial).
+    pub fn cacheline_count(&self) -> usize {
+        crate::cacheline_count::<T>(self.len())
+    }
+
+    /// All values as a slice; the slice starts on a cacheline boundary.
+    pub fn values(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the values (used by update machinery and tests).
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// The value at row `id`.
+    #[inline]
+    pub fn get(&self, id: usize) -> Option<T> {
+        self.data.as_slice().get(id).copied()
+    }
+
+    /// The values of cacheline `line` (the last line may be short).
+    ///
+    /// # Panics
+    /// Panics if `line >= self.cacheline_count()`.
+    pub fn cacheline(&self, line: usize) -> &[T] {
+        assert!(line < self.cacheline_count(), "cacheline out of range");
+        let vpc = self.values_per_cacheline();
+        let start = line * vpc;
+        let end = (start + vpc).min(self.len());
+        &self.data[start..end]
+    }
+
+    /// Iterator over the cachelines of the column, in order.
+    pub fn cachelines(&self) -> impl Iterator<Item = &[T]> + '_ {
+        self.data.chunks(self.values_per_cacheline())
+    }
+
+    /// Appends one value (the common "data append" path of §4.1).
+    pub fn push(&mut self, value: T) {
+        self.data.push(value);
+    }
+
+    /// Appends a batch of values.
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        self.data.extend_from_slice(values);
+    }
+
+    /// Bytes of value data (excluding allocator slack).
+    pub fn data_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+
+    /// Heap bytes actually allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.data.allocated_bytes()
+    }
+
+    /// Minimum and maximum under the total order, or `None` if empty.
+    ///
+    /// A full scan — this is what zonemaps precompute per zone and what the
+    /// binning step consults for reporting; it is not on the query path.
+    pub fn min_max(&self) -> Option<(T, T)> {
+        let mut it = self.data.iter();
+        let first = *it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for &v in it {
+            if v.lt_total(&min) {
+                min = v;
+            }
+            if max.lt_total(&v) {
+                max = v;
+            }
+        }
+        Some((min, max))
+    }
+
+    /// Exact number of distinct values (sorts a copy; O(n log n), used only
+    /// for dataset statistics reporting, never on the query path).
+    pub fn distinct_count(&self) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut sorted: Vec<T> = self.data.to_vec();
+        sorted.sort_unstable_by(T::total_cmp);
+        1 + sorted.windows(2).filter(|w| w[0].total_cmp(&w[1]).is_ne()).count()
+    }
+
+    /// Verifies the column's base pointer is cacheline aligned (always true
+    /// for non-empty columns; exposed for tests and assertions).
+    pub fn is_cacheline_aligned(&self) -> bool {
+        (self.data.as_ptr() as usize).is_multiple_of(CACHELINE_BYTES) || self.is_empty()
+    }
+}
+
+impl<T: Scalar> From<Vec<T>> for Column<T> {
+    fn from(v: Vec<T>) -> Self {
+        Column { data: AlignedVec::from(v) }
+    }
+}
+
+impl<T: Scalar> From<&[T]> for Column<T> {
+    fn from(v: &[T]) -> Self {
+        Column { data: AlignedVec::from(v) }
+    }
+}
+
+impl<T: Scalar> FromIterator<T> for Column<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Column { data: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_column() {
+        let c: Column<i32> = Column::new();
+        assert!(c.is_empty());
+        assert_eq!(c.cacheline_count(), 0);
+        assert_eq!(c.min_max(), None);
+        assert_eq!(c.distinct_count(), 0);
+        assert!(c.is_cacheline_aligned());
+    }
+
+    #[test]
+    fn cacheline_partitioning_i32() {
+        // 40 i32 values -> vpc 16 -> lines of 16, 16, 8.
+        let c: Column<i32> = (0..40).collect();
+        assert_eq!(c.cacheline_count(), 3);
+        let lines: Vec<&[i32]> = c.cachelines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), 16);
+        assert_eq!(lines[1].len(), 16);
+        assert_eq!(lines[2].len(), 8);
+        assert_eq!(c.cacheline(2), lines[2]);
+        assert_eq!(lines[1][0], 16);
+    }
+
+    #[test]
+    fn cacheline_partitioning_u8_exact() {
+        let c: Column<u8> = (0..128u8).collect();
+        assert_eq!(c.cacheline_count(), 2);
+        assert!(c.cachelines().all(|l| l.len() == 64));
+    }
+
+    #[test]
+    fn alignment_of_data() {
+        let c: Column<f64> = (0..1000).map(|i| i as f64).collect();
+        assert!(c.is_cacheline_aligned());
+    }
+
+    #[test]
+    fn min_max_and_distinct() {
+        let c: Column<i32> = Column::from(vec![5, -1, 5, 3, -1, 7]);
+        assert_eq!(c.min_max(), Some((-1, 7)));
+        assert_eq!(c.distinct_count(), 4);
+    }
+
+    #[test]
+    fn min_max_with_nan_total_order() {
+        let c: Column<f64> = Column::from(vec![1.0, f64::NAN, -2.0]);
+        let (min, max) = c.min_max().unwrap();
+        assert_eq!(min, -2.0);
+        assert!(max.is_nan(), "positive NaN is the total-order maximum");
+    }
+
+    #[test]
+    fn get_and_push() {
+        let mut c: Column<u16> = Column::new();
+        c.push(9);
+        c.extend_from_slice(&[10, 11]);
+        assert_eq!(c.get(0), Some(9));
+        assert_eq!(c.get(2), Some(11));
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn data_bytes_accounting() {
+        let c: Column<i64> = (0..10).collect();
+        assert_eq!(c.data_bytes(), 80);
+        assert!(c.allocated_bytes() >= 80);
+    }
+}

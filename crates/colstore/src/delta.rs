@@ -1,0 +1,299 @@
+//! Delta structures for updates (paper §4.2).
+//!
+//! "In place updates are never performed in columnar databases because of
+//! the prohibitive cost they entail. Instead, a delta structure is used that
+//! keeps track of the updates, and merges them at query time."
+//!
+//! [`DeltaStore`] holds three kinds of pending changes against a base
+//! column:
+//!
+//! * **appends** — new rows with ids past the end of the base column (the
+//!   common case, §4.1);
+//! * **deletes** — a set of base-row ids to subtract;
+//! * **updates** — positional overwrites `(id, new_value)` (the "positional
+//!   update trees" reference, simplified to a sorted map).
+//!
+//! The merge contract used by the query layer: a base-index result is
+//! *unioned* with qualifying appends, *differenced* with deletes, and
+//! corrected for updated positions (an updated row must be re-checked
+//! against the predicate using its new value; its imprint may be stale —
+//! exactly the false-positive tolerance the paper exploits).
+
+use std::collections::BTreeMap;
+
+use crate::idlist::IdList;
+use crate::types::Scalar;
+
+/// Pending changes against a base column of `T`.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaStore<T: Scalar> {
+    /// Rows appended after the base column was indexed; the id of
+    /// `appends[k]` is `base_len + k`.
+    appends: Vec<T>,
+    /// Deleted base-row ids, sorted.
+    deletes: Vec<u64>,
+    /// Positional overwrites of base rows.
+    updates: BTreeMap<u64, T>,
+    /// Length of the base column this delta applies to.
+    base_len: u64,
+}
+
+impl<T: Scalar> DeltaStore<T> {
+    /// Creates an empty delta for a base column of `base_len` rows.
+    pub fn new(base_len: usize) -> Self {
+        DeltaStore {
+            appends: Vec::new(),
+            deletes: Vec::new(),
+            updates: BTreeMap::new(),
+            base_len: base_len as u64,
+        }
+    }
+
+    /// Length of the base column.
+    pub fn base_len(&self) -> u64 {
+        self.base_len
+    }
+
+    /// Logical row count: base + appends (deletes remain visible as holes
+    /// in id space until merged, matching id stability requirements).
+    pub fn logical_len(&self) -> u64 {
+        self.base_len + self.appends.len() as u64
+    }
+
+    /// Number of pending changes of all kinds.
+    pub fn pending(&self) -> usize {
+        self.appends.len() + self.deletes.len() + self.updates.len()
+    }
+
+    /// Whether there are no pending changes.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Appends one new row; returns its id.
+    pub fn append(&mut self, value: T) -> u64 {
+        self.appends.push(value);
+        self.base_len + self.appends.len() as u64 - 1
+    }
+
+    /// Appends a batch of rows; returns the id of the first.
+    pub fn append_batch(&mut self, values: &[T]) -> u64 {
+        let first = self.logical_len();
+        self.appends.extend_from_slice(values);
+        first
+    }
+
+    /// The appended rows, in append order.
+    pub fn appends(&self) -> &[T] {
+        &self.appends
+    }
+
+    /// Marks base row `id` deleted. Ids past the base column are rejected
+    /// by debug assertion (delete an append by filtering it out instead).
+    pub fn delete(&mut self, id: u64) {
+        debug_assert!(id < self.base_len, "only base rows are deletable through the delta");
+        if let Err(pos) = self.deletes.binary_search(&id) {
+            self.deletes.insert(pos, id);
+        }
+        // A deleted row's pending update is moot.
+        self.updates.remove(&id);
+    }
+
+    /// Whether base row `id` is deleted.
+    pub fn is_deleted(&self, id: u64) -> bool {
+        self.deletes.binary_search(&id).is_ok()
+    }
+
+    /// The deleted ids as a sorted list.
+    pub fn deleted_ids(&self) -> IdList {
+        IdList::from_sorted(self.deletes.clone())
+    }
+
+    /// Records an in-place overwrite of base row `id`.
+    pub fn update(&mut self, id: u64, value: T) {
+        debug_assert!(id < self.base_len, "only base rows are updatable through the delta");
+        if !self.is_deleted(id) {
+            self.updates.insert(id, value);
+        }
+    }
+
+    /// The pending new value for base row `id`, if any.
+    pub fn updated_value(&self, id: u64) -> Option<T> {
+        self.updates.get(&id).copied()
+    }
+
+    /// Iterator over pending `(id, new_value)` overwrites, ascending by id.
+    pub fn updates(&self) -> impl Iterator<Item = (u64, T)> + '_ {
+        self.updates.iter().map(|(&id, &v)| (id, v))
+    }
+
+    /// The effective value of row `id` after the delta: updated value,
+    /// appended value, or `base(id)`; `None` when deleted or out of range.
+    pub fn effective_value(&self, id: u64, base: &[T]) -> Option<T> {
+        if self.is_deleted(id) {
+            return None;
+        }
+        if let Some(v) = self.updates.get(&id) {
+            return Some(*v);
+        }
+        if id < self.base_len {
+            return base.get(id as usize).copied();
+        }
+        self.appends.get((id - self.base_len) as usize).copied()
+    }
+
+    /// Merges a base-index result into the delta-aware final result:
+    /// removes deleted ids, re-checks updated ids with `pred` on their new
+    /// values, adds updated ids that *now* qualify, and appends qualifying
+    /// new rows. `pred` is the same predicate the base result was built with.
+    pub fn merge_result(&self, base_result: &IdList, pred: impl Fn(&T) -> bool) -> IdList {
+        let mut out = Vec::with_capacity(base_result.len() + self.appends.len());
+        // Walk the base result, dropping deletions and stale updates.
+        for id in base_result.iter() {
+            if self.is_deleted(id) {
+                continue;
+            }
+            match self.updates.get(&id) {
+                Some(v) => {
+                    if pred(v) {
+                        out.push(id);
+                    }
+                }
+                None => out.push(id),
+            }
+        }
+        // Updated rows that did not qualify before but do now.
+        for (&id, v) in &self.updates {
+            if pred(v) && !base_result.contains(id) {
+                out.push(id);
+            }
+        }
+        // Appended rows are scanned directly: by §4.1 appends would carry
+        // their own imprints; at delta scale a scan is the honest cost.
+        for (k, v) in self.appends.iter().enumerate() {
+            if pred(v) {
+                out.push(self.base_len + k as u64);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        IdList::from_sorted(out)
+    }
+
+    /// Applies the delta to `base`, producing the consolidated column values
+    /// (the periodic merge that resets the delta in a real system). Deleted
+    /// rows are dropped, so ids are *renumbered* — callers must rebuild
+    /// indexes afterwards, as the paper prescribes for saturated imprints.
+    pub fn consolidate(&self, base: &[T]) -> Vec<T> {
+        let mut out = Vec::with_capacity(base.len() + self.appends.len() - self.deletes.len());
+        for (id, &v) in base.iter().enumerate() {
+            let id = id as u64;
+            if self.is_deleted(id) {
+                continue;
+            }
+            out.push(self.updates.get(&id).copied().unwrap_or(v));
+        }
+        out.extend_from_slice(&self.appends);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Vec<i32> {
+        vec![10, 20, 30, 40, 50]
+    }
+
+    #[test]
+    fn append_assigns_sequential_ids() {
+        let mut d = DeltaStore::<i32>::new(5);
+        assert_eq!(d.append(60), 5);
+        assert_eq!(d.append(70), 6);
+        assert_eq!(d.append_batch(&[80, 90]), 7);
+        assert_eq!(d.logical_len(), 9);
+        assert_eq!(d.appends(), &[60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn delete_and_is_deleted() {
+        let mut d = DeltaStore::<i32>::new(5);
+        d.delete(3);
+        d.delete(1);
+        d.delete(3); // idempotent
+        assert!(d.is_deleted(1));
+        assert!(d.is_deleted(3));
+        assert!(!d.is_deleted(0));
+        assert_eq!(d.deleted_ids().as_slice(), &[1, 3]);
+    }
+
+    #[test]
+    fn update_then_delete_drops_update() {
+        let mut d = DeltaStore::<i32>::new(5);
+        d.update(2, 99);
+        assert_eq!(d.updated_value(2), Some(99));
+        d.delete(2);
+        assert_eq!(d.updated_value(2), None);
+        // Updating a deleted row is ignored.
+        d.update(2, 7);
+        assert_eq!(d.updated_value(2), None);
+    }
+
+    #[test]
+    fn effective_value_priority() {
+        let b = base();
+        let mut d = DeltaStore::<i32>::new(b.len());
+        d.update(0, 11);
+        d.delete(1);
+        d.append(60);
+        assert_eq!(d.effective_value(0, &b), Some(11)); // updated
+        assert_eq!(d.effective_value(1, &b), None); // deleted
+        assert_eq!(d.effective_value(2, &b), Some(30)); // base
+        assert_eq!(d.effective_value(5, &b), Some(60)); // append
+        assert_eq!(d.effective_value(6, &b), None); // out of range
+    }
+
+    #[test]
+    fn merge_result_full_flow() {
+        // Base result of pred(v) = v >= 30 over [10,20,30,40,50]: ids 2,3,4.
+        let pred = |v: &i32| *v >= 30;
+        let base_result = IdList::from_sorted(vec![2, 3, 4]);
+        let mut d = DeltaStore::<i32>::new(5);
+        d.delete(3); // drop id 3
+        d.update(4, 5); // id 4 no longer qualifies
+        d.update(0, 35); // id 0 now qualifies
+        d.append(99); // id 5 qualifies
+        d.append(1); // id 6 does not
+        let merged = d.merge_result(&base_result, pred);
+        assert_eq!(merged.as_slice(), &[0, 2, 5]);
+    }
+
+    #[test]
+    fn merge_result_no_changes_is_identity() {
+        let d = DeltaStore::<i32>::new(5);
+        let r = IdList::from_sorted(vec![1, 4]);
+        assert_eq!(d.merge_result(&r, |v| *v > 0), r);
+    }
+
+    #[test]
+    fn consolidate_applies_everything() {
+        let b = base();
+        let mut d = DeltaStore::<i32>::new(b.len());
+        d.update(0, 11);
+        d.delete(2);
+        d.append(60);
+        assert_eq!(d.consolidate(&b), vec![11, 20, 40, 50, 60]);
+    }
+
+    #[test]
+    fn pending_counts() {
+        let mut d = DeltaStore::<i32>::new(5);
+        assert!(d.is_empty());
+        d.append(1);
+        d.delete(0);
+        d.update(1, 2);
+        assert_eq!(d.pending(), 3);
+        assert!(!d.is_empty());
+    }
+}

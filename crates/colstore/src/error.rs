@@ -1,0 +1,79 @@
+//! Error type shared across the storage substrate.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug)]
+pub enum Error {
+    /// An I/O error while persisting or loading data.
+    Io(io::Error),
+    /// The on-disk data is malformed (bad magic, truncated, wrong version…).
+    Corrupt(String),
+    /// A checksum mismatch: data was damaged at rest.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u32,
+        /// Checksum recomputed over the payload.
+        actual: u32,
+    },
+    /// Two structures that must be aligned disagree (e.g. a relation's
+    /// columns differ in length, or an index no longer matches its column).
+    Mismatch(String),
+    /// A lookup referenced something that does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
+            }
+            Error::Mismatch(msg) => write!(f, "structure mismatch: {msg}"),
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = Error::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("checksum"));
+        let e = Error::NotFound("column x".into());
+        assert!(e.to_string().contains("column x"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: Error = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

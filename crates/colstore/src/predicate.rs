@@ -1,0 +1,236 @@
+//! Range and point predicates.
+//!
+//! The paper evaluates queries of the form `Q = [low, high]` — "all values
+//! `v` in column `col` that satisfy `low ≤ v ≤ high`" (§3). Its pseudo-code
+//! uses the half-open variant `low ≤ v < high`. [`RangePredicate`] covers
+//! both (and one-sided and point queries) through explicit [`Bound`]s, so
+//! every index implementation evaluates *exactly* the same predicate.
+//!
+//! Comparisons use the total order of [`Scalar`], so float NaNs behave
+//! deterministically: under `totalOrder`, `+NaN` is above `+inf` and only
+//! matches predicates without an upper bound.
+
+use std::fmt;
+
+use crate::types::Scalar;
+
+/// One end of a range predicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound<T> {
+    /// No constraint on this side.
+    Unbounded,
+    /// The endpoint itself qualifies (`≤` / `≥`).
+    Inclusive(T),
+    /// The endpoint does not qualify (`<` / `>`).
+    Exclusive(T),
+}
+
+/// A one-dimensional selection predicate `low ⋈ v ⋈ high`.
+///
+/// # Examples
+///
+/// ```
+/// use colstore::predicate::RangePredicate;
+///
+/// let q = RangePredicate::between(10, 20); // 10 <= v <= 20
+/// assert!(q.matches(&10) && q.matches(&20) && !q.matches(&21));
+///
+/// let q = RangePredicate::half_open(10, 20); // 10 <= v < 20
+/// assert!(q.matches(&10) && !q.matches(&20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangePredicate<T> {
+    low: Bound<T>,
+    high: Bound<T>,
+}
+
+impl<T: Scalar> RangePredicate<T> {
+    /// `low ≤ v ≤ high` — the closed range of the paper's §3 prose.
+    pub fn between(low: T, high: T) -> Self {
+        RangePredicate { low: Bound::Inclusive(low), high: Bound::Inclusive(high) }
+    }
+
+    /// `low ≤ v < high` — the half-open range of the paper's Algorithm 3.
+    pub fn half_open(low: T, high: T) -> Self {
+        RangePredicate { low: Bound::Inclusive(low), high: Bound::Exclusive(high) }
+    }
+
+    /// `v = value` — a point query.
+    pub fn equals(value: T) -> Self {
+        RangePredicate { low: Bound::Inclusive(value), high: Bound::Inclusive(value) }
+    }
+
+    /// `v < high`.
+    pub fn less_than(high: T) -> Self {
+        RangePredicate { low: Bound::Unbounded, high: Bound::Exclusive(high) }
+    }
+
+    /// `v ≤ high`.
+    pub fn at_most(high: T) -> Self {
+        RangePredicate { low: Bound::Unbounded, high: Bound::Inclusive(high) }
+    }
+
+    /// `v > low`.
+    pub fn greater_than(low: T) -> Self {
+        RangePredicate { low: Bound::Exclusive(low), high: Bound::Unbounded }
+    }
+
+    /// `v ≥ low`.
+    pub fn at_least(low: T) -> Self {
+        RangePredicate { low: Bound::Inclusive(low), high: Bound::Unbounded }
+    }
+
+    /// Matches every value.
+    pub fn all() -> Self {
+        RangePredicate { low: Bound::Unbounded, high: Bound::Unbounded }
+    }
+
+    /// General constructor from explicit bounds.
+    pub fn with_bounds(low: Bound<T>, high: Bound<T>) -> Self {
+        RangePredicate { low, high }
+    }
+
+    /// The lower bound.
+    pub fn low(&self) -> &Bound<T> {
+        &self.low
+    }
+
+    /// The upper bound.
+    pub fn high(&self) -> &Bound<T> {
+        &self.high
+    }
+
+    /// Whether `v` satisfies the predicate (total order).
+    #[inline]
+    pub fn matches(&self, v: &T) -> bool {
+        let low_ok = match &self.low {
+            Bound::Unbounded => true,
+            Bound::Inclusive(l) => l.le_total(v),
+            Bound::Exclusive(l) => l.lt_total(v),
+        };
+        if !low_ok {
+            return false;
+        }
+        match &self.high {
+            Bound::Unbounded => true,
+            Bound::Inclusive(h) => v.le_total(h),
+            Bound::Exclusive(h) => v.lt_total(h),
+        }
+    }
+
+    /// Whether the predicate can match no value at all (e.g. `low > high`).
+    /// Indexes may fast-path this to an empty result.
+    pub fn is_empty_range(&self) -> bool {
+        let (l, l_incl) = match &self.low {
+            Bound::Unbounded => return false,
+            Bound::Inclusive(l) => (l, true),
+            Bound::Exclusive(l) => (l, false),
+        };
+        let (h, h_incl) = match &self.high {
+            Bound::Unbounded => return false,
+            Bound::Inclusive(h) => (h, true),
+            Bound::Exclusive(h) => (h, false),
+        };
+        match l.total_cmp(h) {
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => !(l_incl && h_incl),
+            std::cmp::Ordering::Greater => true,
+        }
+    }
+}
+
+impl<T: Scalar> fmt::Display for RangePredicate<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.low {
+            Bound::Unbounded => write!(f, "(-inf")?,
+            Bound::Inclusive(l) => write!(f, "[{l}")?,
+            Bound::Exclusive(l) => write!(f, "({l}")?,
+        }
+        write!(f, ", ")?;
+        match &self.high {
+            Bound::Unbounded => write!(f, "+inf)"),
+            Bound::Inclusive(h) => write!(f, "{h}]"),
+            Bound::Exclusive(h) => write!(f, "{h})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn between_is_inclusive_both_sides() {
+        let q = RangePredicate::between(5, 10);
+        assert!(!q.matches(&4));
+        assert!(q.matches(&5));
+        assert!(q.matches(&7));
+        assert!(q.matches(&10));
+        assert!(!q.matches(&11));
+    }
+
+    #[test]
+    fn half_open_excludes_high() {
+        let q = RangePredicate::half_open(5, 10);
+        assert!(q.matches(&5));
+        assert!(q.matches(&9));
+        assert!(!q.matches(&10));
+    }
+
+    #[test]
+    fn point_query() {
+        let q = RangePredicate::equals(3.5f64);
+        assert!(q.matches(&3.5));
+        assert!(!q.matches(&3.4999));
+    }
+
+    #[test]
+    fn one_sided_predicates() {
+        assert!(RangePredicate::less_than(5).matches(&4));
+        assert!(!RangePredicate::less_than(5).matches(&5));
+        assert!(RangePredicate::at_most(5).matches(&5));
+        assert!(RangePredicate::greater_than(5).matches(&6));
+        assert!(!RangePredicate::greater_than(5).matches(&5));
+        assert!(RangePredicate::at_least(5).matches(&5));
+        assert!(RangePredicate::<i32>::all().matches(&i32::MIN));
+    }
+
+    #[test]
+    fn exclusive_bounds() {
+        let q = RangePredicate::with_bounds(Bound::Exclusive(1), Bound::Exclusive(3));
+        assert!(!q.matches(&1));
+        assert!(q.matches(&2));
+        assert!(!q.matches(&3));
+    }
+
+    #[test]
+    fn empty_range_detection() {
+        assert!(RangePredicate::between(10, 5).is_empty_range());
+        assert!(RangePredicate::half_open(5, 5).is_empty_range());
+        assert!(!RangePredicate::between(5, 5).is_empty_range());
+        assert!(!RangePredicate::<i32>::all().is_empty_range());
+        assert!(!RangePredicate::at_most(3).is_empty_range());
+        let q = RangePredicate::with_bounds(Bound::Exclusive(5), Bound::Inclusive(5));
+        assert!(q.is_empty_range());
+    }
+
+    #[test]
+    fn nan_total_order_semantics() {
+        // +NaN sorts above +inf: it only matches upper-unbounded predicates.
+        let q = RangePredicate::at_most(f64::INFINITY);
+        assert!(!q.matches(&f64::NAN));
+        let q = RangePredicate::at_least(0.0f64);
+        assert!(q.matches(&f64::NAN));
+        // -NaN sorts below -inf.
+        let neg_nan = f64::from_bits(f64::NAN.to_bits() | (1u64 << 63));
+        assert!(!q.matches(&neg_nan));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RangePredicate::between(1, 2).to_string(), "[1, 2]");
+        assert_eq!(RangePredicate::half_open(1, 2).to_string(), "[1, 2)");
+        assert_eq!(RangePredicate::<i32>::all().to_string(), "(-inf, +inf)");
+        assert_eq!(RangePredicate::greater_than(7).to_string(), "(7, +inf)");
+    }
+}

@@ -1,0 +1,348 @@
+//! Relations: named bundles of equally-long columns.
+//!
+//! A column store decomposes a relation into per-attribute arrays; values
+//! from different columns with the same position belong to the same tuple
+//! (paper §2). [`Relation`] provides that bundling plus tuple
+//! reconstruction, which the evaluation engine uses *after* the indexes have
+//! produced a final id list (late materialization).
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::types::{ColumnType, Scalar, Value};
+
+/// Description of one attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name, unique within the relation.
+    pub name: String,
+    /// Scalar type of the attribute.
+    pub ty: ColumnType,
+}
+
+/// An ordered list of attribute descriptions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Index of the field called `name`.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    fn add(&mut self, name: &str, ty: ColumnType) -> Result<()> {
+        if self.position(name).is_some() {
+            return Err(Error::Mismatch(format!("duplicate column name {name:?}")));
+        }
+        self.fields.push(Field { name: name.to_string(), ty });
+        Ok(())
+    }
+}
+
+/// A typed column behind a uniform interface, so a relation can hold a mix
+/// of scalar types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyColumn {
+    /// A column of `i8`.
+    I8(Column<i8>),
+    /// A column of `u8`.
+    U8(Column<u8>),
+    /// A column of `i16`.
+    I16(Column<i16>),
+    /// A column of `u16`.
+    U16(Column<u16>),
+    /// A column of `i32`.
+    I32(Column<i32>),
+    /// A column of `u32`.
+    U32(Column<u32>),
+    /// A column of `i64`.
+    I64(Column<i64>),
+    /// A column of `u64`.
+    U64(Column<u64>),
+    /// A column of `f32`.
+    F32(Column<f32>),
+    /// A column of `f64`.
+    F64(Column<f64>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $c:ident => $body:expr) => {
+        match $self {
+            AnyColumn::I8($c) => $body,
+            AnyColumn::U8($c) => $body,
+            AnyColumn::I16($c) => $body,
+            AnyColumn::U16($c) => $body,
+            AnyColumn::I32($c) => $body,
+            AnyColumn::U32($c) => $body,
+            AnyColumn::I64($c) => $body,
+            AnyColumn::U64($c) => $body,
+            AnyColumn::F32($c) => $body,
+            AnyColumn::F64($c) => $body,
+        }
+    };
+}
+
+impl AnyColumn {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        dispatch!(self, c => c.len())
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The scalar type of the column.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            AnyColumn::I8(_) => ColumnType::I8,
+            AnyColumn::U8(_) => ColumnType::U8,
+            AnyColumn::I16(_) => ColumnType::I16,
+            AnyColumn::U16(_) => ColumnType::U16,
+            AnyColumn::I32(_) => ColumnType::I32,
+            AnyColumn::U32(_) => ColumnType::U32,
+            AnyColumn::I64(_) => ColumnType::I64,
+            AnyColumn::U64(_) => ColumnType::U64,
+            AnyColumn::F32(_) => ColumnType::F32,
+            AnyColumn::F64(_) => ColumnType::F64,
+        }
+    }
+
+    /// The value at row `id` as a dynamically-typed [`Value`].
+    pub fn value(&self, id: usize) -> Option<Value> {
+        dispatch!(self, c => c.get(id).map(Scalar::into_value))
+    }
+
+    /// Bytes of raw value data.
+    pub fn data_bytes(&self) -> usize {
+        dispatch!(self, c => c.data_bytes())
+    }
+
+    /// Borrows the inner typed column, if the type matches.
+    pub fn downcast<T: Scalar>(&self) -> Option<&Column<T>> {
+        // A tiny hand-rolled Any: compare runtime tags, then the pointer
+        // reinterpretation is safe because the enum payloads are distinct
+        // monomorphic types checked via TYPE.
+        macro_rules! down {
+            ($($v:ident => $t:ty),*) => {
+                match self {
+                    $(AnyColumn::$v(c) if T::TYPE == <$t as Scalar>::TYPE => {
+                        // SAFETY: T::TYPE equality implies T == $t because the
+                        // TYPE associated const is unique per implementor.
+                        Some(unsafe { &*(c as *const Column<$t> as *const Column<T>) })
+                    })*
+                    _ => None,
+                }
+            };
+        }
+        down!(I8 => i8, U8 => u8, I16 => i16, U16 => u16, I32 => i32,
+              U32 => u32, I64 => i64, U64 => u64, F32 => f32, F64 => f64)
+    }
+}
+
+macro_rules! impl_from_column {
+    ($($t:ty => $v:ident),* $(,)?) => {$(
+        impl From<Column<$t>> for AnyColumn {
+            fn from(c: Column<$t>) -> Self {
+                AnyColumn::$v(c)
+            }
+        }
+    )*};
+}
+
+impl_from_column!(i8 => I8, u8 => U8, i16 => I16, u16 => U16, i32 => I32,
+                  u32 => U32, i64 => I64, u64 => U64, f32 => F32, f64 => F64);
+
+/// A named bundle of equally-long columns — one decomposed relation.
+///
+/// # Examples
+///
+/// ```
+/// use colstore::{Relation, Column};
+///
+/// let mut rel = Relation::new("trips");
+/// rel.add_column("lat", Column::from(vec![52.37f64, 52.38, 52.40])).unwrap();
+/// rel.add_column("lon", Column::from(vec![4.89f64, 4.90, 4.91])).unwrap();
+/// assert_eq!(rel.row_count(), 3);
+/// let tuple = rel.tuple(1).unwrap();
+/// assert_eq!(tuple.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    columns: Vec<AnyColumn>,
+}
+
+impl Relation {
+    /// Creates an empty relation called `name`.
+    pub fn new(name: &str) -> Self {
+        Relation { name: name.to_string(), schema: Schema::new(), columns: Vec::new() }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows (0 for a relation with no columns).
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, AnyColumn::len)
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Adds a column under `name`. All columns must have equal length.
+    pub fn add_column<C: Into<AnyColumn>>(&mut self, name: &str, column: C) -> Result<()> {
+        let column = column.into();
+        if !self.columns.is_empty() && column.len() != self.row_count() {
+            return Err(Error::Mismatch(format!(
+                "column {name:?} has {} rows, relation has {}",
+                column.len(),
+                self.row_count()
+            )));
+        }
+        self.schema.add(name, column.column_type())?;
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// The column called `name`.
+    pub fn column(&self, name: &str) -> Result<&AnyColumn> {
+        let pos = self
+            .schema
+            .position(name)
+            .ok_or_else(|| Error::NotFound(format!("column {name:?}")))?;
+        Ok(&self.columns[pos])
+    }
+
+    /// The column called `name`, downcast to its concrete type.
+    pub fn typed_column<T: Scalar>(&self, name: &str) -> Result<&Column<T>> {
+        self.column(name)?.downcast::<T>().ok_or_else(|| {
+            Error::Mismatch(format!("column {name:?} is not of type {}", T::TYPE))
+        })
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[AnyColumn] {
+        &self.columns
+    }
+
+    /// Reconstructs the tuple at row `id` (late materialization endpoint).
+    pub fn tuple(&self, id: usize) -> Option<Vec<Value>> {
+        if id >= self.row_count() {
+            return None;
+        }
+        Some(self.columns.iter().map(|c| c.value(id).expect("id < row_count")).collect())
+    }
+
+    /// Reconstructs the tuples for a sorted id list, in order.
+    pub fn tuples(&self, ids: &crate::IdList) -> Vec<Vec<Value>> {
+        ids.iter().filter_map(|id| self.tuple(id as usize)).collect()
+    }
+
+    /// Total bytes of value data across all columns.
+    pub fn data_bytes(&self) -> usize {
+        self.columns.iter().map(AnyColumn::data_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IdList;
+
+    fn sample_relation() -> Relation {
+        let mut rel = Relation::new("t");
+        rel.add_column("a", Column::from(vec![1i32, 2, 3])).unwrap();
+        rel.add_column("b", Column::from(vec![1.5f64, 2.5, 3.5])).unwrap();
+        rel.add_column("c", Column::from(vec![10u8, 20, 30])).unwrap();
+        rel
+    }
+
+    #[test]
+    fn schema_tracks_fields() {
+        let rel = sample_relation();
+        assert_eq!(rel.column_count(), 3);
+        assert_eq!(rel.schema().fields()[1].name, "b");
+        assert_eq!(rel.schema().fields()[1].ty, ColumnType::F64);
+        assert_eq!(rel.schema().position("c"), Some(2));
+        assert_eq!(rel.schema().position("zz"), None);
+    }
+
+    #[test]
+    fn mismatched_length_rejected() {
+        let mut rel = sample_relation();
+        let err = rel.add_column("d", Column::from(vec![1i32, 2])).unwrap_err();
+        assert!(matches!(err, Error::Mismatch(_)));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut rel = sample_relation();
+        let err = rel.add_column("a", Column::from(vec![9i32, 9, 9])).unwrap_err();
+        assert!(matches!(err, Error::Mismatch(_)));
+    }
+
+    #[test]
+    fn tuple_reconstruction() {
+        let rel = sample_relation();
+        let t = rel.tuple(1).unwrap();
+        assert_eq!(t, vec![Value::I32(2), Value::F64(2.5), Value::U8(20)]);
+        assert!(rel.tuple(3).is_none());
+    }
+
+    #[test]
+    fn tuples_from_idlist() {
+        let rel = sample_relation();
+        let ids = IdList::from_sorted(vec![0, 2]);
+        let ts = rel.tuples(&ids);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[1][0], Value::I32(3));
+    }
+
+    #[test]
+    fn typed_downcast() {
+        let rel = sample_relation();
+        let a: &Column<i32> = rel.typed_column("a").unwrap();
+        assert_eq!(a.values(), &[1, 2, 3]);
+        assert!(rel.typed_column::<f32>("a").is_err());
+        assert!(rel.typed_column::<i32>("nope").is_err());
+    }
+
+    #[test]
+    fn data_bytes_sums_columns() {
+        let rel = sample_relation();
+        assert_eq!(rel.data_bytes(), 3 * 4 + 3 * 8 + 3);
+    }
+
+    #[test]
+    fn any_column_value_access() {
+        let c: AnyColumn = Column::from(vec![7i16, 8]).into();
+        assert_eq!(c.column_type(), ColumnType::I16);
+        assert_eq!(c.value(1), Some(Value::I16(8)));
+        assert_eq!(c.value(2), None);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+}

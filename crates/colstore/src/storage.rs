@@ -1,0 +1,338 @@
+//! Checksummed binary persistence.
+//!
+//! Columns (and, in the `imprints` crate, indexes) serialize to an explicit
+//! little-endian format instead of a serde derive: database storage formats
+//! should be inspectable and stable. Layout of a column file:
+//!
+//! ```text
+//! +------+---------+---------+----------+-------------+----------+
+//! | magic| version | type tag| row count| value bytes | crc32    |
+//! | 4 B  | u16     | u8 (+pad)| u64     | n * width   | u32      |
+//! +------+---------+---------+----------+-------------+----------+
+//! ```
+//!
+//! The CRC-32 (IEEE polynomial, the zlib variant) covers everything after
+//! the magic up to the checksum itself. The same [`Writer`]/[`Reader`]
+//! primitives are reused by the index serializers.
+
+use std::io::{Read, Write};
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::types::{ColumnType, Scalar};
+
+/// Magic bytes identifying a column file.
+pub const COLUMN_MAGIC: [u8; 4] = *b"CIMC";
+/// Current column file format version.
+pub const COLUMN_VERSION: u16 = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected — the zlib/PNG variant).
+///
+/// Hand-rolled table-driven implementation: small, dependency-free, and the
+/// format stays self-describing.
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    static TABLE: [u32; 256] = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Accumulates a serialized payload and computes its checksum.
+///
+/// The payload (everything between the magic and the trailing CRC) is built
+/// in memory, then flushed with [`Writer::finish`].
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a scalar at its native width, little endian.
+    pub fn put_scalar<T: Scalar>(&mut self, v: T) {
+        let bits = v.to_bits64().to_le_bytes();
+        self.buf.extend_from_slice(&bits[..std::mem::size_of::<T>()]);
+    }
+
+    /// Writes `magic || payload || crc32(payload)` to `out`.
+    pub fn finish<W: Write>(self, magic: &[u8; 4], out: &mut W) -> Result<()> {
+        out.write_all(magic)?;
+        out.write_all(&self.buf)?;
+        out.write_all(&crc32(&self.buf).to_le_bytes())?;
+        Ok(())
+    }
+}
+
+/// Reads back a payload written by [`Writer`], verifying magic and checksum
+/// up front.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Reader {
+    /// Consumes `input`, checking the magic and the trailing CRC.
+    pub fn open<R: Read>(magic: &[u8; 4], input: &mut R) -> Result<Self> {
+        let mut all = Vec::new();
+        input.read_to_end(&mut all)?;
+        if all.len() < 8 {
+            return Err(Error::Corrupt("file shorter than header".into()));
+        }
+        if &all[..4] != magic {
+            return Err(Error::Corrupt(format!(
+                "bad magic {:?}, expected {:?}",
+                &all[..4],
+                magic
+            )));
+        }
+        let crc_pos = all.len() - 4;
+        let expected = u32::from_le_bytes(all[crc_pos..].try_into().expect("4 bytes"));
+        let payload = &all[4..crc_pos];
+        let actual = crc32(payload);
+        if expected != actual {
+            return Err(Error::ChecksumMismatch { expected, actual });
+        }
+        Ok(Reader { buf: payload.to_vec(), pos: 0 })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::Corrupt(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`, little endian.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a `u32`, little endian.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`, little endian.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&[u8]> {
+        self.take(n)
+    }
+
+    /// Reads a scalar at its native width.
+    pub fn get_scalar<T: Scalar>(&mut self) -> Result<T> {
+        let w = std::mem::size_of::<T>();
+        let mut bits = [0u8; 8];
+        bits[..w].copy_from_slice(self.take(w)?);
+        Ok(T::from_bits64(u64::from_le_bytes(bits)))
+    }
+
+    /// Bytes remaining in the payload.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Serializes a column to `out` in the format described in the module docs.
+pub fn write_column<T: Scalar, W: Write>(col: &Column<T>, out: &mut W) -> Result<()> {
+    let mut w = Writer::new();
+    w.put_u16(COLUMN_VERSION);
+    w.put_u8(T::TYPE.tag());
+    w.put_u8(0); // pad
+    w.put_u64(col.len() as u64);
+    for &v in col.values() {
+        w.put_scalar(v);
+    }
+    w.finish(&COLUMN_MAGIC, out)
+}
+
+/// Deserializes a column written by [`write_column`]. The stored type tag
+/// must match `T`.
+pub fn read_column<T: Scalar, R: Read>(input: &mut R) -> Result<Column<T>> {
+    let mut r = Reader::open(&COLUMN_MAGIC, input)?;
+    let version = r.get_u16()?;
+    if version != COLUMN_VERSION {
+        return Err(Error::Corrupt(format!("unsupported column version {version}")));
+    }
+    let tag = r.get_u8()?;
+    let ty = ColumnType::from_tag(tag)
+        .ok_or_else(|| Error::Corrupt(format!("unknown type tag {tag}")))?;
+    if ty != T::TYPE {
+        return Err(Error::Mismatch(format!("file holds {ty}, requested {}", T::TYPE)));
+    }
+    let _pad = r.get_u8()?;
+    let n = r.get_u64()? as usize;
+    let mut col = Column::with_capacity(n);
+    for _ in 0..n {
+        col.push(r.get_scalar::<T>()?);
+    }
+    if r.remaining() != 0 {
+        return Err(Error::Corrupt(format!("{} trailing bytes", r.remaining())));
+    }
+    Ok(col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard zlib test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn column_roundtrip_i32() {
+        let col: Column<i32> = Column::from(vec![1, -2, 3, i32::MAX, i32::MIN]);
+        let mut bytes = Vec::new();
+        write_column(&col, &mut bytes).unwrap();
+        let back: Column<i32> = read_column(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.values(), col.values());
+    }
+
+    #[test]
+    fn column_roundtrip_f64_with_specials() {
+        let col: Column<f64> =
+            Column::from(vec![0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY]);
+        let mut bytes = Vec::new();
+        write_column(&col, &mut bytes).unwrap();
+        let back: Column<f64> = read_column(&mut bytes.as_slice()).unwrap();
+        for (a, b) in back.values().iter().zip(col.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn column_roundtrip_empty() {
+        let col: Column<u8> = Column::new();
+        let mut bytes = Vec::new();
+        write_column(&col, &mut bytes).unwrap();
+        let back: Column<u8> = read_column(&mut bytes.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn corrupted_payload_detected() {
+        let col: Column<u16> = (0..100).collect();
+        let mut bytes = Vec::new();
+        write_column(&col, &mut bytes).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let err = read_column::<u16, _>(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, Error::ChecksumMismatch { .. }), "got {err}");
+    }
+
+    #[test]
+    fn wrong_magic_detected() {
+        let col: Column<u16> = (0..4).collect();
+        let mut bytes = Vec::new();
+        write_column(&col, &mut bytes).unwrap();
+        bytes[0] = b'X';
+        let err = read_column::<u16, _>(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)));
+    }
+
+    #[test]
+    fn wrong_type_detected() {
+        let col: Column<i32> = (0..4).collect();
+        let mut bytes = Vec::new();
+        write_column(&col, &mut bytes).unwrap();
+        let err = read_column::<i64, _>(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, Error::Mismatch(_)));
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let err = read_column::<u8, _>(&mut &b"CIM"[..]).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)));
+    }
+
+    #[test]
+    fn reader_writer_primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_scalar(-5i8);
+        w.put_scalar(2.5f32);
+        w.put_bytes(b"xyz");
+        let mut out = Vec::new();
+        w.finish(b"TEST", &mut out).unwrap();
+
+        let mut r = Reader::open(b"TEST", &mut out.as_slice()).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_scalar::<i8>().unwrap(), -5);
+        assert_eq!(r.get_scalar::<f32>().unwrap(), 2.5);
+        assert_eq!(r.get_bytes(3).unwrap(), b"xyz");
+        assert_eq!(r.remaining(), 0);
+        assert!(r.get_u8().is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Packed cacheline-dictionary entries.
+//!
+//! The compression scheme of §2.3 stores, next to the imprint vectors, a
+//! *cacheline dictionary*: a sequence of 4-byte entries
+//!
+//! ```text
+//! struct cache_dict {
+//!     uint cnt:24;     // run length
+//!     uint repeat:1;   // 1: one imprint covers cnt cachelines
+//!                      // 0: the next cnt imprints cover one cacheline each
+//!     uint flags:7;    // reserved
+//! };
+//! ```
+//!
+//! [`DictEntry`] reproduces that layout bit-for-bit in a `u32`.
+
+use std::fmt;
+
+/// Maximum run length representable in the 24-bit counter.
+pub const MAX_CNT: u32 = (1 << 24) - 1;
+
+/// One packed cacheline-dictionary entry (`cnt:24 | repeat:1 | flags:7`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct DictEntry(u32);
+
+impl DictEntry {
+    const REPEAT_BIT: u32 = 1 << 24;
+    const CNT_MASK: u32 = MAX_CNT;
+
+    /// Creates an entry with the given run length and repeat flag.
+    ///
+    /// # Panics
+    /// Panics if `cnt` exceeds [`MAX_CNT`].
+    #[inline]
+    pub fn new(cnt: u32, repeat: bool) -> Self {
+        assert!(cnt <= MAX_CNT, "dictionary count overflows 24 bits");
+        DictEntry(cnt | if repeat { Self::REPEAT_BIT } else { 0 })
+    }
+
+    /// The run length.
+    #[inline]
+    pub fn cnt(self) -> u32 {
+        self.0 & Self::CNT_MASK
+    }
+
+    /// Whether the run is a *repeat* run (one imprint vector, `cnt`
+    /// cachelines) rather than a *distinct* run (`cnt` imprint vectors, one
+    /// cacheline each).
+    #[inline]
+    pub fn repeat(self) -> bool {
+        self.0 & Self::REPEAT_BIT != 0
+    }
+
+    /// The 7 reserved flag bits (always 0 in this implementation; kept for
+    /// format fidelity).
+    #[inline]
+    pub fn flags(self) -> u8 {
+        (self.0 >> 25) as u8
+    }
+
+    /// Returns a copy with the run length replaced.
+    ///
+    /// # Panics
+    /// Panics if `cnt` exceeds [`MAX_CNT`].
+    #[inline]
+    #[must_use]
+    pub fn with_cnt(self, cnt: u32) -> Self {
+        assert!(cnt <= MAX_CNT, "dictionary count overflows 24 bits");
+        DictEntry((self.0 & !Self::CNT_MASK) | cnt)
+    }
+
+    /// Returns a copy with the repeat flag replaced.
+    #[inline]
+    #[must_use]
+    pub fn with_repeat(self, repeat: bool) -> Self {
+        if repeat {
+            DictEntry(self.0 | Self::REPEAT_BIT)
+        } else {
+            DictEntry(self.0 & !Self::REPEAT_BIT)
+        }
+    }
+
+    /// Number of imprint vectors this entry accounts for in the imprint
+    /// array: 1 for a repeat run, `cnt` for a distinct run.
+    #[inline]
+    pub fn imprint_count(self) -> u32 {
+        if self.repeat() {
+            1
+        } else {
+            self.cnt()
+        }
+    }
+
+    /// Number of cachelines this entry covers (always `cnt`).
+    #[inline]
+    pub fn line_count(self) -> u32 {
+        self.cnt()
+    }
+
+    /// The raw packed word (on-disk representation).
+    #[inline]
+    pub fn to_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an entry from its raw packed word.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        DictEntry(raw)
+    }
+}
+
+impl fmt::Debug for DictEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DictEntry {{ cnt: {}, repeat: {} }}", self.cnt(), self.repeat())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_is_four_bytes() {
+        assert_eq!(std::mem::size_of::<DictEntry>(), 4);
+    }
+
+    #[test]
+    fn pack_unpack() {
+        let e = DictEntry::new(12345, true);
+        assert_eq!(e.cnt(), 12345);
+        assert!(e.repeat());
+        assert_eq!(e.flags(), 0);
+        let e = DictEntry::new(7, false);
+        assert_eq!(e.cnt(), 7);
+        assert!(!e.repeat());
+    }
+
+    #[test]
+    fn max_cnt_roundtrips() {
+        let e = DictEntry::new(MAX_CNT, true);
+        assert_eq!(e.cnt(), MAX_CNT);
+        assert!(e.repeat());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows 24 bits")]
+    fn overflowing_cnt_panics() {
+        let _ = DictEntry::new(MAX_CNT + 1, false);
+    }
+
+    #[test]
+    fn with_cnt_preserves_repeat() {
+        let e = DictEntry::new(5, true).with_cnt(9);
+        assert_eq!(e.cnt(), 9);
+        assert!(e.repeat());
+        let e = e.with_repeat(false);
+        assert_eq!(e.cnt(), 9);
+        assert!(!e.repeat());
+    }
+
+    #[test]
+    fn imprint_and_line_counts() {
+        let rep = DictEntry::new(100, true);
+        assert_eq!(rep.imprint_count(), 1);
+        assert_eq!(rep.line_count(), 100);
+        let dis = DictEntry::new(100, false);
+        assert_eq!(dis.imprint_count(), 100);
+        assert_eq!(dis.line_count(), 100);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        for (cnt, rep) in [(0u32, false), (1, true), (MAX_CNT, false)] {
+            let e = DictEntry::new(cnt, rep);
+            let back = DictEntry::from_raw(e.to_raw());
+            assert_eq!(back, e);
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! The column imprints index structure (§2).
+//!
+//! [`ColumnImprints`] bundles everything Algorithm 1 produces: the bin
+//! borders ([`Binning`]), the compressed imprint vectors with their
+//! cacheline dictionary ([`Compressor`]), and — a deliberate refinement —
+//! the imprint of the trailing *partial* cacheline kept un-finalized, so
+//! that appends (§4.1) can keep filling it without rewriting compressed
+//! state.
+
+use std::ops::Range;
+
+use colstore::{AccessStats, Column, IdList, RangeIndex, RangePredicate, Scalar};
+
+use crate::binning::Binning;
+use crate::builder::{self, BuildOptions, Compressor};
+use crate::dict::DictEntry;
+use crate::query;
+
+/// A column imprints secondary index over a [`Column<T>`].
+///
+/// The index does not own the column: like any secondary index it
+/// references the base data by position. Callers must evaluate queries
+/// against the same column (same length, same values) the index was built
+/// on; [`ColumnImprints::verify`] checks that correspondence explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use colstore::{Column, RangePredicate, RangeIndex};
+/// use imprints::ColumnImprints;
+///
+/// let col: Column<f64> = (0..4096).map(|i| ((i * 31) % 977) as f64).collect();
+/// let idx = ColumnImprints::build(&col);
+/// let ids = idx.evaluate(&col, &RangePredicate::between(10.0, 20.0));
+/// assert!(!ids.is_empty());
+/// assert!(idx.size_bytes() < col.data_bytes() / 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ColumnImprints<T: Scalar> {
+    binning: Binning<T>,
+    comp: Compressor,
+    tail_imprint: u64,
+    tail_len: usize,
+    rows: usize,
+    opts: BuildOptions,
+    /// Rows appended since the initial build (update saturation tracking).
+    pub(crate) appended_rows: u64,
+    /// Appended rows that landed in the overflow bins (0 or bins−1):
+    /// a drift signal for the binning (§4.1).
+    pub(crate) appended_overflow: u64,
+}
+
+/// One run of the compressed index: `line_count` consecutive cachelines
+/// described by `imprint`. Produced by [`ColumnImprints::runs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// The shared imprint vector of the run (for a distinct-run entry each
+    /// line is its own `Run` of length 1).
+    pub imprint: u64,
+    /// First cacheline number covered.
+    pub first_line: u64,
+    /// Number of consecutive cachelines covered.
+    pub line_count: u64,
+}
+
+impl<T: Scalar> ColumnImprints<T> {
+    /// Builds the index with default options (2048-value sample, 64-byte
+    /// blocks).
+    pub fn build(col: &Column<T>) -> Self {
+        Self::build_with(col, BuildOptions::default())
+    }
+
+    /// Builds the index with explicit [`BuildOptions`].
+    pub fn build_with(col: &Column<T>, opts: BuildOptions) -> Self {
+        let binning =
+            Binning::from_column_with_strategy(col, opts.sample_size, opts.seed, opts.strategy);
+        Self::build_with_binning(col, binning, opts)
+    }
+
+    /// Builds the index reusing an existing binning (the rebuild path of
+    /// §4.2 and the parallel builder both use this).
+    pub fn build_with_binning(col: &Column<T>, binning: Binning<T>, opts: BuildOptions) -> Self {
+        let (comp, tail_imprint, tail_len) = builder::build_compressed(col, &binning, &opts);
+        ColumnImprints {
+            binning,
+            comp,
+            tail_imprint,
+            tail_len,
+            rows: col.len(),
+            opts,
+            appended_rows: 0,
+            appended_overflow: 0,
+        }
+    }
+
+    /// (crate) Assembles an index from raw parts; used by the parallel
+    /// builder and the storage layer. Invariants are the caller's burden
+    /// (checked in debug builds).
+    pub(crate) fn from_raw_parts(
+        binning: Binning<T>,
+        comp: Compressor,
+        tail_imprint: u64,
+        tail_len: usize,
+        rows: usize,
+        opts: BuildOptions,
+    ) -> Self {
+        let idx = ColumnImprints {
+            binning,
+            comp,
+            tail_imprint,
+            tail_len,
+            rows,
+            opts,
+            appended_rows: 0,
+            appended_overflow: 0,
+        };
+        debug_assert_eq!(
+            idx.comp.lines() * idx.values_per_block() as u64 + idx.tail_len as u64,
+            rows as u64
+        );
+        idx
+    }
+
+    /// The histogram binning in use.
+    pub fn binning(&self) -> &Binning<T> {
+        &self.binning
+    }
+
+    /// Number of histogram bins (8, 16, 32 or 64).
+    pub fn bins(&self) -> usize {
+        self.binning.bins()
+    }
+
+    /// Rows covered by the index.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Values per block (`vpc`): how many rows one imprint vector covers.
+    pub fn values_per_block(&self) -> usize {
+        self.opts.values_per_block::<T>()
+    }
+
+    /// The build options this index was constructed with.
+    pub fn options(&self) -> &BuildOptions {
+        &self.opts
+    }
+
+    /// Total cachelines covered, including the partial tail line.
+    pub fn line_count(&self) -> u64 {
+        self.comp.lines() + (self.tail_len > 0) as u64
+    }
+
+    /// Number of *stored* imprint vectors (after compression), including
+    /// the tail.
+    pub fn imprint_count(&self) -> usize {
+        self.comp.imprints().len() + (self.tail_len > 0) as usize
+    }
+
+    /// Number of cacheline-dictionary entries.
+    pub fn dict_len(&self) -> usize {
+        self.comp.dict().len()
+    }
+
+    /// Compression ratio: stored imprints / covered cachelines (1.0 means
+    /// no run was compressed; lower is better).
+    pub fn compression_ratio(&self) -> f64 {
+        let lines = self.line_count();
+        if lines == 0 {
+            return 1.0;
+        }
+        self.imprint_count() as f64 / lines as f64
+    }
+
+    /// Bytes occupied by the index: stored imprint vectors (8 B each),
+    /// dictionary entries (4 B each), the 64 bin borders, and the fixed
+    /// header fields. This is the storage-overhead metric of Figures 5–7.
+    pub fn size_bytes(&self) -> usize {
+        self.comp.imprints().len() * 8
+            + self.comp.dict().len() * 4
+            + self.binning.size_bytes()
+            + 8 // tail imprint
+            + 2 * std::mem::size_of::<usize>() // tail_len, rows
+    }
+
+    /// (crate) The compressed parts: `(imprints, dict)`.
+    pub(crate) fn parts(&self) -> (&[u64], &[DictEntry]) {
+        (self.comp.imprints(), self.comp.dict())
+    }
+
+    /// (crate) Mutable access for the append path.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Compressor, &mut u64, &mut usize, &mut usize) {
+        (&mut self.comp, &mut self.tail_imprint, &mut self.tail_len, &mut self.rows)
+    }
+
+    /// The un-finalized imprint of the trailing partial cacheline, if any.
+    pub fn tail(&self) -> Option<(u64, usize)> {
+        (self.tail_len > 0).then_some((self.tail_imprint, self.tail_len))
+    }
+
+    /// Iterates over the compressed index as [`Run`]s: repeat-runs come out
+    /// as one run of `cnt` lines; distinct runs come out as `cnt` runs of
+    /// one line each; the tail (if present) is the final 1-line run.
+    pub fn runs(&self) -> Runs<'_> {
+        Runs {
+            imprints: self.comp.imprints(),
+            dict: self.comp.dict(),
+            tail: self.tail(),
+            entry: 0,
+            within: 0,
+            imp_pos: 0,
+            line: 0,
+            tail_done: false,
+        }
+    }
+
+    /// Iterates over the *logical* (decompressed) per-cacheline imprint
+    /// vectors — what Figure 3 prints and what the entropy metric reads.
+    pub fn line_imprints(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs().flat_map(|r| std::iter::repeat_n(r.imprint, r.line_count as usize))
+    }
+
+    /// The row-id range covered by cacheline `line`, clamped to the column
+    /// length.
+    pub fn line_id_range(&self, line: u64) -> Range<u64> {
+        let vpb = self.values_per_block() as u64;
+        let start = line * vpb;
+        let end = ((line + 1) * vpb).min(self.rows as u64);
+        start..end
+    }
+
+    /// Fully recomputes the imprint of every cacheline of `col` and checks
+    /// it against the stored (compressed) state, plus all structural
+    /// invariants. O(n); meant for tests and post-load validation.
+    pub fn verify(&self, col: &Column<T>) -> Result<(), String> {
+        if col.len() != self.rows {
+            return Err(format!("column has {} rows, index covers {}", col.len(), self.rows));
+        }
+        self.comp.verify()?;
+        let vpb = self.values_per_block();
+        let mut lines = self.line_imprints();
+        for (lineno, chunk) in col.values().chunks(vpb).enumerate() {
+            let expect = builder::line_imprint(&self.binning, chunk);
+            match lines.next() {
+                Some(got) if got == expect => {}
+                Some(got) => {
+                    return Err(format!(
+                        "line {lineno}: stored imprint {got:#b}, recomputed {expect:#b}"
+                    ))
+                }
+                None => return Err(format!("index ran out of imprints at line {lineno}")),
+            }
+        }
+        if lines.next().is_some() {
+            return Err("index has more imprints than the column has cachelines".into());
+        }
+        Ok(())
+    }
+}
+
+impl<T: Scalar> RangeIndex<T> for ColumnImprints<T> {
+    fn name(&self) -> &'static str {
+        "imprints"
+    }
+
+    fn size_bytes(&self) -> usize {
+        ColumnImprints::size_bytes(self)
+    }
+
+    fn evaluate_with_stats(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+    ) -> (IdList, AccessStats) {
+        let (ids, stats) = query::evaluate(self, col, pred);
+        (ids, stats.access)
+    }
+}
+
+/// Iterator over the [`Run`]s of a [`ColumnImprints`]; see
+/// [`ColumnImprints::runs`].
+#[derive(Debug, Clone)]
+pub struct Runs<'a> {
+    imprints: &'a [u64],
+    dict: &'a [DictEntry],
+    tail: Option<(u64, usize)>,
+    entry: usize,
+    within: u32,
+    imp_pos: usize,
+    line: u64,
+    tail_done: bool,
+}
+
+impl Iterator for Runs<'_> {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        while self.entry < self.dict.len() {
+            let e = self.dict[self.entry];
+            if e.repeat() {
+                let run = Run {
+                    imprint: self.imprints[self.imp_pos],
+                    first_line: self.line,
+                    line_count: e.cnt() as u64,
+                };
+                self.line += e.cnt() as u64;
+                self.imp_pos += 1;
+                self.entry += 1;
+                return Some(run);
+            }
+            if self.within < e.cnt() {
+                let run = Run {
+                    imprint: self.imprints[self.imp_pos],
+                    first_line: self.line,
+                    line_count: 1,
+                };
+                self.line += 1;
+                self.imp_pos += 1;
+                self.within += 1;
+                return Some(run);
+            }
+            self.within = 0;
+            self.entry += 1;
+        }
+        if !self.tail_done {
+            self.tail_done = true;
+            if let Some((imp, _)) = self.tail {
+                return Some(Run { imprint: imp, first_line: self.line, line_count: 1 });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colstore::RangePredicate;
+
+    #[test]
+    fn build_and_basic_geometry() {
+        let col: Column<i32> = (0..1000).collect();
+        let idx = ColumnImprints::build(&col);
+        assert_eq!(idx.rows(), 1000);
+        assert_eq!(idx.values_per_block(), 16);
+        // 1000 / 16 = 62 full lines + tail of 8.
+        assert_eq!(idx.line_count(), 63);
+        assert_eq!(idx.tail().unwrap().1, 8);
+        idx.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn runs_cover_all_lines_in_order() {
+        let col: Column<u8> = (0..64 * 37 + 5).map(|i| (i % 13) as u8).collect();
+        let idx = ColumnImprints::build(&col);
+        let mut expected_line = 0u64;
+        for run in idx.runs() {
+            assert_eq!(run.first_line, expected_line);
+            assert!(run.line_count >= 1);
+            expected_line += run.line_count;
+        }
+        assert_eq!(expected_line, idx.line_count());
+    }
+
+    #[test]
+    fn line_imprints_match_recomputation() {
+        let col: Column<i64> = (0..999).map(|i| (i * i) % 541).collect();
+        let idx = ColumnImprints::build(&col);
+        let vpb = idx.values_per_block();
+        let logical: Vec<u64> = idx.line_imprints().collect();
+        assert_eq!(logical.len() as u64, idx.line_count());
+        for (lineno, chunk) in col.values().chunks(vpb).enumerate() {
+            assert_eq!(logical[lineno], builder::line_imprint(idx.binning(), chunk));
+        }
+    }
+
+    #[test]
+    fn empty_column_index() {
+        let col: Column<i32> = Column::new();
+        let idx = ColumnImprints::build(&col);
+        assert_eq!(idx.rows(), 0);
+        assert_eq!(idx.line_count(), 0);
+        assert_eq!(idx.imprint_count(), 0);
+        assert_eq!(idx.compression_ratio(), 1.0);
+        assert!(idx.tail().is_none());
+        idx.verify(&col).unwrap();
+        let ids = idx.evaluate(&col, &RangePredicate::all());
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn single_value_column() {
+        let col: Column<i32> = Column::from(vec![42]);
+        let idx = ColumnImprints::build(&col);
+        assert_eq!(idx.line_count(), 1);
+        assert_eq!(idx.tail().unwrap().1, 1);
+        idx.verify(&col).unwrap();
+        assert_eq!(idx.evaluate(&col, &RangePredicate::equals(42)).as_slice(), &[0]);
+        assert!(idx.evaluate(&col, &RangePredicate::equals(41)).is_empty());
+    }
+
+    #[test]
+    fn constant_column_compresses_to_one_imprint() {
+        let col: Column<u16> = std::iter::repeat_n(7u16, 32 * 100).collect();
+        let idx = ColumnImprints::build(&col);
+        assert_eq!(idx.line_count(), 100);
+        assert_eq!(idx.imprint_count(), 1);
+        assert_eq!(idx.dict_len(), 1);
+        assert!(idx.compression_ratio() < 0.02);
+        idx.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn size_is_small_fraction_of_column() {
+        let col: Column<f64> = (0..100_000).map(|i| (i % 1000) as f64).collect();
+        let idx = ColumnImprints::build(&col);
+        // Paper: storage overhead is "just a few percent"; worst case 12%.
+        let overhead = idx.size_bytes() as f64 / col.data_bytes() as f64;
+        assert!(overhead < 0.15, "overhead {overhead} too large");
+    }
+
+    #[test]
+    fn verify_detects_column_change() {
+        let mut col: Column<i32> = (0..10_000).map(|i| i % 100).collect();
+        let idx = ColumnImprints::build(&col);
+        idx.verify(&col).unwrap();
+        // Tamper with a value so its bin changes.
+        col.values_mut()[5000] = 1_000_000;
+        assert!(idx.verify(&col).is_err());
+    }
+
+    #[test]
+    fn verify_detects_length_change() {
+        let col: Column<i32> = (0..100).collect();
+        let idx = ColumnImprints::build(&col);
+        let longer: Column<i32> = (0..101).collect();
+        assert!(idx.verify(&longer).is_err());
+    }
+
+    #[test]
+    fn figure_1_example() {
+        // The running example of Figure 1: 15 values in 1..=8, cachelines
+        // of 3 values (simulated with block_bytes = 3 * 4 = 12).
+        let col: Column<i32> =
+            Column::from(vec![1, 8, 4, 1, 6, 2, 3, 7, 2, 4, 5, 6, 8, 7, 1]);
+        let opts = BuildOptions { block_bytes: 12, ..Default::default() };
+        let idx = ColumnImprints::build_with(&col, opts);
+        assert_eq!(idx.values_per_block(), 3);
+        assert_eq!(idx.line_count(), 5);
+        // 8 distinct values -> each value v maps to bin v (1..=8).
+        let imprints: Vec<u64> = idx.line_imprints().collect();
+        let expect = |vals: &[i32]| vals.iter().fold(0u64, |m, &v| m | 1 << v);
+        assert_eq!(imprints[0], expect(&[1, 8, 4]));
+        assert_eq!(imprints[1], expect(&[1, 6, 2]));
+        assert_eq!(imprints[2], expect(&[3, 7, 2]));
+        assert_eq!(imprints[3], expect(&[4, 5, 6]));
+        assert_eq!(imprints[4], expect(&[8, 7, 1]));
+        idx.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn block_size_ablation_geometry() {
+        let col: Column<i32> = (0..4096).collect();
+        for block in [64, 128, 256, 512] {
+            let opts = BuildOptions { block_bytes: block, ..Default::default() };
+            let idx = ColumnImprints::build_with(&col, opts);
+            assert_eq!(idx.values_per_block(), block / 4);
+            assert_eq!(idx.line_count() as usize, 4096 / (block / 4));
+            idx.verify(&col).unwrap();
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Multi-core index construction (§7 future work).
+//!
+//! "Column imprints can be extended to exploit multi-core platforms during
+//! the construction phase." The build is embarrassingly parallel except for
+//! the run-length compression, which has sequential state. The scheme here:
+//!
+//! 1. binning once (sampling is cheap and shared);
+//! 2. the full cachelines are split into `threads` contiguous, line-aligned
+//!    chunks; each worker builds a *locally compressed* [`Compressor`];
+//! 3. the local results are stitched in order through
+//!    [`Compressor::push_run`], which is O(runs), not O(lines) — so the
+//!    sequential tail of the build is proportional to the *compressed*
+//!    size.
+//!
+//! The result is bit-identical to the serial build (tested), because
+//! stitching replays the same run sequence through the same state machine.
+
+use colstore::{Column, Scalar};
+use crossbeam::thread;
+
+use crate::binning::Binning;
+use crate::builder::{line_imprint, BuildOptions, Compressor};
+use crate::index::ColumnImprints;
+
+/// Builds the index using up to `threads` worker threads. Falls back to the
+/// serial builder for tiny inputs where threading cannot pay off.
+pub fn build_parallel<T: Scalar>(
+    col: &Column<T>,
+    opts: BuildOptions,
+    threads: usize,
+) -> ColumnImprints<T> {
+    let vpb = opts.values_per_block::<T>();
+    let full_lines = col.len() / vpb;
+    let threads = threads.max(1).min(full_lines.max(1));
+    // Under ~4 lines per worker the fork/join overhead dominates.
+    if threads == 1 || full_lines < threads * 4 {
+        return ColumnImprints::build_with(col, opts);
+    }
+
+    let binning =
+        Binning::from_column_with_strategy(col, opts.sample_size, opts.seed, opts.strategy);
+    let values = col.values();
+    let lines_per_chunk = full_lines.div_ceil(threads);
+
+    // Phase 2: per-chunk local compression.
+    let locals: Vec<Compressor> = thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let first_line = t * lines_per_chunk;
+            if first_line >= full_lines {
+                break;
+            }
+            let last_line = ((t + 1) * lines_per_chunk).min(full_lines);
+            let chunk = &values[first_line * vpb..last_line * vpb];
+            let binning = &binning;
+            handles.push(s.spawn(move |_| {
+                let mut comp = Compressor::new();
+                for line in chunk.chunks_exact(vpb) {
+                    comp.push_line(line_imprint(binning, line));
+                }
+                comp
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("imprint worker panicked")).collect()
+    })
+    .expect("scoped threads");
+
+    // Phase 3: stitch local results in chunk order.
+    let mut comp = Compressor::new();
+    for local in &locals {
+        let (imprints, dict) = (local.imprints(), local.dict());
+        let mut pos = 0usize;
+        for e in dict {
+            if e.repeat() {
+                comp.push_run(imprints[pos], e.cnt() as u64);
+                pos += 1;
+            } else {
+                for _ in 0..e.cnt() {
+                    comp.push_run(imprints[pos], 1);
+                    pos += 1;
+                }
+            }
+        }
+    }
+
+    // The partial tail stays un-finalized, as in the serial build.
+    let tail_values = &values[full_lines * vpb..];
+    let tail_imprint = line_imprint(&binning, tail_values);
+    ColumnImprints::from_raw_parts(binning, comp, tail_imprint, tail_values.len(), col.len(), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colstore::{RangeIndex, RangePredicate};
+
+    fn assert_identical<T: Scalar>(a: &ColumnImprints<T>, b: &ColumnImprints<T>) {
+        assert_eq!(a.parts().0, b.parts().0, "imprint arrays differ");
+        assert_eq!(
+            a.parts().1.iter().map(|e| e.to_raw()).collect::<Vec<_>>(),
+            b.parts().1.iter().map(|e| e.to_raw()).collect::<Vec<_>>(),
+            "dictionaries differ"
+        );
+        assert_eq!(a.tail(), b.tail());
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.bins(), b.bins());
+    }
+
+    #[test]
+    fn parallel_build_identical_to_serial() {
+        let col: Column<i32> = (0..100_003).map(|i| (i * 31) % 5000).collect();
+        let opts = BuildOptions::default();
+        let serial = ColumnImprints::build_with(&col, opts);
+        for threads in [2, 3, 4, 8] {
+            let par = build_parallel(&col, opts, threads);
+            assert_identical(&serial, &par);
+            par.verify(&col).unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_build_on_clustered_data() {
+        // Long runs spanning chunk boundaries: stresses run stitching.
+        let col: Column<u8> = (0..640_000).map(|i| (i / 100_000) as u8).collect();
+        let opts = BuildOptions::default();
+        let serial = ColumnImprints::build_with(&col, opts);
+        let par = build_parallel(&col, opts, 7);
+        assert_identical(&serial, &par);
+        assert!(par.imprint_count() < 40, "runs must stay compressed across chunks");
+    }
+
+    #[test]
+    fn small_input_falls_back_to_serial() {
+        let col: Column<i64> = (0..50).collect();
+        let par = build_parallel(&col, BuildOptions::default(), 8);
+        par.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn parallel_build_empty_column() {
+        let col: Column<i32> = Column::new();
+        let par = build_parallel(&col, BuildOptions::default(), 4);
+        assert_eq!(par.rows(), 0);
+        par.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn parallel_index_answers_queries() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let col: Column<f64> = (0..200_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let idx = build_parallel(&col, BuildOptions::default(), 4);
+        let pred = RangePredicate::between(0.25, 0.5);
+        let ids = idx.evaluate(&col, &pred);
+        let expect: Vec<u64> = col
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| (0.25..=0.5).contains(&v))
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(ids.as_slice(), expect.as_slice());
+    }
+}

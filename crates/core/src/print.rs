@@ -1,0 +1,116 @@
+//! Imprint rendering (Figure 3).
+//!
+//! The paper visualizes imprint indexes by printing each stored imprint
+//! vector as a row of `x` (bit set) and `.` (bit unset), one column per
+//! histogram bin. The renders make clustering visible at a glance: low
+//! entropy shows as slowly-drifting diagonal bands, high entropy as noise.
+
+use std::fmt::Write as _;
+
+use colstore::Scalar;
+
+use crate::entropy::column_entropy;
+use crate::index::ColumnImprints;
+
+/// Renders one imprint vector as a `width`-character `x`/`.` row.
+pub fn render_vector(v: u64, width: usize) -> String {
+    (0..width).map(|i| if v & (1 << i) != 0 { 'x' } else { '.' }).collect()
+}
+
+/// Renders up to `max_rows` *stored* (compressed) imprint vectors — the
+/// exact presentation of Figure 3, which prints "the actual imprint indexes
+/// as constructed". Repeat runs therefore show as a single row.
+pub fn render_stored<T: Scalar>(idx: &ColumnImprints<T>, max_rows: usize) -> String {
+    let width = idx.bins();
+    let mut out = String::new();
+    let (imprints, _) = idx.parts();
+    for &v in imprints.iter().take(max_rows) {
+        let _ = writeln!(out, "{}", render_vector(v, width));
+    }
+    if imprints.len() < max_rows {
+        if let Some((tail, _)) = idx.tail() {
+            let _ = writeln!(out, "{}", render_vector(tail, width));
+        }
+    }
+    out
+}
+
+/// Renders up to `max_rows` *logical* per-cacheline rows (repeat runs
+/// expanded), which shows physical cacheline order.
+pub fn render_lines<T: Scalar>(idx: &ColumnImprints<T>, max_rows: usize) -> String {
+    let width = idx.bins();
+    let mut out = String::new();
+    for v in idx.line_imprints().take(max_rows) {
+        let _ = writeln!(out, "{}", render_vector(v, width));
+    }
+    out
+}
+
+/// The Figure 3 caption line: a render header with the column's entropy.
+pub fn render_with_entropy<T: Scalar>(
+    idx: &ColumnImprints<T>,
+    name: &str,
+    max_rows: usize,
+) -> String {
+    format!("{name}\nE = {:.6}\n{}", column_entropy(idx), render_stored(idx, max_rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colstore::Column;
+
+    #[test]
+    fn vector_rendering() {
+        assert_eq!(render_vector(0, 8), "........");
+        assert_eq!(render_vector(0b1, 8), "x.......");
+        assert_eq!(render_vector(0b10000001, 8), "x......x");
+        assert_eq!(render_vector(u64::MAX, 16), "xxxxxxxxxxxxxxxx");
+    }
+
+    #[test]
+    fn stored_rows_have_bin_width() {
+        let col: Column<i32> = (0..10_000).map(|i| i % 300).collect();
+        let idx = ColumnImprints::build(&col);
+        let s = render_stored(&idx, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(!lines.is_empty());
+        assert!(lines.len() <= 21);
+        assert!(lines.iter().all(|l| l.len() == idx.bins()));
+        assert!(lines.iter().all(|l| l.chars().all(|c| c == 'x' || c == '.')));
+    }
+
+    #[test]
+    fn every_stored_row_has_a_set_bit() {
+        let col: Column<i16> = (0..20_000).map(|i| (i % 97) as i16).collect();
+        let idx = ColumnImprints::build(&col);
+        let s = render_stored(&idx, usize::MAX);
+        for l in s.lines() {
+            assert!(l.contains('x'), "an imprint vector can never be empty");
+        }
+    }
+
+    #[test]
+    fn logical_render_expands_repeats() {
+        let col: Column<u8> = std::iter::repeat_n(3u8, 64 * 10).collect();
+        let idx = ColumnImprints::build(&col);
+        assert_eq!(render_stored(&idx, 100).lines().count(), 1);
+        assert_eq!(render_lines(&idx, 100).lines().count(), 10);
+    }
+
+    #[test]
+    fn header_includes_entropy() {
+        let col: Column<i32> = (0..5000).collect();
+        let idx = ColumnImprints::build(&col);
+        let s = render_with_entropy(&idx, "sorted.col", 5);
+        assert!(s.starts_with("sorted.col\nE = 0."));
+    }
+
+    #[test]
+    fn empty_index_renders_empty() {
+        let col: Column<i32> = Column::new();
+        let idx = ColumnImprints::build(&col);
+        assert_eq!(render_stored(&idx, 10), "");
+        assert_eq!(render_lines(&idx, 10), "");
+    }
+}

@@ -1,0 +1,531 @@
+//! Range-query evaluation over the imprints index (Algorithm 3).
+//!
+//! The evaluator walks the cacheline dictionary. For a *distinct* run it
+//! probes `cnt` imprint vectors, one cacheline each; for a *repeat* run one
+//! probe decides the fate of all `cnt` cachelines at once. Each probed
+//! vector falls into one of three cases:
+//!
+//! 1. `imprint & mask == 0` — no value can match, the cacheline(s) are
+//!    skipped without being read;
+//! 2. `imprint & !innermask == 0` — every set bit is an inner bin, so every
+//!    value matches: ids are emitted without reading the data;
+//! 3. otherwise the cacheline is fetched and each value is compared against
+//!    the predicate to weed out false positives.
+//!
+//! Besides materialized evaluation the module offers the
+//! late-materialization path of §3: [`candidates`] returns the qualifying
+//! cachelines as a [`CachelineSet`] (to be merge-joined across attributes)
+//! and [`refine`] applies the false-positive check afterwards.
+
+use colstore::{AccessStats, CachelineSet, Column, IdList, RangePredicate, Scalar};
+
+use crate::index::ColumnImprints;
+use crate::masks;
+
+/// Evaluation statistics: the generic [`AccessStats`] plus imprint-specific
+/// breakdowns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImprintStats {
+    /// The implementation-independent counters (Fig. 11).
+    pub access: AccessStats,
+    /// Cachelines emitted wholesale through the `innermask` fast path — no
+    /// value of these lines was ever compared.
+    pub lines_full: u64,
+    /// Cachelines fetched and checked value-by-value.
+    pub lines_checked: u64,
+}
+
+#[inline]
+fn emit_ids(res: &mut Vec<u64>, range: std::ops::Range<u64>) {
+    res.extend(range);
+}
+
+#[inline]
+fn check_values<T: Scalar>(
+    res: &mut Vec<u64>,
+    values: &[T],
+    pred: &RangePredicate<T>,
+    range: std::ops::Range<u64>,
+    comparisons: &mut u64,
+) {
+    *comparisons += range.end - range.start;
+    for id in range {
+        // Bounds are guaranteed by the index geometry; indexing keeps the
+        // check observable in debug builds.
+        if pred.matches(&values[id as usize]) {
+            res.push(id);
+        }
+    }
+}
+
+/// Evaluates `pred` over `col` through the index: Algorithm 3, returning
+/// the materialized ordered id list plus statistics.
+///
+/// # Panics
+/// Panics if `col` is not the column the index was built on (length
+/// mismatch).
+pub fn evaluate<T: Scalar>(
+    idx: &ColumnImprints<T>,
+    col: &Column<T>,
+    pred: &RangePredicate<T>,
+) -> (IdList, ImprintStats) {
+    let masks = masks::make_masks(idx.binning(), pred);
+    evaluate_with_masks(idx, col, pred, masks)
+}
+
+/// [`evaluate`] with the `innermask` fast path disabled: every matching
+/// cacheline takes the value-check route. Exists for the ablation
+/// benchmark quantifying what the fast path buys (design choice 4 of
+/// DESIGN.md §7). Results are identical, only costs differ.
+pub fn evaluate_no_innermask<T: Scalar>(
+    idx: &ColumnImprints<T>,
+    col: &Column<T>,
+    pred: &RangePredicate<T>,
+) -> (IdList, ImprintStats) {
+    let mut masks = masks::make_masks(idx.binning(), pred);
+    masks.innermask = 0;
+    evaluate_with_masks(idx, col, pred, masks)
+}
+
+fn evaluate_with_masks<T: Scalar>(
+    idx: &ColumnImprints<T>,
+    col: &Column<T>,
+    pred: &RangePredicate<T>,
+    masks: crate::masks::QueryMasks,
+) -> (IdList, ImprintStats) {
+    assert_eq!(col.len(), idx.rows(), "index does not cover this column");
+    let mut stats = ImprintStats::default();
+    let mut res: Vec<u64> = Vec::new();
+    if masks.mask == 0 {
+        stats.access.lines_skipped = idx.line_count();
+        return (IdList::from_sorted(res), stats);
+    }
+    let values = col.values();
+    let vpb = idx.values_per_block() as u64;
+    let rows = idx.rows() as u64;
+    let (imprints, dict) = idx.parts();
+    let not_inner = !masks.innermask;
+
+    let mut i_cnt = 0usize; // position in the imprint array
+    let mut line = 0u64; // current cacheline number
+    for e in dict {
+        let cnt = e.cnt() as u64;
+        if !e.repeat() {
+            // cnt distinct imprints, one cacheline each.
+            for j in 0..cnt {
+                let imp = imprints[i_cnt + j as usize];
+                stats.access.index_probes += 1;
+                if imp & masks.mask != 0 {
+                    let ids = line * vpb..((line + 1) * vpb).min(rows);
+                    if imp & not_inner == 0 {
+                        stats.lines_full += 1;
+                        emit_ids(&mut res, ids);
+                    } else {
+                        stats.lines_checked += 1;
+                        stats.access.lines_fetched += 1;
+                        check_values(&mut res, values, pred, ids, &mut stats.access.value_comparisons);
+                    }
+                } else {
+                    stats.access.lines_skipped += 1;
+                }
+                line += 1;
+            }
+            i_cnt += cnt as usize;
+        } else {
+            // One imprint vector describing cnt consecutive cachelines.
+            let imp = imprints[i_cnt];
+            stats.access.index_probes += 1;
+            if imp & masks.mask != 0 {
+                let ids = line * vpb..((line + cnt) * vpb).min(rows);
+                if imp & not_inner == 0 {
+                    stats.lines_full += cnt;
+                    emit_ids(&mut res, ids);
+                } else {
+                    stats.lines_checked += cnt;
+                    stats.access.lines_fetched += cnt;
+                    check_values(&mut res, values, pred, ids, &mut stats.access.value_comparisons);
+                }
+            } else {
+                stats.access.lines_skipped += cnt;
+            }
+            i_cnt += 1;
+            line += cnt;
+        }
+    }
+    // The un-finalized partial tail line, if any.
+    if let Some((tail_imp, _)) = idx.tail() {
+        stats.access.index_probes += 1;
+        if tail_imp & masks.mask != 0 {
+            let ids = line * vpb..rows;
+            if tail_imp & not_inner == 0 {
+                stats.lines_full += 1;
+                emit_ids(&mut res, ids);
+            } else {
+                stats.lines_checked += 1;
+                stats.access.lines_fetched += 1;
+                check_values(&mut res, values, pred, ids, &mut stats.access.value_comparisons);
+            }
+        } else {
+            stats.access.lines_skipped += 1;
+        }
+    }
+    (IdList::from_sorted(res), stats)
+}
+
+/// Counts qualifying rows without materializing ids. Same traversal as
+/// [`evaluate`]; fully-covered lines contribute their cardinality directly.
+pub fn count<T: Scalar>(
+    idx: &ColumnImprints<T>,
+    col: &Column<T>,
+    pred: &RangePredicate<T>,
+) -> (u64, ImprintStats) {
+    assert_eq!(col.len(), idx.rows(), "index does not cover this column");
+    let mut stats = ImprintStats::default();
+    let masks = masks::make_masks(idx.binning(), pred);
+    if masks.mask == 0 {
+        stats.access.lines_skipped = idx.line_count();
+        return (0, stats);
+    }
+    let values = col.values();
+    let vpb = idx.values_per_block() as u64;
+    let rows = idx.rows() as u64;
+    let not_inner = !masks.innermask;
+    let mut total = 0u64;
+    for run in idx.runs() {
+        stats.access.index_probes += 1;
+        if run.imprint & masks.mask == 0 {
+            stats.access.lines_skipped += run.line_count;
+            continue;
+        }
+        let start = run.first_line * vpb;
+        let end = ((run.first_line + run.line_count) * vpb).min(rows);
+        if run.imprint & not_inner == 0 {
+            stats.lines_full += run.line_count;
+            total += end - start;
+        } else {
+            stats.lines_checked += run.line_count;
+            stats.access.lines_fetched += run.line_count;
+            stats.access.value_comparisons += end - start;
+            total += values[start as usize..end as usize]
+                .iter()
+                .filter(|v| pred.matches(v))
+                .count() as u64;
+        }
+    }
+    (total, stats)
+}
+
+/// Late materialization, step 1 (§3): the cachelines that *may* contain
+/// matches, as a coalesced [`CachelineSet`] in cacheline space.
+pub fn candidates<T: Scalar>(
+    idx: &ColumnImprints<T>,
+    pred: &RangePredicate<T>,
+) -> (CachelineSet, ImprintStats) {
+    let mut stats = ImprintStats::default();
+    let masks = masks::make_masks(idx.binning(), pred);
+    let mut set = CachelineSet::new();
+    if masks.mask == 0 {
+        stats.access.lines_skipped = idx.line_count();
+        return (set, stats);
+    }
+    for run in idx.runs() {
+        stats.access.index_probes += 1;
+        if run.imprint & masks.mask != 0 {
+            set.push_run(run.first_line, run.first_line + run.line_count);
+        } else {
+            stats.access.lines_skipped += run.line_count;
+        }
+    }
+    (set, stats)
+}
+
+/// Like [`candidates`], but expressed as *row-id* ranges, so candidate sets
+/// of columns with different value widths (hence different cacheline
+/// geometry) can be merge-joined with [`CachelineSet::intersect`].
+pub fn candidate_id_ranges<T: Scalar>(
+    idx: &ColumnImprints<T>,
+    pred: &RangePredicate<T>,
+) -> (CachelineSet, ImprintStats) {
+    let (lines, stats) = candidates(idx, pred);
+    let vpb = idx.values_per_block() as u64;
+    let rows = idx.rows() as u64;
+    let mut ids = CachelineSet::new();
+    for r in lines.runs() {
+        let start = r.start * vpb;
+        let end = (r.end * vpb).min(rows);
+        if start < end {
+            ids.push_run(start, end);
+        }
+    }
+    (ids, stats)
+}
+
+/// Late materialization, step 2: weeds out false positives from an
+/// *id-space* candidate set (as produced by [`candidate_id_ranges`],
+/// possibly intersected across attributes) and materializes the final ids.
+pub fn refine<T: Scalar>(
+    col: &Column<T>,
+    pred: &RangePredicate<T>,
+    id_candidates: &CachelineSet,
+    stats: &mut ImprintStats,
+) -> IdList {
+    let values = col.values();
+    let mut res = Vec::new();
+    for r in id_candidates.runs() {
+        check_values(&mut res, values, pred, r, &mut stats.access.value_comparisons);
+    }
+    IdList::from_sorted(res)
+}
+
+/// Full multi-attribute conjunction over two columns of possibly different
+/// types: per-column candidate generation, id-space merge-join, then one
+/// refinement pass per column — the query plan sketched at the end of §3.
+pub fn conjunction2<A: Scalar, B: Scalar>(
+    (idx_a, col_a, pred_a): (&ColumnImprints<A>, &Column<A>, &RangePredicate<A>),
+    (idx_b, col_b, pred_b): (&ColumnImprints<B>, &Column<B>, &RangePredicate<B>),
+) -> (IdList, ImprintStats) {
+    assert_eq!(col_a.len(), col_b.len(), "conjunction requires one relation");
+    let mut stats = ImprintStats::default();
+    let (ca, sa) = candidate_id_ranges(idx_a, pred_a);
+    let (cb, sb) = candidate_id_ranges(idx_b, pred_b);
+    stats.access.merge(&sa.access);
+    stats.access.merge(&sb.access);
+    let joint = ca.intersect(&cb);
+    let a_ids = refine(col_a, pred_a, &joint, &mut stats);
+    // Refine B only on ids that survived A (the increasing-selectivity
+    // expectation of §3).
+    let values_b = col_b.values();
+    let mut out = Vec::with_capacity(a_ids.len());
+    for id in a_ids.iter() {
+        stats.access.value_comparisons += 1;
+        if pred_b.matches(&values_b[id as usize]) {
+            out.push(id);
+        }
+    }
+    (IdList::from_sorted(out), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BuildOptions;
+
+    /// Oracle: brute-force scan.
+    fn oracle<T: Scalar>(col: &Column<T>, pred: &RangePredicate<T>) -> Vec<u64> {
+        col.values()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| pred.matches(v))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    fn check<T: Scalar>(col: &Column<T>, idx: &ColumnImprints<T>, pred: &RangePredicate<T>) {
+        let (ids, _) = evaluate(idx, col, pred);
+        assert_eq!(ids.as_slice(), oracle(col, pred), "predicate {pred}");
+        let (n, _) = count(idx, col, pred);
+        assert_eq!(n as usize, ids.len());
+    }
+
+    #[test]
+    fn clustered_int_column_all_selectivities() {
+        let col: Column<i32> = (0..20_000).map(|i| i / 20).collect();
+        let idx = ColumnImprints::build(&col);
+        for (lo, hi) in [(0, 0), (0, 100), (100, 900), (500, 501), (999, 2000), (-10, -1)] {
+            check(&col, &idx, &RangePredicate::between(lo, hi));
+            check(&col, &idx, &RangePredicate::half_open(lo, hi));
+        }
+        check(&col, &idx, &RangePredicate::all());
+        check(&col, &idx, &RangePredicate::less_than(250));
+        check(&col, &idx, &RangePredicate::at_least(750));
+    }
+
+    #[test]
+    fn random_column_matches_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let col: Column<i64> = (0..30_000).map(|_| rng.gen_range(-1000..1000)).collect();
+        let idx = ColumnImprints::build(&col);
+        idx.verify(&col).unwrap();
+        for _ in 0..30 {
+            let a = rng.gen_range(-1100..1100);
+            let b = rng.gen_range(-1100..1100);
+            check(&col, &idx, &RangePredicate::between(a.min(b), a.max(b)));
+        }
+    }
+
+    #[test]
+    fn float_column_with_nan() {
+        let mut vals: Vec<f64> = (0..5000).map(|i| (i as f64) / 10.0).collect();
+        vals[1234] = f64::NAN;
+        vals[77] = f64::NEG_INFINITY;
+        let col: Column<f64> = Column::from(vals);
+        let idx = ColumnImprints::build(&col);
+        idx.verify(&col).unwrap();
+        for pred in [
+            RangePredicate::between(10.0, 20.0),
+            RangePredicate::less_than(1.0),
+            RangePredicate::at_least(400.0),
+            RangePredicate::all(),
+        ] {
+            check(&col, &idx, &pred);
+        }
+    }
+
+    #[test]
+    fn innermask_fast_path_emits_without_comparisons() {
+        // A sorted column: mid-range queries fully cover interior lines.
+        let col: Column<i32> = (0..64_000).collect();
+        let idx = ColumnImprints::build(&col);
+        let pred = RangePredicate::between(10_000, 50_000);
+        let (ids, stats) = evaluate(&idx, &col, &pred);
+        assert_eq!(ids.as_slice(), oracle(&col, &pred));
+        assert!(stats.lines_full > 0, "expected innermask fast path to fire");
+        // Only border lines need value checks: comparisons ≪ result size.
+        assert!(
+            stats.access.value_comparisons < ids.len() as u64 / 10,
+            "comparisons {} too high for {} results",
+            stats.access.value_comparisons,
+            ids.len()
+        );
+    }
+
+    #[test]
+    fn skipping_works_on_clustered_data() {
+        let col: Column<i32> = (0..64_000).map(|i| i / 1000).collect();
+        let idx = ColumnImprints::build(&col);
+        let (_, stats) = evaluate(&idx, &col, &RangePredicate::between(10, 11));
+        assert!(
+            stats.access.lines_skipped > idx.line_count() * 8 / 10,
+            "most lines should be skipped, skipped {} of {}",
+            stats.access.lines_skipped,
+            idx.line_count()
+        );
+    }
+
+    #[test]
+    fn empty_predicate_skips_everything() {
+        let col: Column<i32> = (0..1000).collect();
+        let idx = ColumnImprints::build(&col);
+        let (ids, stats) = evaluate(&idx, &col, &RangePredicate::between(10, 5));
+        assert!(ids.is_empty());
+        assert_eq!(stats.access.index_probes, 0);
+        assert_eq!(stats.access.lines_skipped, idx.line_count());
+    }
+
+    #[test]
+    fn partial_tail_line_included() {
+        // 1003 values: 62 full lines + 11-value tail; query the tail.
+        let col: Column<i32> = (0..1003).collect();
+        let idx = ColumnImprints::build(&col);
+        let pred = RangePredicate::at_least(1000);
+        let (ids, _) = evaluate(&idx, &col, &pred);
+        assert_eq!(ids.as_slice(), &[1000, 1001, 1002]);
+    }
+
+    #[test]
+    fn repeat_runs_probed_once() {
+        // Constant column: one repeat run; matching query probes once.
+        let col: Column<u8> = std::iter::repeat_n(5u8, 6400).collect();
+        let idx = ColumnImprints::build(&col);
+        assert_eq!(idx.dict_len(), 1);
+        let (ids, stats) = evaluate(&idx, &col, &RangePredicate::equals(5));
+        assert_eq!(ids.len(), 6400);
+        assert_eq!(stats.access.index_probes, 1);
+        // A value below every border maps to bin 0, which the constant
+        // column's imprint never sets: all 100 lines skip on one probe.
+        let (ids, stats) = evaluate(&idx, &col, &RangePredicate::equals(3));
+        assert!(ids.is_empty());
+        assert_eq!(stats.access.index_probes, 1);
+        assert_eq!(stats.access.lines_skipped, 100);
+    }
+
+    #[test]
+    fn candidates_cover_all_matches() {
+        let col: Column<i32> = (0..10_000).map(|i| (i * 17) % 500).collect();
+        let idx = ColumnImprints::build(&col);
+        let pred = RangePredicate::between(100, 120);
+        let (cands, _) = candidates(&idx, &pred);
+        let vpb = idx.values_per_block() as u64;
+        for id in oracle(&col, &pred) {
+            assert!(cands.contains(id / vpb), "matching id {id} not in candidate lines");
+        }
+    }
+
+    #[test]
+    fn refine_after_candidates_equals_evaluate() {
+        let col: Column<i32> = (0..10_000).map(|i| (i * 13) % 700).collect();
+        let idx = ColumnImprints::build(&col);
+        let pred = RangePredicate::between(50, 200);
+        let (idr, mut stats) = candidate_id_ranges(&idx, &pred);
+        let refined = refine(&col, &pred, &idr, &mut stats);
+        let (direct, _) = evaluate(&idx, &col, &pred);
+        assert_eq!(refined, direct);
+    }
+
+    #[test]
+    fn conjunction_two_attributes() {
+        // Same relation, different widths: i32 and f64.
+        let n = 8000usize;
+        let a: Column<i32> = (0..n as i32).map(|i| i % 100).collect();
+        let b: Column<f64> = (0..n).map(|i| (i % 37) as f64).collect();
+        let ia = ColumnImprints::build(&a);
+        let ib = ColumnImprints::build(&b);
+        let pa = RangePredicate::between(10, 20);
+        let pb = RangePredicate::between(5.0, 9.0);
+        let (ids, _) = conjunction2((&ia, &a, &pa), (&ib, &b, &pb));
+        let expect: Vec<u64> = (0..n as u64)
+            .filter(|&i| {
+                let va = a.get(i as usize).unwrap();
+                let vb = b.get(i as usize).unwrap();
+                (10..=20).contains(&va) && (5.0..=9.0).contains(&vb)
+            })
+            .collect();
+        assert_eq!(ids.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn non_default_block_size_correctness() {
+        let col: Column<i32> = (0..9999).map(|i| (i * 31) % 444).collect();
+        for block in [64usize, 128, 256, 512] {
+            let idx = ColumnImprints::build_with(
+                &col,
+                BuildOptions { block_bytes: block, ..Default::default() },
+            );
+            let pred = RangePredicate::between(100, 200);
+            let (ids, _) = evaluate(&idx, &col, &pred);
+            assert_eq!(ids.as_slice(), oracle(&col, &pred), "block={block}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn wrong_column_length_panics() {
+        let col: Column<i32> = (0..100).collect();
+        let idx = ColumnImprints::build(&col);
+        let other: Column<i32> = (0..50).collect();
+        let _ = evaluate(&idx, &other, &RangePredicate::all());
+    }
+
+    #[test]
+    fn no_innermask_same_results_more_comparisons() {
+        let col: Column<i32> = (0..64_000).collect();
+        let idx = ColumnImprints::build(&col);
+        let pred = RangePredicate::between(10_000, 50_000);
+        let (fast, s_fast) = evaluate(&idx, &col, &pred);
+        let (slow, s_slow) = evaluate_no_innermask(&idx, &col, &pred);
+        assert_eq!(fast, slow, "ablation must not change answers");
+        assert!(s_slow.access.value_comparisons > s_fast.access.value_comparisons * 10);
+        assert_eq!(s_slow.lines_full, 0);
+    }
+
+    #[test]
+    fn probes_accounting_matches_structure() {
+        let col: Column<i32> = (0..16_000).map(|i| i % 4).collect();
+        let idx = ColumnImprints::build(&col);
+        let (_, stats) = evaluate(&idx, &col, &RangePredicate::all());
+        // One probe per stored imprint (plus tail if present).
+        assert_eq!(stats.access.index_probes as usize, idx.imprint_count());
+    }
+}

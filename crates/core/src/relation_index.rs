@@ -1,0 +1,368 @@
+//! Relation-level imprint management.
+//!
+//! The paper's §3 closes with the multi-attribute plan: "the query()
+//! procedure … is invoked multiple times, one for each attribute, with
+//! possible different [low, high] values", the candidate cacheline lists
+//! are merge-joined, and only then are false positives weeded. This module
+//! packages that plan behind a relation-level API: one imprint index per
+//! column of a [`Relation`], queried with dynamically-typed bounds.
+//!
+//! ```
+//! use colstore::{Column, Relation, Value};
+//! use imprints::relation_index::{RelationImprints, ValueRange};
+//!
+//! let mut rel = Relation::new("weather");
+//! rel.add_column("temp", Column::from(vec![15.0f64, 21.5, 19.0, 23.0])).unwrap();
+//! rel.add_column("station", Column::from(vec![1u16, 2, 1, 2])).unwrap();
+//!
+//! let idx = RelationImprints::build(&rel);
+//! let ids = idx
+//!     .query(&rel, &[
+//!         ("temp", ValueRange::between(Value::F64(18.0), Value::F64(22.0))),
+//!         ("station", ValueRange::equals(Value::U16(1))),
+//!     ])
+//!     .unwrap();
+//! assert_eq!(ids.as_slice(), &[2]);
+//! ```
+
+use colstore::relation::AnyColumn;
+use colstore::{CachelineSet, Error, IdList, RangePredicate, Relation, Result, Scalar, Value};
+
+use crate::index::ColumnImprints;
+use crate::query;
+
+/// A dynamically-typed closed range: `low ≤ v ≤ high`, either side
+/// optional. The variants must match the target column's scalar type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueRange {
+    /// Inclusive lower bound, if any.
+    pub low: Option<Value>,
+    /// Inclusive upper bound, if any.
+    pub high: Option<Value>,
+}
+
+impl ValueRange {
+    /// `low ≤ v ≤ high`.
+    pub fn between(low: Value, high: Value) -> Self {
+        ValueRange { low: Some(low), high: Some(high) }
+    }
+
+    /// `v = value`.
+    pub fn equals(value: Value) -> Self {
+        ValueRange { low: Some(value), high: Some(value) }
+    }
+
+    /// `v ≥ low`.
+    pub fn at_least(low: Value) -> Self {
+        ValueRange { low: Some(low), high: None }
+    }
+
+    /// `v ≤ high`.
+    pub fn at_most(high: Value) -> Self {
+        ValueRange { low: None, high: Some(high) }
+    }
+
+    /// Converts to the typed predicate of column type `T`.
+    fn typed<T: Scalar>(&self) -> Result<RangePredicate<T>> {
+        let conv = |v: &Value| {
+            T::from_value(v).ok_or_else(|| {
+                Error::Mismatch(format!(
+                    "predicate bound {v} has type {}, column holds {}",
+                    v.column_type(),
+                    T::TYPE
+                ))
+            })
+        };
+        let low = match &self.low {
+            Some(v) => colstore::Bound::Inclusive(conv(v)?),
+            None => colstore::Bound::Unbounded,
+        };
+        let high = match &self.high {
+            Some(v) => colstore::Bound::Inclusive(conv(v)?),
+            None => colstore::Bound::Unbounded,
+        };
+        Ok(RangePredicate::with_bounds(low, high))
+    }
+}
+
+/// A column imprints index of whichever scalar type its column holds.
+#[derive(Debug, Clone)]
+pub enum AnyImprints {
+    /// Index over an `i8` column.
+    I8(ColumnImprints<i8>),
+    /// Index over a `u8` column.
+    U8(ColumnImprints<u8>),
+    /// Index over an `i16` column.
+    I16(ColumnImprints<i16>),
+    /// Index over a `u16` column.
+    U16(ColumnImprints<u16>),
+    /// Index over an `i32` column.
+    I32(ColumnImprints<i32>),
+    /// Index over a `u32` column.
+    U32(ColumnImprints<u32>),
+    /// Index over an `i64` column.
+    I64(ColumnImprints<i64>),
+    /// Index over a `u64` column.
+    U64(ColumnImprints<u64>),
+    /// Index over an `f32` column.
+    F32(ColumnImprints<f32>),
+    /// Index over an `f64` column.
+    F64(ColumnImprints<f64>),
+}
+
+macro_rules! any_dispatch {
+    ($idx:expr, $col:expr, $i:ident, $c:ident => $body:expr) => {
+        match ($idx, $col) {
+            (AnyImprints::I8($i), AnyColumn::I8($c)) => $body,
+            (AnyImprints::U8($i), AnyColumn::U8($c)) => $body,
+            (AnyImprints::I16($i), AnyColumn::I16($c)) => $body,
+            (AnyImprints::U16($i), AnyColumn::U16($c)) => $body,
+            (AnyImprints::I32($i), AnyColumn::I32($c)) => $body,
+            (AnyImprints::U32($i), AnyColumn::U32($c)) => $body,
+            (AnyImprints::I64($i), AnyColumn::I64($c)) => $body,
+            (AnyImprints::U64($i), AnyColumn::U64($c)) => $body,
+            (AnyImprints::F32($i), AnyColumn::F32($c)) => $body,
+            (AnyImprints::F64($i), AnyColumn::F64($c)) => $body,
+            _ => {
+                return Err(Error::Mismatch(
+                    "index and column scalar types diverged".into(),
+                ))
+            }
+        }
+    };
+}
+
+impl AnyImprints {
+    /// Builds the appropriately-typed index for `col`.
+    pub fn build(col: &AnyColumn) -> Self {
+        match col {
+            AnyColumn::I8(c) => AnyImprints::I8(ColumnImprints::build(c)),
+            AnyColumn::U8(c) => AnyImprints::U8(ColumnImprints::build(c)),
+            AnyColumn::I16(c) => AnyImprints::I16(ColumnImprints::build(c)),
+            AnyColumn::U16(c) => AnyImprints::U16(ColumnImprints::build(c)),
+            AnyColumn::I32(c) => AnyImprints::I32(ColumnImprints::build(c)),
+            AnyColumn::U32(c) => AnyImprints::U32(ColumnImprints::build(c)),
+            AnyColumn::I64(c) => AnyImprints::I64(ColumnImprints::build(c)),
+            AnyColumn::U64(c) => AnyImprints::U64(ColumnImprints::build(c)),
+            AnyColumn::F32(c) => AnyImprints::F32(ColumnImprints::build(c)),
+            AnyColumn::F64(c) => AnyImprints::F64(ColumnImprints::build(c)),
+        }
+    }
+
+    /// Index size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            AnyImprints::I8(i) => i.size_bytes(),
+            AnyImprints::U8(i) => i.size_bytes(),
+            AnyImprints::I16(i) => i.size_bytes(),
+            AnyImprints::U16(i) => i.size_bytes(),
+            AnyImprints::I32(i) => i.size_bytes(),
+            AnyImprints::U32(i) => i.size_bytes(),
+            AnyImprints::I64(i) => i.size_bytes(),
+            AnyImprints::U64(i) => i.size_bytes(),
+            AnyImprints::F32(i) => i.size_bytes(),
+            AnyImprints::F64(i) => i.size_bytes(),
+        }
+    }
+
+    /// Candidate rows (id-space cacheline ranges) for a dynamic range.
+    fn candidates(&self, col: &AnyColumn, range: &ValueRange) -> Result<CachelineSet> {
+        any_dispatch!(self, col, i, _c => {
+            let pred = range.typed()?;
+            Ok(query::candidate_id_ranges(i, &pred).0)
+        })
+    }
+
+    /// A boxed per-row matcher for the dynamic range over `col`.
+    fn matcher<'a>(
+        &self,
+        col: &'a AnyColumn,
+        range: &ValueRange,
+    ) -> Result<Box<dyn Fn(u64) -> bool + 'a>> {
+        any_dispatch!(self, col, _i, c => {
+            let pred = range.typed()?;
+            let values = c.values();
+            Ok(Box::new(move |id: u64| pred.matches(&values[id as usize])))
+        })
+    }
+}
+
+/// One imprint index per column of a relation, with the §3 conjunctive
+/// query plan.
+#[derive(Debug, Clone)]
+pub struct RelationImprints {
+    indexes: Vec<AnyImprints>,
+}
+
+impl RelationImprints {
+    /// Builds an index for every column of `rel`.
+    pub fn build(rel: &Relation) -> Self {
+        RelationImprints { indexes: rel.columns().iter().map(AnyImprints::build).collect() }
+    }
+
+    /// Total index bytes across all columns.
+    pub fn size_bytes(&self) -> usize {
+        self.indexes.iter().map(AnyImprints::size_bytes).sum()
+    }
+
+    /// The index of the column called `name`.
+    pub fn index(&self, rel: &Relation, name: &str) -> Result<&AnyImprints> {
+        let pos = rel
+            .schema()
+            .position(name)
+            .ok_or_else(|| Error::NotFound(format!("column {name:?}")))?;
+        Ok(&self.indexes[pos])
+    }
+
+    /// Evaluates a conjunction of dynamic range predicates: per-column
+    /// candidate generation, id-space merge-join, then one pass weeding
+    /// false positives against *all* predicates (late materialization).
+    ///
+    /// An empty predicate list selects every row.
+    pub fn query(&self, rel: &Relation, preds: &[(&str, ValueRange)]) -> Result<IdList> {
+        if preds.is_empty() {
+            return Ok(IdList::from_sorted((0..rel.row_count() as u64).collect()));
+        }
+        // Phase 1: candidates per predicate, merge-joined in id space.
+        let mut joint: Option<CachelineSet> = None;
+        let mut matchers: Vec<Box<dyn Fn(u64) -> bool + '_>> = Vec::with_capacity(preds.len());
+        for (name, range) in preds {
+            let pos = rel
+                .schema()
+                .position(name)
+                .ok_or_else(|| Error::NotFound(format!("column {name:?}")))?;
+            let idx = &self.indexes[pos];
+            let col = &rel.columns()[pos];
+            let cands = idx.candidates(col, range)?;
+            joint = Some(match joint {
+                Some(j) => j.intersect(&cands),
+                None => cands,
+            });
+            matchers.push(idx.matcher(col, range)?);
+        }
+        // Phase 2: false-positive weeding over the surviving ids.
+        let mut out = Vec::new();
+        for run in joint.expect("at least one predicate").runs() {
+            'ids: for id in run {
+                for m in &matchers {
+                    if !m(id) {
+                        continue 'ids;
+                    }
+                }
+                out.push(id);
+            }
+        }
+        Ok(IdList::from_sorted(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colstore::Column;
+
+    fn weather(n: usize) -> Relation {
+        let mut rel = Relation::new("weather");
+        let temp: Vec<f64> = (0..n).map(|i| 10.0 + ((i * 37) % 200) as f64 / 10.0).collect();
+        let station: Vec<u16> = (0..n).map(|i| (i % 23) as u16).collect();
+        let ts: Vec<i64> = (0..n as i64).collect();
+        rel.add_column("temp", Column::from(temp)).unwrap();
+        rel.add_column("station", Column::from(station)).unwrap();
+        rel.add_column("ts", Column::from(ts)).unwrap();
+        rel
+    }
+
+    fn oracle(rel: &Relation, f: impl Fn(u64) -> bool) -> Vec<u64> {
+        (0..rel.row_count() as u64).filter(|&i| f(i)).collect()
+    }
+
+    #[test]
+    fn single_predicate_matches_oracle() {
+        let rel = weather(20_000);
+        let idx = RelationImprints::build(&rel);
+        let ids = idx
+            .query(&rel, &[("temp", ValueRange::between(Value::F64(15.0), Value::F64(20.0)))])
+            .unwrap();
+        let temp: &Column<f64> = rel.typed_column("temp").unwrap();
+        let expect = oracle(&rel, |i| {
+            let v = temp.values()[i as usize];
+            (15.0..=20.0).contains(&v)
+        });
+        assert_eq!(ids.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn three_way_conjunction_matches_oracle() {
+        let rel = weather(20_000);
+        let idx = RelationImprints::build(&rel);
+        let ids = idx
+            .query(
+                &rel,
+                &[
+                    ("temp", ValueRange::between(Value::F64(12.0), Value::F64(25.0))),
+                    ("station", ValueRange::equals(Value::U16(7))),
+                    ("ts", ValueRange::at_least(Value::I64(5_000))),
+                ],
+            )
+            .unwrap();
+        let temp: &Column<f64> = rel.typed_column("temp").unwrap();
+        let station: &Column<u16> = rel.typed_column("station").unwrap();
+        let expect = oracle(&rel, |i| {
+            let t = temp.values()[i as usize];
+            (12.0..=25.0).contains(&t) && station.values()[i as usize] == 7 && i >= 5_000
+        });
+        assert_eq!(ids.as_slice(), expect.as_slice());
+        assert!(!ids.is_empty());
+    }
+
+    #[test]
+    fn empty_predicates_select_all() {
+        let rel = weather(100);
+        let idx = RelationImprints::build(&rel);
+        assert_eq!(idx.query(&rel, &[]).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let rel = weather(100);
+        let idx = RelationImprints::build(&rel);
+        let err = idx.query(&rel, &[("nope", ValueRange::at_most(Value::I64(1)))]).unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+    }
+
+    #[test]
+    fn type_mismatched_bound_rejected() {
+        let rel = weather(100);
+        let idx = RelationImprints::build(&rel);
+        let err = idx
+            .query(&rel, &[("temp", ValueRange::equals(Value::I32(5)))])
+            .unwrap_err();
+        assert!(matches!(err, Error::Mismatch(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn index_lookup_and_size() {
+        let rel = weather(10_000);
+        let idx = RelationImprints::build(&rel);
+        assert!(idx.index(&rel, "temp").is_ok());
+        assert!(idx.index(&rel, "zz").is_err());
+        assert!(idx.size_bytes() > 0);
+        assert!(idx.size_bytes() < rel.data_bytes());
+    }
+
+    #[test]
+    fn disjoint_conjunction_is_empty() {
+        let rel = weather(5_000);
+        let idx = RelationImprints::build(&rel);
+        let ids = idx
+            .query(
+                &rel,
+                &[
+                    ("ts", ValueRange::at_most(Value::I64(10))),
+                    ("ts", ValueRange::at_least(Value::I64(4_000))),
+                ],
+            )
+            .unwrap();
+        assert!(ids.is_empty());
+    }
+}

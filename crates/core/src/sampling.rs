@@ -1,0 +1,127 @@
+//! Uniform sampling for histogram construction (§2.4–2.5).
+//!
+//! "The histogram is created by sampling a small number of values from the
+//! column, not more than 2048 in our implementation." The sample is then
+//! sorted and duplicate-eliminated (Algorithm 2). Sampling is `O(sample)`
+//! with random access, so binning cost is independent of the column size.
+
+use colstore::{Column, Scalar};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws up to `sample_size` values uniformly at random (with replacement,
+/// like the paper's `uni_sample`), sorts them by total order and removes
+/// duplicates. Returns the sorted, distinct sample.
+///
+/// If the column has at most `sample_size` rows the "sample" is the whole
+/// column — the histogram is then exact rather than approximate.
+pub fn sorted_distinct_sample<T: Scalar>(
+    col: &Column<T>,
+    sample_size: usize,
+    seed: u64,
+) -> Vec<T> {
+    let values = col.values();
+    let mut sample: Vec<T> = if values.len() <= sample_size {
+        values.to_vec()
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..sample_size).map(|_| values[rng.gen_range(0..values.len())]).collect()
+    };
+    sample.sort_unstable_by(T::total_cmp);
+    sample.dedup_by(|a, b| a.total_cmp(b).is_eq());
+    sample
+}
+
+/// Like [`sorted_distinct_sample`] but *keeps duplicates* in the sorted
+/// output. Algorithm 2 removes duplicates before picking borders, but
+/// "by counting also duplicate sampled values … repeated values are more
+/// likely to be sampled, creating smaller ranges for their respective bins":
+/// the equal-height division of the paper operates on the sample *with*
+/// multiplicity. This variant feeds that division.
+pub fn sorted_sample<T: Scalar>(col: &Column<T>, sample_size: usize, seed: u64) -> Vec<T> {
+    let values = col.values();
+    let mut sample: Vec<T> = if values.len() <= sample_size {
+        values.to_vec()
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..sample_size).map(|_| values[rng.gen_range(0..values.len())]).collect()
+    };
+    sample.sort_unstable_by(T::total_cmp);
+    sample
+}
+
+/// Number of *distinct* values in an already-sorted slice.
+pub fn distinct_in_sorted<T: Scalar>(sorted: &[T]) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    1 + sorted.windows(2).filter(|w| w[0].total_cmp(&w[1]).is_ne()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_column_sampled_exactly() {
+        let col: Column<i32> = Column::from(vec![3, 1, 2, 3, 1]);
+        let s = sorted_distinct_sample(&col, 2048, 42);
+        assert_eq!(s, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn large_column_sample_is_bounded_and_sorted() {
+        let col: Column<i64> = (0..100_000).collect();
+        let s = sorted_distinct_sample(&col, 2048, 1);
+        assert!(s.len() <= 2048);
+        assert!(!s.is_empty());
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        // Every sampled value comes from the column domain.
+        assert!(s.iter().all(|&v| (0..100_000).contains(&v)));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let col: Column<i32> = (0..50_000).map(|i| i % 997).collect();
+        let a = sorted_distinct_sample(&col, 512, 7);
+        let b = sorted_distinct_sample(&col, 512, 7);
+        let c = sorted_distinct_sample(&col, 512, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seed should (overwhelmingly likely) differ");
+    }
+
+    #[test]
+    fn with_multiplicity_keeps_duplicates() {
+        let col: Column<i32> = Column::from(vec![5, 5, 5, 1]);
+        let s = sorted_sample(&col, 2048, 0);
+        assert_eq!(s, vec![1, 5, 5, 5]);
+        assert_eq!(distinct_in_sorted(&s), 2);
+    }
+
+    #[test]
+    fn float_sample_total_order_with_nan() {
+        let col: Column<f64> = Column::from(vec![2.0, f64::NAN, 1.0, f64::NAN]);
+        let s = sorted_distinct_sample(&col, 2048, 0);
+        // NaNs deduplicate to one and sort last.
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], 1.0);
+        assert_eq!(s[1], 2.0);
+        assert!(s[2].is_nan());
+    }
+
+    #[test]
+    fn empty_column_gives_empty_sample() {
+        let col: Column<u8> = Column::new();
+        assert!(sorted_distinct_sample(&col, 2048, 0).is_empty());
+        assert_eq!(distinct_in_sorted::<u8>(&[]), 0);
+    }
+
+    #[test]
+    fn skewed_column_sample_reflects_skew() {
+        // 99% zeros: the multiplicity-keeping sample should be mostly zeros.
+        let col: Column<i32> = (0..10_000).map(|i| if i % 100 == 0 { i } else { 0 }).collect();
+        let s = sorted_sample(&col, 1000, 3);
+        let zeros = s.iter().filter(|&&v| v == 0).count();
+        assert!(zeros > 900, "expected heavy zero multiplicity, got {zeros}");
+    }
+}

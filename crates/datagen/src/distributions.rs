@@ -1,0 +1,264 @@
+//! Primitive synthetic value generators.
+//!
+//! Each generator is deterministic given its seed, so every experiment in
+//! the harness is reproducible run-to-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform integers in `[lo, hi)`.
+pub fn uniform_ints(n: usize, lo: i64, hi: i64, seed: u64) -> Vec<i64> {
+    assert!(lo < hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Uniform doubles in `[lo, hi)` — the SkyServer-style high-cardinality,
+/// zero-clustering stress case.
+pub fn uniform_doubles(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    assert!(lo < hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Zipf-distributed categories `0..cardinality` with exponent `theta`:
+/// the skewed categorical case (Cnet-style sparse attributes).
+///
+/// Uses an inverse-CDF table; O(cardinality) setup, O(log cardinality) per
+/// sample.
+pub fn zipf(n: usize, cardinality: usize, theta: f64, seed: u64) -> Vec<i64> {
+    assert!(cardinality > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cdf = Vec::with_capacity(cardinality);
+    let mut acc = 0.0f64;
+    for k in 1..=cardinality {
+        acc += 1.0 / (k as f64).powf(theta);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let u = rng.gen_range(0.0..total);
+            cdf.partition_point(|&c| c < u) as i64
+        })
+        .collect()
+}
+
+/// Zipf categories drawn once per *run* of `run_len`-ish rows instead of
+/// per row. Catalog-style tables insert similar products adjacently, so
+/// their sparse attributes repeat in stretches — the locality that gives
+/// the paper's Cnet columns their low entropy (E ≈ 0.2) despite skew.
+pub fn clustered_zipf(
+    n: usize,
+    cardinality: usize,
+    theta: f64,
+    run_len: usize,
+    seed: u64,
+) -> Vec<i64> {
+    assert!(run_len > 0);
+    let draws = zipf(n.div_ceil(run_len) * 2 + 1, cardinality, theta, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let mut out = Vec::with_capacity(n);
+    let mut draw = 0usize;
+    while out.len() < n {
+        let len = rng.gen_range(1..=run_len * 2).min(n - out.len());
+        out.extend(std::iter::repeat_n(draws[draw % draws.len()], len));
+        draw += 1;
+    }
+    out
+}
+
+/// A bounded random walk: consecutive values differ by at most `max_step`,
+/// clamped to `[lo, hi]`. Models the Routing dataset's GPS traces, which
+/// are "continuous without any jumps, unless the trip-id changes": every
+/// `trip_len` values the walk teleports to a fresh uniform position.
+pub fn random_walk(
+    n: usize,
+    lo: f64,
+    hi: f64,
+    max_step: f64,
+    trip_len: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(lo < hi && max_step > 0.0 && trip_len > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = rng.gen_range(lo..hi);
+    (0..n)
+        .map(|i| {
+            if i % trip_len == 0 {
+                v = rng.gen_range(lo..hi);
+            } else {
+                v = (v + rng.gen_range(-max_step..max_step)).clamp(lo, hi);
+            }
+            v
+        })
+        .collect()
+}
+
+/// Time-ordered clustered categories: the value domain advances slowly with
+/// position (Airtraffic's "data are updated per month, leading to many
+/// time-ordered clustered sequences"). `per_period` rows share each period;
+/// within a period values are drawn from a small window of the domain.
+pub fn time_clustered(
+    n: usize,
+    periods: usize,
+    window: i64,
+    per_period_noise: f64,
+    seed: u64,
+) -> Vec<i64> {
+    assert!(periods > 0 && window > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_period = n.div_ceil(periods);
+    (0..n)
+        .map(|i| {
+            let period = (i / per_period) as i64;
+            let base = period * window;
+            if rng.gen_bool(per_period_noise) {
+                // occasional out-of-period stragglers (late updates)
+                rng.gen_range(0..periods as i64 * window)
+            } else {
+                base + rng.gen_range(0..window)
+            }
+        })
+        .collect()
+}
+
+/// The same permutation of `0..cycle` repeated until `n` values exist:
+/// TPC-H's generated columns, which "contain a sequence of prices that are
+/// not ordered, but they are still the same repeated permutation of an
+/// order" — unsorted yet perfectly predictable at cacheline granularity.
+pub fn repeated_permutation(n: usize, cycle: usize, seed: u64) -> Vec<i64> {
+    use rand::seq::SliceRandom;
+    assert!(cycle > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<i64> = (0..cycle as i64).collect();
+    perm.shuffle(&mut rng);
+    (0..n).map(|i| perm[i % cycle]).collect()
+}
+
+/// Sorted ascending integers (the primary-key / ordered-column case kept
+/// in the evaluation "for completeness").
+pub fn sorted_ints(n: usize, start: i64) -> Vec<i64> {
+    (0..n as i64).map(|i| start + i).collect()
+}
+
+/// Exactly two distinct values in long runs — the 1-byte Airtraffic
+/// columns where "although they have more than 126 million rows, they only
+/// contain two distinct values".
+pub fn two_valued(n: usize, run: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut bit = false;
+    while out.len() < n {
+        let len = rng.gen_range(1..=run).min(n - out.len());
+        out.extend(std::iter::repeat_n(bit as i64, len));
+        bit = !bit;
+    }
+    out
+}
+
+/// Casts an `i64` vector into a narrower integer type, wrapping.
+pub fn cast_vec<T: TryFrom<i64> + Copy + Default>(v: &[i64]) -> Vec<T> {
+    v.iter().map(|&x| T::try_from(x).unwrap_or_default()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ints_in_range_and_deterministic() {
+        let a = uniform_ints(10_000, -50, 50, 7);
+        let b = uniform_ints(10_000, -50, 50, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (-50..50).contains(&v)));
+        // Rough uniformity: both halves populated.
+        let neg = a.iter().filter(|&&v| v < 0).count();
+        assert!(neg > 3000 && neg < 7000);
+    }
+
+    #[test]
+    fn uniform_doubles_high_cardinality() {
+        let v = uniform_doubles(10_000, 0.0, 1.0, 1);
+        let mut s = v.clone();
+        s.sort_by(f64::total_cmp);
+        s.dedup();
+        assert!(s.len() > 9990, "uniform doubles should be almost all distinct");
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let v = zipf(50_000, 1000, 1.2, 3);
+        assert!(v.iter().all(|&x| (0..1000).contains(&x)));
+        let zeros = v.iter().filter(|&&x| x == 0).count();
+        let rare = v.iter().filter(|&&x| x == 999).count();
+        assert!(zeros > 100 * rare.max(1), "zipf head must dominate: {zeros} vs {rare}");
+    }
+
+    #[test]
+    fn clustered_zipf_has_runs_and_skew() {
+        let v = clustered_zipf(100_000, 40, 1.4, 96, 7);
+        assert_eq!(v.len(), 100_000);
+        assert!(v.iter().all(|&x| (0..40).contains(&x)));
+        // Skew survives the clustering.
+        let zeros = v.iter().filter(|&&x| x == 0).count();
+        assert!(zeros > 20_000, "zipf head must dominate, got {zeros}");
+        // Runs: the vast majority of adjacent pairs are equal.
+        let equal_pairs = v.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(equal_pairs > 95_000, "expected long runs, got {equal_pairs} equal pairs");
+    }
+
+    #[test]
+    fn random_walk_is_locally_smooth() {
+        let v = random_walk(10_000, 0.0, 100.0, 0.5, 1_000_000, 5);
+        let max_jump = v.windows(2).map(|w| (w[1] - w[0]).abs()).fold(0.0, f64::max);
+        assert!(max_jump <= 0.5 + 1e-9);
+        assert!(v.iter().all(|&x| (0.0..=100.0).contains(&x)));
+    }
+
+    #[test]
+    fn random_walk_jumps_between_trips() {
+        let v = random_walk(1000, 0.0, 1000.0, 0.1, 100, 6);
+        // Within-trip steps tiny; some trip boundary should jump far.
+        let boundary_jumps: Vec<f64> =
+            (1..10).map(|t| (v[t * 100] - v[t * 100 - 1]).abs()).collect();
+        assert!(boundary_jumps.iter().any(|&j| j > 10.0));
+    }
+
+    #[test]
+    fn time_clustered_advances() {
+        let v = time_clustered(10_000, 10, 100, 0.0, 9);
+        // First period in [0,100), last in [900,1000).
+        assert!(v[..1000].iter().all(|&x| (0..100).contains(&x)));
+        assert!(v[9000..].iter().all(|&x| (900..1000).contains(&x)));
+    }
+
+    #[test]
+    fn repeated_permutation_cycles() {
+        let v = repeated_permutation(1000, 100, 11);
+        assert_eq!(&v[..100], &v[100..200]);
+        let mut head: Vec<i64> = v[..100].to_vec();
+        head.sort_unstable();
+        assert_eq!(head, (0..100).collect::<Vec<_>>());
+        // Not sorted (overwhelmingly likely for a random permutation).
+        assert!(v[..100].windows(2).any(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn sorted_and_two_valued() {
+        assert_eq!(sorted_ints(5, 10), vec![10, 11, 12, 13, 14]);
+        let v = two_valued(10_000, 500, 13);
+        let mut d = v.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d, vec![0, 1]);
+    }
+
+    #[test]
+    fn cast_vec_narrows() {
+        let v: Vec<i16> = cast_vec(&[1i64, -5, 300]);
+        assert_eq!(v, vec![1, -5, 300]);
+        let v: Vec<u8> = cast_vec(&[1i64, 255, 256]); // 256 out of range -> default
+        assert_eq!(v, vec![1, 255, 0]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # datagen — synthetic datasets and workloads for the evaluation
+//!
+//! The paper evaluates on five real-world datasets (Table 1): GPS *Routing*
+//! traces, the *SDSS/SkyServer* astronomy sample, the *Cnet* product
+//! catalog, the *Airtraffic* delay warehouse and *TPC-H* at scale 100.
+//! None of these is redistributable here, so this crate synthesizes columns
+//! with the statistical properties the paper attributes to each dataset —
+//! value distribution, cardinality and, crucially, *local clustering*
+//! (column entropy), which is what drives every result in §6. See
+//! `DESIGN.md` §5 for the substitution argument.
+//!
+//! * [`distributions`] — primitive value generators (uniform, zipf, markov
+//!   walks, repeated permutations, …);
+//! * [`datasets`] — the five dataset families of Table 1, scaled;
+//! * [`workload`] — range-query workloads with controlled selectivity
+//!   (the 10-step sweep of §6.3);
+//! * [`entropy_sweep`] — columns with dial-a-clustering for the
+//!   entropy-axis figures (7 and 11).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod distributions;
+pub mod entropy_sweep;
+pub mod workload;
+
+pub use datasets::{DatasetFamily, GeneratedColumn};
+pub use workload::QueryWorkload;

@@ -1,0 +1,92 @@
+//! An ever-growing warehouse: the paper's Airtraffic scenario (§4) —
+//! monthly batch appends, occasional corrections through a delta
+//! structure, and index persistence across restarts.
+//!
+//! ```text
+//! cargo run --release --example airtraffic_delays
+//! ```
+
+use column_imprints::colstore::{storage as colstorage, Column, DeltaStore, RangeIndex, RangePredicate};
+use column_imprints::datagen::distributions;
+use column_imprints::imprints::{storage as idxstorage, update, ColumnImprints};
+
+fn main() {
+    // Year one of departure delays: time-clustered minutes.
+    let base: Vec<i64> = distributions::time_clustered(1_200_000, 12, 120, 0.02, 7);
+    let mut col: Column<i64> = Column::from(base);
+    let mut idx = ColumnImprints::build(&col);
+    println!(
+        "initial load: {} rows, imprint index {} bytes, saturation {:.2}",
+        col.len(),
+        RangeIndex::<i64>::size_bytes(&idx),
+        idx.saturation()
+    );
+
+    // --- Monthly appends (§4.1): no existing imprint vector is touched. --
+    for month in 0..3 {
+        let batch: Vec<i64> =
+            distributions::time_clustered(100_000, 1, 120, 0.02, 100 + month)
+                .iter()
+                .map(|v| v + 1440 + month as i64 * 120)
+                .collect();
+        let stats = idx.append(&batch);
+        col.extend_from_slice(&batch);
+        println!(
+            "append month {month}: +{} rows, {} new lines, {} overflow values, drift {:.3}",
+            stats.appended,
+            stats.lines_finalized,
+            stats.overflow_low + stats.overflow_high,
+            idx.append_drift()
+        );
+    }
+    idx.verify(&col).expect("index and column in sync after appends");
+
+    // Appended months land in the top overflow bin (their delays exceed
+    // the sampled domain), so the rebuild heuristic eventually fires.
+    if idx.needs_rebuild() {
+        println!("rebuild heuristic fired -> rebuilding with fresh binning");
+        idx = idx.rebuild(&col);
+    }
+
+    // --- Point corrections through a delta structure (§4.2). -------------
+    let mut delta = DeltaStore::new(col.len());
+    delta.update(42, 999); // a corrected delay
+    delta.delete(17); // a cancelled record
+    delta.append(75); // one straggler row
+
+    let pred = RangePredicate::between(60, 120);
+    let merged = update::evaluate_with_delta(&idx, &col, &delta, &pred);
+    println!(
+        "\ndelayed 60-120 minutes: {} rows (delta-merged: {} pending changes)",
+        merged.len(),
+        delta.pending()
+    );
+    // Verify against first-principles evaluation over the logical table.
+    let expected = (0..delta.logical_len())
+        .filter(|&id| {
+            delta.effective_value(id, col.values()).is_some_and(|v| pred.matches(&v))
+        })
+        .count();
+    assert_eq!(merged.len(), expected);
+
+    // --- Persistence: column and index survive a restart. ----------------
+    let dir = std::env::temp_dir().join("imprints_airtraffic_example");
+    std::fs::create_dir_all(&dir).unwrap();
+    let col_path = dir.join("delays.col");
+    let idx_path = dir.join("delays.imprints");
+    colstorage::write_column(&col, &mut std::fs::File::create(&col_path).unwrap()).unwrap();
+    idxstorage::write_index(&idx, &mut std::fs::File::create(&idx_path).unwrap()).unwrap();
+
+    let col2: Column<i64> =
+        colstorage::read_column(&mut std::fs::File::open(&col_path).unwrap()).unwrap();
+    let idx2: ColumnImprints<i64> =
+        idxstorage::read_index(&mut std::fs::File::open(&idx_path).unwrap()).unwrap();
+    idx2.verify(&col2).expect("reloaded index matches reloaded column");
+    assert_eq!(idx2.evaluate(&col2, &pred), idx.evaluate(&col, &pred));
+    println!(
+        "\npersisted and reloaded: {} + {} bytes on disk, answers identical",
+        std::fs::metadata(&col_path).unwrap().len(),
+        std::fs::metadata(&idx_path).unwrap().len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

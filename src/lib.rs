@@ -1,0 +1,24 @@
+//! # column-imprints — facade crate
+//!
+//! One-stop import for the Column Imprints reproduction (SIGMOD 2013,
+//! Sidirourgos & Kersten). Re-exports the four workspace crates:
+//!
+//! * [`imprints`] — the column imprints index itself;
+//! * [`colstore`] — the columnar storage substrate (columns, relations,
+//!   id lists, delta structures, predicates, persistence);
+//! * [`baselines`] — zonemap, WAH-compressed bitmap and sequential-scan
+//!   comparators;
+//! * [`datagen`] — synthetic dataset and workload generators emulating the
+//!   paper's evaluation datasets.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `imprints-bench` crate for the harness that regenerates every table and
+//! figure of the paper.
+
+pub use baselines;
+pub use colstore;
+pub use datagen;
+pub use imprints;
+
+pub use colstore::{Column, IdList, RangeIndex, RangePredicate, Relation, Scalar};
+pub use imprints::ColumnImprints;

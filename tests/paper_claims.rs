@@ -1,0 +1,233 @@
+//! Qualitative claims of the paper, asserted at laptop scale.
+//!
+//! These are the *shapes* the evaluation (§6) reports; EXPERIMENTS.md
+//! records the corresponding quantitative runs of the harness.
+
+use baselines::{WahBitmap, ZoneMap};
+use colstore::{Column, RangeIndex, RangePredicate};
+use datagen::{datasets, distributions, entropy_sweep};
+use imprints::{column_entropy, ColumnImprints};
+
+/// §6.2 / Fig. 6: "The storage overhead … is just a few percent over the
+/// size of the columns being indexed", max ~12%.
+#[test]
+fn imprint_overhead_bounded_on_all_datasets() {
+    for family in datasets::DatasetFamily::ALL {
+        for gc in datasets::generate(family, 100_000, 1) {
+            let overhead = column_imprints_overhead(&gc);
+            assert!(
+                overhead < 0.14,
+                "{}: imprints overhead {:.3} exceeds the paper's ~12% bound",
+                gc.name,
+                overhead
+            );
+        }
+    }
+}
+
+fn column_imprints_overhead(gc: &datasets::GeneratedColumn) -> f64 {
+    use colstore::relation::AnyColumn;
+    macro_rules! ov {
+        ($c:expr) => {{
+            let idx = ColumnImprints::build($c);
+            RangeIndex::size_bytes(&idx) as f64 / $c.data_bytes() as f64
+        }};
+    }
+    match &gc.column {
+        AnyColumn::I8(c) => ov!(c),
+        AnyColumn::U8(c) => ov!(c),
+        AnyColumn::I16(c) => ov!(c),
+        AnyColumn::U16(c) => ov!(c),
+        AnyColumn::I32(c) => ov!(c),
+        AnyColumn::U32(c) => ov!(c),
+        AnyColumn::I64(c) => ov!(c),
+        AnyColumn::U64(c) => ov!(c),
+        AnyColumn::F32(c) => ov!(c),
+        AnyColumn::F64(c) => ov!(c),
+    }
+}
+
+/// §6.2 / Fig. 7: imprints stay ≤ ~12% across the whole entropy range,
+/// while WAH degrades badly as entropy grows.
+#[test]
+fn imprints_robust_to_entropy_wah_is_not() {
+    let rows = 200_000;
+    let low: Column<i64> = Column::from(entropy_sweep::entropy_dial(rows, 1 << 20, 0.0, 3));
+    let high: Column<i64> = Column::from(entropy_sweep::entropy_dial(rows, 1 << 20, 1.0, 3));
+
+    let imp_low = ColumnImprints::build(&low);
+    let imp_high = ColumnImprints::build(&high);
+    assert!(column_entropy(&imp_low) < column_entropy(&imp_high));
+
+    let bytes = low.data_bytes() as f64;
+    let imp_high_pct = RangeIndex::size_bytes(&imp_high) as f64 / bytes;
+    assert!(imp_high_pct < 0.14, "imprints at high entropy: {imp_high_pct:.3}");
+
+    let wah_low = WahBitmap::build_with_binning(&low, imp_low.binning().clone());
+    let wah_high = WahBitmap::build_with_binning(&high, imp_high.binning().clone());
+    let wah_low_pct = wah_low.size_bytes() as f64 / bytes;
+    let wah_high_pct = wah_high.size_bytes() as f64 / bytes;
+    assert!(
+        wah_high_pct > 4.0 * wah_low_pct && wah_high_pct > 0.5,
+        "WAH must degrade with entropy: {wah_low_pct:.3} -> {wah_high_pct:.3}"
+    );
+    assert!(
+        imp_high_pct < wah_high_pct / 4.0,
+        "imprints must beat WAH at high entropy"
+    );
+}
+
+/// §2.2: "If each cacheline contains both the minimum and the maximum value
+/// of the domain and one random value in between, zonemaps are practically
+/// useless, but imprints will have a different bit set for each of these
+/// random values."
+#[test]
+fn skew_pathology_zonemap_useless_imprints_not() {
+    let n = 64_000usize;
+    let col: Column<i32> = (0..n)
+        .map(|i| match i % 16 {
+            0 => 0,
+            1 => 1_000_000,
+            k => ((i / 16) * 16 + k) as i32 % 1_000_000,
+        })
+        .collect();
+    let pred = RangePredicate::between(10_000, 20_000);
+
+    let zm = ZoneMap::build(&col);
+    let (_, zm_stats) = zm.evaluate_with_stats(&col, &pred);
+    assert_eq!(zm_stats.lines_skipped, 0, "zonemap cannot skip any zone");
+
+    let imp = ColumnImprints::build(&col);
+    let (_, imp_stats) = imp.evaluate_with_stats(&col, &pred);
+    assert!(
+        imp_stats.lines_skipped > (n as u64 / 16) / 2,
+        "imprints must skip most cachelines; skipped {}",
+        imp_stats.lines_skipped
+    );
+    assert!(imp_stats.value_comparisons < zm_stats.value_comparisons / 2);
+}
+
+/// §6.1 / Fig. 3-4: entropy quantifies clustering — sorted < clustered <
+/// shuffled, and the five dataset families land in their expected bands.
+#[test]
+fn entropy_orders_dataset_families() {
+    let rows = 100_000;
+    let e_of = |family| {
+        let gc = &datasets::generate(family, rows, 5)[0];
+        column_imprints_entropy(gc)
+    };
+    let routing = e_of(datasets::DatasetFamily::Routing);
+    let sdss = e_of(datasets::DatasetFamily::Sdss);
+    let tpch = e_of(datasets::DatasetFamily::Tpch);
+    // SkyServer-style uniform data is by far the most entropic (paper
+    // measures 0.79 vs 0.31/0.23 for routing/tpch).
+    assert!(sdss > 0.5, "SDSS entropy {sdss}");
+    assert!(routing < 0.35, "Routing entropy {routing}");
+    assert!(tpch < 0.5, "TPC-H entropy {tpch}");
+    assert!(sdss > routing && sdss > tpch);
+}
+
+fn column_imprints_entropy(gc: &datasets::GeneratedColumn) -> f64 {
+    use colstore::relation::AnyColumn;
+    macro_rules! e {
+        ($c:expr) => {
+            column_entropy(&ColumnImprints::build($c))
+        };
+    }
+    match &gc.column {
+        AnyColumn::I8(c) => e!(c),
+        AnyColumn::U8(c) => e!(c),
+        AnyColumn::I16(c) => e!(c),
+        AnyColumn::U16(c) => e!(c),
+        AnyColumn::I32(c) => e!(c),
+        AnyColumn::U32(c) => e!(c),
+        AnyColumn::I64(c) => e!(c),
+        AnyColumn::U64(c) => e!(c),
+        AnyColumn::F32(c) => e!(c),
+        AnyColumn::F64(c) => e!(c),
+    }
+}
+
+/// §6.3 / Fig. 11: probe/comparison profile — WAH probes the most (more
+/// than one per record) but compares the least; zonemap probes exactly one
+/// per cacheline; imprints balance in between.
+#[test]
+fn probe_comparison_profile() {
+    let col: Column<i64> = Column::from(distributions::uniform_ints(200_000, 0, 1 << 20, 17));
+    let imp = ColumnImprints::build(&col);
+    let zm = ZoneMap::build(&col);
+    let wah = WahBitmap::build_with_binning(&col, imp.binning().clone());
+
+    // A ~45% selectivity query, as in Figure 11.
+    let mut sorted = col.values().to_vec();
+    sorted.sort_unstable();
+    let pred = RangePredicate::between(sorted[50_000], sorted[140_000]);
+
+    let n = col.len() as f64;
+    let (_, s_imp) = imp.evaluate_with_stats(&col, &pred);
+    let (_, s_zm) = zm.evaluate_with_stats(&col, &pred);
+    let (_, s_wah) = wah.evaluate_with_stats(&col, &pred);
+
+    // Zonemap: exactly one probe per zone.
+    assert_eq!(s_zm.index_probes, col.cacheline_count() as u64);
+    // WAH probes dominate everyone else's.
+    assert!(s_wah.index_probes > s_imp.index_probes);
+    assert!(s_wah.index_probes > s_zm.index_probes);
+    // ... but WAH needs the fewest value comparisons.
+    assert!(s_wah.value_comparisons < s_imp.value_comparisons);
+    assert!(s_wah.value_comparisons < s_zm.value_comparisons);
+    // Imprint probes are bounded by stored imprints (compression pays).
+    assert!(s_imp.index_probes as usize <= imp.imprint_count());
+    // WAH probe volume is on the order of the record count (we count
+    // decoded words — 31 bits each — so the per-row figure sits just below
+    // the paper's per-bit ">1 per record" but the dominance holds).
+    assert!(s_wah.probes_per_row(col.len()) > 0.5);
+    assert!(s_zm.comparisons_per_row(col.len()) <= 1.0);
+    let _ = n;
+}
+
+/// Figure 1/2 of the paper, end to end: the worked 15-value example and the
+/// 23-cacheline compression example are reproduced exactly elsewhere
+/// (unit tests); here we assert the *sizes* relation the figures convey:
+/// imprints ≤ zonemap ≤ bitmap on the classic example shapes.
+#[test]
+fn index_size_ranking_on_clustered_data() {
+    let col: Column<i64> = (0..400_000).map(|i| i / 1000).collect();
+    let imp = ColumnImprints::build(&col);
+    let zm = ZoneMap::build(&col);
+    let wah = WahBitmap::build_with_binning(&col, imp.binning().clone());
+    let (i, z, w) = (RangeIndex::size_bytes(&imp), zm.size_bytes(), wah.size_bytes());
+    assert!(i < z, "imprints {i} < zonemap {z}");
+    // On such clustered data WAH also compresses well, but imprints still
+    // win by an order of magnitude.
+    assert!(i * 5 < w || w < z, "imprints {i}, wah {w}, zonemap {z}");
+}
+
+/// §3: the innermask fast path never changes answers, only costs.
+#[test]
+fn innermask_ablation_equivalence() {
+    let col: Column<i64> = Column::from(distributions::uniform_ints(100_000, 0, 5000, 23));
+    let idx = ColumnImprints::build(&col);
+    for (lo, hi) in [(0, 5000), (100, 4000), (2000, 2001)] {
+        let pred = RangePredicate::between(lo, hi);
+        let (a, _) = imprints::query::evaluate(&idx, &col, &pred);
+        let (b, _) = imprints::query::evaluate_no_innermask(&idx, &col, &pred);
+        assert_eq!(a, b);
+    }
+}
+
+/// §4.1: appends never rewrite existing imprint vectors.
+#[test]
+fn appends_are_strictly_additive() {
+    let col: Column<i64> = Column::from(distributions::uniform_ints(64_000, 0, 1000, 29));
+    let mut idx = ColumnImprints::build(&col);
+    let snapshot: Vec<u64> = imprints_vectors(&idx);
+    idx.append(&distributions::uniform_ints(10_000, 0, 1000, 31));
+    let after = imprints_vectors(&idx);
+    assert_eq!(&after[..snapshot.len()], &snapshot[..], "prefix must be untouched");
+    assert!(after.len() >= snapshot.len());
+}
+
+fn imprints_vectors<T: colstore::Scalar>(idx: &ColumnImprints<T>) -> Vec<u64> {
+    idx.runs().map(|r| r.imprint).collect()
+}
