@@ -296,7 +296,13 @@ fn set_range(dst: &mut [u64], start: u64, end: u64) {
 
 impl fmt::Debug for WahVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "WahVector {{ len: {}, words: {}, ones: {} }}", self.len, self.words.len(), self.count_ones())
+        write!(
+            f,
+            "WahVector {{ len: {}, words: {}, ones: {} }}",
+            self.len,
+            self.words.len(),
+            self.count_ones()
+        )
     }
 }
 
@@ -385,10 +391,7 @@ mod tests {
             v.push(false);
         }
         assert_eq!(v.word_count(), 1);
-        assert!(matches!(
-            v.segments().next(),
-            Some(Segment::Fill { bit: false, groups: 2 })
-        ));
+        assert!(matches!(v.segments().next(), Some(Segment::Fill { bit: false, groups: 2 })));
     }
 
     #[test]
@@ -447,10 +450,7 @@ mod tests {
             }
             assert_eq!(v.len() as usize, reference.len());
             assert_eq!(to_bools(&v), reference);
-            assert_eq!(
-                v.count_ones() as usize,
-                reference.iter().filter(|&&b| b).count()
-            );
+            assert_eq!(v.count_ones() as usize, reference.iter().filter(|&&b| b).count());
         }
     }
 
@@ -465,7 +465,8 @@ mod tests {
         let mut dst = vec![0u64; n.div_ceil(64) as usize];
         let probes = v.or_into(&mut dst);
         assert!(probes >= 1);
-        let from_or: Vec<u64> = (0..n).filter(|&p| dst[(p / 64) as usize] & (1 << (p % 64)) != 0).collect();
+        let from_or: Vec<u64> =
+            (0..n).filter(|&p| dst[(p / 64) as usize] & (1 << (p % 64)) != 0).collect();
         assert_eq!(from_or, v.ones().collect::<Vec<_>>());
     }
 

@@ -114,6 +114,12 @@ impl<T: Scalar> ZoneMap<T> {
     }
 }
 
+impl<T: Scalar> colstore::index::BuildableIndex<T> for ZoneMap<T> {
+    fn build_index(col: &Column<T>) -> Self {
+        ZoneMap::build(col)
+    }
+}
+
 impl<T: Scalar> RangeIndex<T> for ZoneMap<T> {
     fn name(&self) -> &'static str {
         "zonemap"
@@ -186,8 +192,7 @@ mod tests {
     #[test]
     fn figure_1_zonemap() {
         // The example column of Figure 1, zones of 3 values.
-        let col: Column<i32> =
-            Column::from(vec![1, 8, 4, 1, 6, 2, 3, 7, 2, 4, 5, 6, 8, 7, 1]);
+        let col: Column<i32> = Column::from(vec![1, 8, 4, 1, 6, 2, 3, 7, 2, 4, 5, 6, 8, 7, 1]);
         let zm = ZoneMap::build_with_zone(&col, 3);
         assert_eq!(zm.zone_count(), 5);
         assert_eq!(zm.zone_bounds(0), (1, 8));

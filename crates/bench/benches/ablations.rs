@@ -114,9 +114,8 @@ fn bench_multilevel(c: &mut Criterion) {
     // Drift + noise data whose per-line imprints defeat the RLE: the case
     // the §7 multi-level organization targets.
     let n: u64 = 1 << 20;
-    let col: Column<i64> = (0..n)
-        .map(|i| ((i * 59_500 / n) + i.wrapping_mul(2_654_435_761) % 2_500) as i64)
-        .collect();
+    let col: Column<i64> =
+        (0..n).map(|i| ((i * 59_500 / n) + i.wrapping_mul(2_654_435_761) % 2_500) as i64).collect();
     let base = ColumnImprints::build(&col);
     let ml = MultiLevelImprints::from_base(base.clone(), 64);
     let pred = RangePredicate::between(0, 3000);
@@ -145,13 +144,8 @@ fn bench_binning_strategy(c: &mut Criterion) {
     for (name, strategy) in
         [("equi_height", BinningStrategy::EquiHeight), ("equi_width", BinningStrategy::EquiWidth)]
     {
-        let idx = ColumnImprints::build_with(
-            &col,
-            BuildOptions { strategy, ..Default::default() },
-        );
-        g.bench_function(BenchmarkId::new("query", name), |b| {
-            b.iter(|| idx.evaluate(&col, &pred))
-        });
+        let idx = ColumnImprints::build_with(&col, BuildOptions { strategy, ..Default::default() });
+        g.bench_function(BenchmarkId::new("query", name), |b| b.iter(|| idx.evaluate(&col, &pred)));
     }
     g.finish();
 }

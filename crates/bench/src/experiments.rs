@@ -53,8 +53,18 @@ impl ExpConfig {
 }
 
 /// All experiment names accepted by [`run`].
-pub const ALL_EXPERIMENTS: [&str; 10] = [
-    "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+pub const ALL_EXPERIMENTS: [&str; 11] = [
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "throughput",
 ];
 
 /// Runs the experiment called `name` ("all" runs everything). Returns
@@ -76,6 +86,7 @@ pub fn run(name: &str, cfg: &ExpConfig) -> bool {
         "fig9" => fig9(cfg),
         "fig10" => fig10(cfg),
         "fig11" => fig11(cfg),
+        "throughput" => throughput(cfg),
         _ => return false,
     }
     true
@@ -110,7 +121,10 @@ pub fn table1(cfg: &ExpConfig) {
 /// Figure 3: imprint prints and entropy, one column per dataset.
 pub fn fig3(cfg: &ExpConfig) {
     println!("== Figure 3: column imprint prints ('x' = bit set) ==\n");
-    let mut t = Table::new("Figure 3: column entropy per representative column", &["Column", "Dataset", "E"]);
+    let mut t = Table::new(
+        "Figure 3: column entropy per representative column",
+        &["Column", "Dataset", "E"],
+    );
     for family in DatasetFamily::ALL {
         let cols = datasets::generate(family, cfg.rows.min(200_000), cfg.seed);
         let gc = &cols[0];
@@ -239,10 +253,8 @@ pub fn fig6(cfg: &ExpConfig) {
 
 /// Figure 7: index size % over column entropy.
 pub fn fig7(cfg: &ExpConfig) {
-    let mut t = Table::new(
-        "Figure 7: index size % over column entropy E",
-        &["E", "imprints %", "wah %"],
-    );
+    let mut t =
+        Table::new("Figure 7: index size % over column entropy E", &["E", "imprints %", "wah %"]);
     let rows = cfg.rows;
     let mut points = Vec::new();
     for (i, chaos) in entropy_sweep::chaos_ladder(11).into_iter().enumerate() {
@@ -294,9 +306,7 @@ fn run_query_measurements(cfg: &ExpConfig) -> Vec<(DatasetFamily, String, QueryM
     all
 }
 
-fn medians_of(
-    ms: Vec<PerIndex<f64>>,
-) -> PerIndex<f64> {
+fn medians_of(ms: Vec<PerIndex<f64>>) -> PerIndex<f64> {
     let mut scan = Vec::with_capacity(ms.len());
     let mut imp = Vec::with_capacity(ms.len());
     let mut zm = Vec::with_capacity(ms.len());
@@ -379,7 +389,13 @@ pub fn fig9(cfg: &ExpConfig) {
             count(&|m| m.time.wah).to_string(),
         ]);
     }
-    t.row(vec!["total queries".into(), total.to_string(), total.to_string(), total.to_string(), total.to_string()]);
+    t.row(vec![
+        "total queries".into(),
+        total.to_string(),
+        total.to_string(),
+        total.to_string(),
+        total.to_string(),
+    ]);
     t.print();
     cfg.save(&t, "fig9");
 }
@@ -409,13 +425,7 @@ pub fn fig10(cfg: &ExpConfig) {
             let max = v.iter().copied().fold(f64::MIN, f64::max);
             format!("{:.2} ({:.0})", median(v), max)
         };
-        t.row(vec![
-            format!("{s:.2}"),
-            cell(&mut si),
-            cell(&mut sw),
-            cell(&mut zi),
-            cell(&mut zw),
-        ]);
+        t.row(vec![format!("{s:.2}"), cell(&mut si), cell(&mut sw), cell(&mut zi), cell(&mut zw)]);
     }
     t.print();
     cfg.save(&t, "fig10");
@@ -481,6 +491,153 @@ pub fn fig11(cfg: &ExpConfig) {
     cfg.save(&t, "fig11");
 }
 
+/// Engine throughput: queries per second over a big clustered column,
+/// sweeping morsel-parallelism (worker count) and client concurrency
+/// against the single-threaded monolithic-index baseline.
+///
+/// Uses `cfg.rows` as-is; the CLI defaults this experiment to 10M rows
+/// when `--rows` is not given, so the scaling claim is measured at
+/// serving scale.
+pub fn throughput(cfg: &ExpConfig) {
+    throughput_with_rows(cfg, cfg.rows);
+}
+
+/// [`throughput`] with an explicit row count (used small in tests).
+pub fn throughput_with_rows(cfg: &ExpConfig, rows: usize) {
+    use colstore::relation::AnyColumn;
+    use colstore::{ColumnType, RangeIndex, RangePredicate, Value};
+    use imprints_engine::{EngineConfig, Table as EngineTable, ValueRange, WorkerPool};
+    use std::time::Instant;
+
+    let queries = 64usize;
+    let domain = 1 << 20;
+    println!("[throughput] generating {rows} clustered rows…");
+    let values = datagen::entropy_sweep::entropy_dial(rows, domain, 0.05, cfg.seed);
+
+    println!("[throughput] building monolithic baseline index…");
+    let col: Column<i64> = Column::from(values.clone());
+    let mono = ColumnImprints::build(&col);
+
+    println!("[throughput] loading engine table…");
+    let ecfg = EngineConfig { segment_rows: 1 << 16, workers: 1, ..Default::default() };
+    let table =
+        std::sync::Arc::new(EngineTable::new("tp", &[("v", ColumnType::I64)], ecfg).unwrap());
+    let t_load = Instant::now();
+    for chunk in values.chunks(1 << 20) {
+        table.append_batch(vec![AnyColumn::I64(chunk.iter().copied().collect())]).unwrap();
+    }
+    let load_s = t_load.elapsed().as_secs_f64();
+    println!(
+        "[throughput] {} rows in {} segments, loaded+indexed in {:.2}s ({:.1}M rows/s)",
+        table.row_count(),
+        table.sealed_segment_count(),
+        load_s,
+        rows as f64 / load_s / 1e6
+    );
+
+    // ~1%-selectivity ranges spread over the domain.
+    let preds: Vec<(i64, i64)> = (0..queries)
+        .map(|q| {
+            let lo = (q as i64 * 7919) % domain;
+            (lo, lo + domain / 100)
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "Engine throughput: QPS vs workers (64 queries, ~1% selectivity)",
+        &["configuration", "time/query (ms)", "QPS", "speedup vs 1-thread engine"],
+    );
+
+    let time_qps = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        (dt / queries as f64 * 1e3, queries as f64 / dt)
+    };
+
+    // Monolithic single-threaded baseline.
+    let (ms, qps_mono) = time_qps(&mut || {
+        for &(lo, hi) in &preds {
+            let _ = mono.evaluate(&col, &RangePredicate::between(lo, hi));
+        }
+    });
+    t.row(vec![
+        "monolithic imprints (1 thread)".into(),
+        format!("{ms:.3}"),
+        format!("{qps_mono:.1}"),
+        "-".into(),
+    ]);
+
+    // Engine, serial.
+    let (ms, qps_serial) = time_qps(&mut || {
+        for &(lo, hi) in &preds {
+            let _ =
+                table.query(&[("v", ValueRange::between(Value::I64(lo), Value::I64(hi)))]).unwrap();
+        }
+    });
+    t.row(vec![
+        "engine serial".into(),
+        format!("{ms:.3}"),
+        format!("{qps_serial:.1}"),
+        "1.00".into(),
+    ]);
+
+    // Morsel parallelism sweep.
+    let max_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    for workers in [1usize, 2, 4, 8, 16] {
+        if workers > max_workers * 2 {
+            break;
+        }
+        let pool = WorkerPool::new(workers);
+        let (ms, qps) = time_qps(&mut || {
+            for &(lo, hi) in &preds {
+                let _ = table
+                    .query_on(&pool, &[("v", ValueRange::between(Value::I64(lo), Value::I64(hi)))])
+                    .unwrap();
+            }
+        });
+        t.row(vec![
+            format!("engine {workers} workers (morsel)"),
+            format!("{ms:.3}"),
+            format!("{qps:.1}"),
+            format!("{:.2}", qps / qps_serial),
+        ]);
+    }
+
+    // Client concurrency: independent serial queries in parallel threads.
+    for clients in [2usize, 4, 8] {
+        if clients > max_workers * 2 {
+            break;
+        }
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let table = std::sync::Arc::clone(&table);
+                let preds = &preds;
+                s.spawn(move || {
+                    for &(lo, hi) in preds.iter().skip(c % 7) {
+                        let _ = table
+                            .query(&[("v", ValueRange::between(Value::I64(lo), Value::I64(hi)))])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let dt = t0.elapsed().as_secs_f64();
+        let total_q: usize = (0..clients).map(|c| queries - (c % 7)).sum();
+        let qps = total_q as f64 / dt;
+        t.row(vec![
+            format!("engine {clients} clients (inter-query)"),
+            format!("{:.3}", dt / total_q as f64 * 1e3),
+            format!("{qps:.1}"),
+            format!("{:.2}", qps / qps_serial),
+        ]);
+    }
+
+    t.print();
+    cfg.save(&t, "throughput");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +661,13 @@ mod tests {
         let cfg = tiny_cfg();
         assert!(run("table1", &cfg));
         assert!(run("fig4", &cfg));
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn throughput_runs_small() {
+        let cfg = tiny_cfg();
+        throughput_with_rows(&cfg, 30_000);
         let _ = std::fs::remove_dir_all(&cfg.out_dir);
     }
 

@@ -134,6 +134,32 @@ impl IdList {
         IdList { ids: out }
     }
 
+    /// Appends every id of `other`, shifted up by `offset`. The shifted ids
+    /// must all be greater than the current last id — the segment-merge
+    /// case, where per-segment results are local ids and `offset` is the
+    /// segment's base row id.
+    pub fn extend_offset(&mut self, other: &IdList, offset: u64) {
+        debug_assert!(
+            self.ids.last().is_none_or(|&last| {
+                other.ids.first().is_none_or(|&first| last < first + offset)
+            }),
+            "offset segments must be appended in ascending order"
+        );
+        self.ids.reserve(other.len());
+        self.ids.extend(other.ids.iter().map(|id| id + offset));
+    }
+
+    /// Concatenates per-segment id lists into one global list. Each part is
+    /// `(segment base row id, local ids)`; parts must arrive in ascending
+    /// base order and each local list must fit before the next base.
+    pub fn concat_segments<I: IntoIterator<Item = (u64, IdList)>>(parts: I) -> IdList {
+        let mut out = IdList::new();
+        for (base, part) in parts {
+            out.extend_offset(&part, base);
+        }
+        out
+    }
+
     /// Consumes the list, returning the underlying vector.
     pub fn into_vec(self) -> Vec<u64> {
         self.ids
@@ -266,16 +292,16 @@ impl CachelineSet {
         let mut out = CachelineSet::new();
         let (mut i, mut j) = (0, 0);
         let mut pending: Option<Range<u64>> = None;
-        let add = |pending: &mut Option<Range<u64>>, r: Range<u64>, out: &mut CachelineSet| {
-            match pending {
+        let add =
+            |pending: &mut Option<Range<u64>>, r: Range<u64>, out: &mut CachelineSet| match pending
+            {
                 Some(p) if r.start <= p.end => p.end = p.end.max(r.end),
                 Some(p) => {
                     out.push_run(p.start, p.end);
                     *pending = Some(r);
                 }
                 None => *pending = Some(r),
-            }
-        };
+            };
         while i < self.ranges.len() || j < other.ranges.len() {
             let take_a = j >= other.ranges.len()
                 || (i < self.ranges.len() && self.ranges[i].start <= other.ranges[j].start);

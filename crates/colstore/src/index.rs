@@ -68,13 +68,24 @@ pub trait RangeIndex<T: Scalar> {
 
     /// Evaluates `pred`, returning the ordered ids of qualifying rows and
     /// the access statistics of the evaluation.
-    fn evaluate_with_stats(&self, col: &Column<T>, pred: &RangePredicate<T>)
-        -> (IdList, AccessStats);
+    fn evaluate_with_stats(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+    ) -> (IdList, AccessStats);
 
     /// Evaluates `pred`, returning only the ordered id list.
     fn evaluate(&self, col: &Column<T>, pred: &RangePredicate<T>) -> IdList {
         self.evaluate_with_stats(col, pred).0
     }
+}
+
+/// A [`RangeIndex`] that can be constructed from a column alone — the
+/// contract pluggable access paths implement so an engine can instantiate
+/// any of them per data segment without knowing the concrete type.
+pub trait BuildableIndex<T: Scalar>: RangeIndex<T> + Send + Sync + Sized {
+    /// Builds the index over `col`.
+    fn build_index(col: &Column<T>) -> Self;
 }
 
 #[cfg(test)]
@@ -97,8 +108,18 @@ mod tests {
 
     #[test]
     fn stats_merge_accumulates() {
-        let mut a = AccessStats { index_probes: 1, value_comparisons: 2, lines_fetched: 3, lines_skipped: 4 };
-        let b = AccessStats { index_probes: 10, value_comparisons: 20, lines_fetched: 30, lines_skipped: 40 };
+        let mut a = AccessStats {
+            index_probes: 1,
+            value_comparisons: 2,
+            lines_fetched: 3,
+            lines_skipped: 4,
+        };
+        let b = AccessStats {
+            index_probes: 10,
+            value_comparisons: 20,
+            lines_fetched: 30,
+            lines_skipped: 40,
+        };
         a.merge(&b);
         assert_eq!(a.index_probes, 11);
         assert_eq!(a.value_comparisons, 22);

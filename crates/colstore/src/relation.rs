@@ -130,6 +130,60 @@ impl AnyColumn {
         dispatch!(self, c => c.data_bytes())
     }
 
+    /// An empty column of scalar type `ty`.
+    pub fn new_empty(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::I8 => AnyColumn::I8(Column::new()),
+            ColumnType::U8 => AnyColumn::U8(Column::new()),
+            ColumnType::I16 => AnyColumn::I16(Column::new()),
+            ColumnType::U16 => AnyColumn::U16(Column::new()),
+            ColumnType::I32 => AnyColumn::I32(Column::new()),
+            ColumnType::U32 => AnyColumn::U32(Column::new()),
+            ColumnType::I64 => AnyColumn::I64(Column::new()),
+            ColumnType::U64 => AnyColumn::U64(Column::new()),
+            ColumnType::F32 => AnyColumn::F32(Column::new()),
+            ColumnType::F64 => AnyColumn::F64(Column::new()),
+        }
+    }
+
+    /// Appends a dynamically-typed value; the value's type must match.
+    pub fn push_value(&mut self, v: Value) -> crate::Result<()> {
+        if v.column_type() != self.column_type() {
+            return Err(crate::Error::Mismatch(format!(
+                "cannot append {} value to {} column",
+                v.column_type(),
+                self.column_type()
+            )));
+        }
+        dispatch!(self, c => {
+            // The type check above makes from_value infallible here.
+            c.push(Scalar::from_value(&v).expect("type tag checked"));
+        });
+        Ok(())
+    }
+
+    /// Appends rows `range` of `other` (which must have the same type) —
+    /// the batch-splitting primitive segmented stores use to cut an
+    /// incoming append at segment boundaries.
+    pub fn extend_from_range(
+        &mut self,
+        other: &AnyColumn,
+        range: std::ops::Range<usize>,
+    ) -> crate::Result<()> {
+        if other.column_type() != self.column_type() {
+            return Err(crate::Error::Mismatch(format!(
+                "cannot append {} rows to {} column",
+                other.column_type(),
+                self.column_type()
+            )));
+        }
+        dispatch!(self, c => {
+            let src = other.downcast::<_>().expect("type tag checked");
+            c.extend_from_slice(&src.values()[range]);
+        });
+        Ok(())
+    }
+
     /// Borrows the inner typed column, if the type matches.
     pub fn downcast<T: Scalar>(&self) -> Option<&Column<T>> {
         // A tiny hand-rolled Any: compare runtime tags, then the pointer
@@ -238,9 +292,9 @@ impl Relation {
 
     /// The column called `name`, downcast to its concrete type.
     pub fn typed_column<T: Scalar>(&self, name: &str) -> Result<&Column<T>> {
-        self.column(name)?.downcast::<T>().ok_or_else(|| {
-            Error::Mismatch(format!("column {name:?} is not of type {}", T::TYPE))
-        })
+        self.column(name)?
+            .downcast::<T>()
+            .ok_or_else(|| Error::Mismatch(format!("column {name:?} is not of type {}", T::TYPE)))
     }
 
     /// All columns in schema order.

@@ -126,11 +126,7 @@ impl Reader {
             return Err(Error::Corrupt("file shorter than header".into()));
         }
         if &all[..4] != magic {
-            return Err(Error::Corrupt(format!(
-                "bad magic {:?}, expected {:?}",
-                &all[..4],
-                magic
-            )));
+            return Err(Error::Corrupt(format!("bad magic {:?}, expected {:?}", &all[..4], magic)));
         }
         let crc_pos = all.len() - 4;
         let expected = u32::from_le_bytes(all[crc_pos..].try_into().expect("4 bytes"));
@@ -256,8 +252,7 @@ mod tests {
 
     #[test]
     fn column_roundtrip_f64_with_specials() {
-        let col: Column<f64> =
-            Column::from(vec![0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY]);
+        let col: Column<f64> = Column::from(vec![0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY]);
         let mut bytes = Vec::new();
         write_column(&col, &mut bytes).unwrap();
         let back: Column<f64> = read_column(&mut bytes.as_slice()).unwrap();

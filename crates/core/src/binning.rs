@@ -313,10 +313,7 @@ mod tests {
         for i in 0..62 {
             let expect = (i as f64 * 100.0) as i32;
             let got = b.borders()[i];
-            assert!(
-                (got - expect).abs() <= 1,
-                "border {i}: got {got}, expected ~{expect}"
-            );
+            assert!((got - expect).abs() <= 1, "border {i}: got {got}, expected ~{expect}");
         }
         assert_eq!(b.borders()[63], i32::MAX);
         // Values spread across all bins.

@@ -167,10 +167,7 @@ impl Compressor {
         // counter); extend it in bulk.
         while remaining > 0 {
             let last = *self.dict.last().expect("non-empty after push_line");
-            if last.repeat()
-                && self.imprints.last() == Some(&v)
-                && last.cnt() < MAX_CNT
-            {
+            if last.repeat() && self.imprints.last() == Some(&v) && last.cnt() < MAX_CNT {
                 let room = (MAX_CNT - last.cnt()) as u64;
                 let take = room.min(remaining);
                 let d = self.dict.len() - 1;
@@ -388,8 +385,9 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..50 {
-            let runs: Vec<(u64, u64)> =
-                (0..rng.gen_range(1..20)).map(|_| (rng.gen_range(0..3), rng.gen_range(1..30))).collect();
+            let runs: Vec<(u64, u64)> = (0..rng.gen_range(1..20))
+                .map(|_| (rng.gen_range(0..3), rng.gen_range(1..30)))
+                .collect();
             let mut a = Compressor::new();
             let mut b = Compressor::new();
             for &(v, n) in &runs {

@@ -128,10 +128,7 @@ mod tests {
         let shuffled: Column<i32> = Column::from(shuffled_vals);
         let e_clustered = column_entropy(&ColumnImprints::build(&clustered));
         let e_shuffled = column_entropy(&ColumnImprints::build(&shuffled));
-        assert!(
-            e_clustered < e_shuffled / 2.0,
-            "clustered {e_clustered} vs shuffled {e_shuffled}"
-        );
+        assert!(e_clustered < e_shuffled / 2.0, "clustered {e_clustered} vs shuffled {e_shuffled}");
     }
 
     #[test]

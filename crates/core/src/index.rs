@@ -258,6 +258,12 @@ impl<T: Scalar> ColumnImprints<T> {
     }
 }
 
+impl<T: Scalar> colstore::index::BuildableIndex<T> for ColumnImprints<T> {
+    fn build_index(col: &Column<T>) -> Self {
+        ColumnImprints::build(col)
+    }
+}
+
 impl<T: Scalar> RangeIndex<T> for ColumnImprints<T> {
     fn name(&self) -> &'static str {
         "imprints"
@@ -441,8 +447,7 @@ mod tests {
     fn figure_1_example() {
         // The running example of Figure 1: 15 values in 1..=8, cachelines
         // of 3 values (simulated with block_bytes = 3 * 4 = 12).
-        let col: Column<i32> =
-            Column::from(vec![1, 8, 4, 1, 6, 2, 3, 7, 2, 4, 5, 6, 8, 7, 1]);
+        let col: Column<i32> = Column::from(vec![1, 8, 4, 1, 6, 2, 3, 7, 2, 4, 5, 6, 8, 7, 1]);
         let opts = BuildOptions { block_bytes: 12, ..Default::default() };
         let idx = ColumnImprints::build_with(&col, opts);
         assert_eq!(idx.values_per_block(), 3);

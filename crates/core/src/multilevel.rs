@@ -399,10 +399,7 @@ mod tests {
         let base = ColumnImprints::build(&col);
         let ml = MultiLevelImprints::from_base(base.clone(), 64);
         let extra = ml.size_bytes() - RangeIndex::size_bytes(&base);
-        assert!(
-            extra < col.data_bytes() / 200,
-            "level-2 overhead {extra} too large"
-        );
+        assert!(extra < col.data_bytes() / 200, "level-2 overhead {extra} too large");
     }
 
     #[test]

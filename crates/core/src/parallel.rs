@@ -15,8 +15,9 @@
 //! The result is bit-identical to the serial build (tested), because
 //! stitching replays the same run sequence through the same state machine.
 
+use std::thread;
+
 use colstore::{Column, Scalar};
-use crossbeam::thread;
 
 use crate::binning::Binning;
 use crate::builder::{line_imprint, BuildOptions, Compressor};
@@ -53,7 +54,7 @@ pub fn build_parallel<T: Scalar>(
             let last_line = ((t + 1) * lines_per_chunk).min(full_lines);
             let chunk = &values[first_line * vpb..last_line * vpb];
             let binning = &binning;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut comp = Compressor::new();
                 for line in chunk.chunks_exact(vpb) {
                     comp.push_line(line_imprint(binning, line));
@@ -62,8 +63,7 @@ pub fn build_parallel<T: Scalar>(
             }));
         }
         handles.into_iter().map(|h| h.join().expect("imprint worker panicked")).collect()
-    })
-    .expect("scoped threads");
+    });
 
     // Phase 3: stitch local results in chunk order.
     let mut comp = Compressor::new();

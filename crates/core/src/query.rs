@@ -123,7 +123,13 @@ fn evaluate_with_masks<T: Scalar>(
                     } else {
                         stats.lines_checked += 1;
                         stats.access.lines_fetched += 1;
-                        check_values(&mut res, values, pred, ids, &mut stats.access.value_comparisons);
+                        check_values(
+                            &mut res,
+                            values,
+                            pred,
+                            ids,
+                            &mut stats.access.value_comparisons,
+                        );
                     }
                 } else {
                     stats.access.lines_skipped += 1;
@@ -206,10 +212,8 @@ pub fn count<T: Scalar>(
             stats.lines_checked += run.line_count;
             stats.access.lines_fetched += run.line_count;
             stats.access.value_comparisons += end - start;
-            total += values[start as usize..end as usize]
-                .iter()
-                .filter(|v| pred.matches(v))
-                .count() as u64;
+            total += values[start as usize..end as usize].iter().filter(|v| pred.matches(v)).count()
+                as u64;
         }
     }
     (total, stats)

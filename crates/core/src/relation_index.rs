@@ -62,6 +62,14 @@ impl ValueRange {
         ValueRange { low: None, high: Some(high) }
     }
 
+    /// Converts to the typed predicate of column type `T` — the bridge a
+    /// dynamically-typed query front-end (this module, the engine crate's
+    /// tables) uses to reach the typed index kernels. Fails if either bound
+    /// has a different scalar type than `T`.
+    pub fn to_predicate<T: Scalar>(&self) -> Result<RangePredicate<T>> {
+        self.typed()
+    }
+
     /// Converts to the typed predicate of column type `T`.
     fn typed<T: Scalar>(&self) -> Result<RangePredicate<T>> {
         let conv = |v: &Value| {
@@ -123,11 +131,7 @@ macro_rules! any_dispatch {
             (AnyImprints::U64($i), AnyColumn::U64($c)) => $body,
             (AnyImprints::F32($i), AnyColumn::F32($c)) => $body,
             (AnyImprints::F64($i), AnyColumn::F64($c)) => $body,
-            _ => {
-                return Err(Error::Mismatch(
-                    "index and column scalar types diverged".into(),
-                ))
-            }
+            _ => return Err(Error::Mismatch("index and column scalar types diverged".into())),
         }
     };
 }
@@ -334,9 +338,7 @@ mod tests {
     fn type_mismatched_bound_rejected() {
         let rel = weather(100);
         let idx = RelationImprints::build(&rel);
-        let err = idx
-            .query(&rel, &[("temp", ValueRange::equals(Value::I32(5)))])
-            .unwrap_err();
+        let err = idx.query(&rel, &[("temp", ValueRange::equals(Value::I32(5)))]).unwrap_err();
         assert!(matches!(err, Error::Mismatch(_)), "got {err:?}");
     }
 

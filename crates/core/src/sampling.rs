@@ -15,11 +15,7 @@ use rand::{Rng, SeedableRng};
 ///
 /// If the column has at most `sample_size` rows the "sample" is the whole
 /// column — the histogram is then exact rather than approximate.
-pub fn sorted_distinct_sample<T: Scalar>(
-    col: &Column<T>,
-    sample_size: usize,
-    seed: u64,
-) -> Vec<T> {
+pub fn sorted_distinct_sample<T: Scalar>(col: &Column<T>, sample_size: usize, seed: u64) -> Vec<T> {
     let values = col.values();
     let mut sample: Vec<T> = if values.len() <= sample_size {
         values.to_vec()

@@ -135,10 +135,7 @@ pub fn evaluate_with_delta<T: Scalar>(
 /// touch and reports how many of them now carry *stale* bits (bits set for
 /// values no longer present). Stale bits are harmless — they only produce
 /// false positives — but quantify index decay between rebuilds.
-pub fn stale_line_count<T: Scalar>(
-    idx: &ColumnImprints<T>,
-    col_after_updates: &Column<T>,
-) -> u64 {
+pub fn stale_line_count<T: Scalar>(idx: &ColumnImprints<T>, col_after_updates: &Column<T>) -> u64 {
     let vpb = idx.values_per_block();
     let mut stale = 0u64;
     let mut lines = idx.line_imprints();
@@ -153,7 +150,6 @@ pub fn stale_line_count<T: Scalar>(
     }
     stale
 }
-
 
 /// In-place updates without rebuild (§4.2): "an insertion however, will
 /// call for additional bits to be set to the imprint corresponding to the
@@ -236,7 +232,11 @@ impl<T: Scalar> OverlayImprints<T> {
         let vpb = self.base.values_per_block() as u64;
         let rows = self.base.rows() as u64;
         let not_inner = !m.innermask;
-        let handle = |imprint: u64, first_line: u64, line_count: u64, stats: &mut query::ImprintStats, res: &mut Vec<u64>| {
+        let handle = |imprint: u64,
+                      first_line: u64,
+                      line_count: u64,
+                      stats: &mut query::ImprintStats,
+                      res: &mut Vec<u64>| {
             stats.access.index_probes += 1;
             if imprint & m.mask == 0 {
                 stats.access.lines_skipped += line_count;

@@ -107,8 +107,10 @@ pub fn generate(family: DatasetFamily, rows: usize, seed: u64) -> Vec<GeneratedC
         Sdss => {
             let profmean = dist::uniform_doubles(rows, 0.0, 30.0, seed);
             let ra: Vec<f64> = dist::uniform_doubles(rows, 0.0, 360.0, seed ^ 2);
-            let dec: Vec<f32> =
-                dist::uniform_doubles(rows, -90.0, 90.0, seed ^ 3).iter().map(|&x| x as f32).collect();
+            let dec: Vec<f32> = dist::uniform_doubles(rows, -90.0, 90.0, seed ^ 3)
+                .iter()
+                .map(|&x| x as f32)
+                .collect();
             let objid: Vec<i64> = dist::uniform_ints(rows, 0, i64::MAX / 2, seed ^ 4);
             vec![
                 GeneratedColumn::new("photoprofile.profmean", family, Column::from(profmean)),
@@ -122,8 +124,10 @@ pub fn generate(family: DatasetFamily, rows: usize, seed: u64) -> Vec<GeneratedC
             // a dominant "missing" value, repeating in runs because similar
             // products are inserted adjacently (low entropy despite skew).
             let attr18: Vec<i32> = dist::cast_vec(&dist::clustered_zipf(rows, 40, 1.4, 96, seed));
-            let attr7: Vec<u8> = dist::cast_vec(&dist::clustered_zipf(rows, 12, 1.6, 128, seed ^ 5));
-            let attr99: Vec<i16> = dist::cast_vec(&dist::clustered_zipf(rows, 200, 1.1, 64, seed ^ 6));
+            let attr7: Vec<u8> =
+                dist::cast_vec(&dist::clustered_zipf(rows, 12, 1.6, 128, seed ^ 5));
+            let attr99: Vec<i16> =
+                dist::cast_vec(&dist::clustered_zipf(rows, 200, 1.1, 64, seed ^ 6));
             let price_bucket: Vec<i32> =
                 dist::cast_vec(&dist::clustered_zipf(rows, 64, 0.9, 48, seed ^ 7));
             vec![
@@ -134,13 +138,13 @@ pub fn generate(family: DatasetFamily, rows: usize, seed: u64) -> Vec<GeneratedC
             ]
         }
         Airtraffic => {
-            let airline: Vec<i32> =
-                dist::cast_vec(&dist::time_clustered(rows, 24, 30, 0.02, seed));
+            let airline: Vec<i32> = dist::cast_vec(&dist::time_clustered(rows, 24, 30, 0.02, seed));
             let delay: Vec<i16> = dist::cast_vec(
                 &dist::zipf(rows, 400, 1.3, seed ^ 8).iter().map(|&x| x - 30).collect::<Vec<_>>(),
             );
-            let month: Vec<u8> =
-                dist::cast_vec(&(0..rows).map(|i| ((i * 12) / rows.max(1)) as i64).collect::<Vec<_>>());
+            let month: Vec<u8> = dist::cast_vec(
+                &(0..rows).map(|i| ((i * 12) / rows.max(1)) as i64).collect::<Vec<_>>(),
+            );
             let cancelled: Vec<u8> = dist::cast_vec(&dist::two_valued(rows, 2000, seed ^ 9));
             let dep_time: Vec<i32> =
                 dist::cast_vec(&dist::time_clustered(rows, 365, 1440, 0.01, seed ^ 10));
@@ -157,8 +161,7 @@ pub fn generate(family: DatasetFamily, rows: usize, seed: u64) -> Vec<GeneratedC
             // "not ordered, but … the same repeated permutation of an
             // order", locally incremental — which is what gives the paper's
             // low entropy (E ≈ 0.23) despite the column being unsorted.
-            let retail: Vec<i64> =
-                (0..rows).map(|i| 90_000 + ((i as i64 * 7) % 20_000)).collect();
+            let retail: Vec<i64> = (0..rows).map(|i| 90_000 + ((i as i64 * 7) % 20_000)).collect();
             let qty: Vec<i32> = dist::cast_vec(&dist::repeated_permutation(rows, 50, seed ^ 11));
             let orderdate: Vec<i32> = dist::cast_vec(
                 &(0..rows).map(|i| 8035 + ((i * 2557) / rows.max(1)) as i64).collect::<Vec<_>>(),
@@ -210,7 +213,12 @@ mod tests {
         use colstore::ColumnType::*;
         let widths: std::collections::HashSet<usize> =
             generate_all(1000, 1).iter().map(|c| c.column.column_type().width()).collect();
-        assert!(widths.contains(&1) && widths.contains(&2) && widths.contains(&4) && widths.contains(&8));
+        assert!(
+            widths.contains(&1)
+                && widths.contains(&2)
+                && widths.contains(&4)
+                && widths.contains(&8)
+        );
         // And both float and integer kinds appear.
         let types: std::collections::HashSet<_> =
             generate_all(1000, 1).iter().map(|c| c.column.column_type()).collect();

@@ -64,8 +64,7 @@ mod tests {
             if bits == 0 {
                 return 0.0;
             }
-            let edits: u64 =
-                vectors.windows(2).map(|w| (w[0] ^ w[1]).count_ones() as u64).sum();
+            let edits: u64 = vectors.windows(2).map(|w| (w[0] ^ w[1]).count_ones() as u64).sum();
             edits as f64 / (2.0 * bits as f64)
         }
     }

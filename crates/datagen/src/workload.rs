@@ -16,8 +16,7 @@ use rand::{Rng, SeedableRng};
 /// increases each time by 0.1, until it surpasses 0.9". The first step is
 /// very selective (1%) — that end is where secondary indexes shine (the
 /// ~1000× factors of Figure 10 appear near selectivity 0).
-pub const SELECTIVITY_STEPS: [f64; 10] =
-    [0.01, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.95];
+pub const SELECTIVITY_STEPS: [f64; 10] = [0.01, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.95];
 
 /// A generated query with its intended selectivity.
 #[derive(Debug, Clone)]
@@ -127,7 +126,11 @@ mod tests {
         let wl = QueryWorkload::for_column(&col, 1, 5);
         for q in wl.queries() {
             let got = measured_selectivity(&col, &q.predicate);
-            assert!(got >= q.target_selectivity - 0.11, "target {} got {got}", q.target_selectivity);
+            assert!(
+                got >= q.target_selectivity - 0.11,
+                "target {} got {got}",
+                q.target_selectivity
+            );
         }
     }
 

@@ -1,0 +1,86 @@
+//! The relation catalog: named tables behind one lock.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use colstore::{ColumnType, Error, Result};
+
+use crate::config::EngineConfig;
+use crate::table::Table;
+
+/// A concurrent registry of [`Table`]s.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Creates and registers a table.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: &[(&str, ColumnType)],
+        cfg: EngineConfig,
+    ) -> Result<Arc<Table>> {
+        let table = Arc::new(Table::new(name, schema, cfg)?);
+        let mut tables = self.tables.write().expect("catalog lock");
+        if tables.contains_key(name) {
+            return Err(Error::Mismatch(format!("table {name:?} already exists")));
+        }
+        tables.insert(name.to_string(), Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .expect("catalog lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table {name:?}")))
+    }
+
+    /// Unregisters a table, returning whether it existed. Queries holding
+    /// the `Arc` finish normally; the data is freed with the last clone.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables.write().expect("catalog lock").remove(name).is_some()
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.tables.read().expect("catalog lock").keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot of all tables (for the maintenance planner).
+    pub fn tables(&self) -> Vec<Arc<Table>> {
+        self.tables.read().expect("catalog lock").values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lookup_drop() {
+        let cat = Catalog::new();
+        cat.create_table("a", &[("x", ColumnType::I32)], EngineConfig::default()).unwrap();
+        cat.create_table("b", &[("y", ColumnType::F64)], EngineConfig::default()).unwrap();
+        assert!(cat.create_table("a", &[("x", ColumnType::I32)], EngineConfig::default()).is_err());
+        assert_eq!(cat.table_names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(cat.table("a").is_ok());
+        assert!(cat.table("zz").is_err());
+        assert!(cat.drop_table("a"));
+        assert!(!cat.drop_table("a"));
+        assert_eq!(cat.tables().len(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Engine configuration.
+
+/// Tuning knobs for tables, sealing and query execution.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Rows per sealed segment. Must be a multiple of 64 so that every
+    /// scalar width's cacheline grid (8–64 values per line) divides the
+    /// segment evenly and per-segment imprints never straddle a boundary.
+    pub segment_rows: usize,
+    /// Worker threads in the query pool (`0` = one per available core).
+    pub workers: usize,
+    /// Reuse the previous segment's histogram binning when sealing (the
+    /// paper's §4.1 appends-don't-readjust-borders rule). The maintenance
+    /// planner re-bins drifted segments in the background. When `false`
+    /// every seal resamples from scratch.
+    pub share_binning: bool,
+    /// Threads used to build one segment's imprint at seal time.
+    pub build_threads: usize,
+    /// Background maintenance thresholds.
+    pub maintenance: MaintenanceConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            segment_rows: 1 << 16,
+            workers: 0,
+            share_binning: true,
+            build_threads: 1,
+            maintenance: MaintenanceConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Resolved worker count (`workers`, or one per core when 0).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        }
+    }
+
+    /// Panics if the configuration is structurally invalid.
+    pub fn validate(&self) {
+        assert!(self.segment_rows > 0, "segment_rows must be positive");
+        assert_eq!(self.segment_rows % 64, 0, "segment_rows must be a multiple of 64");
+    }
+}
+
+/// When the background planner rewrites a segment's index.
+#[derive(Debug, Clone)]
+pub struct MaintenanceConfig {
+    /// Rebuild when the imprint's mean bits-set fraction exceeds this
+    /// (saturated vectors filter nothing; `ColumnImprints::saturation`).
+    pub saturation_threshold: f64,
+    /// Rebuild when this fraction of a segment's values landed in the
+    /// binning's overflow bins at seal time (the §4.1 drift signal, which
+    /// here means the inherited borders no longer fit the data).
+    pub drift_threshold: f64,
+    /// Rebuild when the observed false-positive rate of the imprint path —
+    /// fraction of value comparisons that did *not* produce a match —
+    /// stays above this.
+    pub fp_threshold: f64,
+    /// Ignore the false-positive signal until a segment has at least this
+    /// many observed value comparisons (avoids reacting to noise).
+    pub min_comparisons: u64,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            saturation_threshold: 0.75,
+            drift_threshold: 0.5,
+            fp_threshold: 0.95,
+            min_comparisons: 4096,
+        }
+    }
+}

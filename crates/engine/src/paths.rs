@@ -1,0 +1,187 @@
+//! Per-segment access-path choice.
+//!
+//! Every sealed segment column can answer a range predicate three ways:
+//! through its **imprint**, through its **zonemap**, or by **scanning**.
+//! Which one is fastest depends on the segment's data (clustering,
+//! cardinality) and the workload (selectivity), so the engine treats the
+//! access path as a per-query decision informed by observed cost — the
+//! stance of learned/adaptive secondary indexing (LSI, AIM) rather than a
+//! fixed structure choice.
+//!
+//! [`PathChooser`] keeps an exponentially-weighted moving average of the
+//! observed evaluation cost per path and picks the cheapest, with a
+//! deterministic round-robin exploration probe every
+//! [`EXPLORE_PERIOD`]-th query so a path whose relative cost changed
+//! (appends elsewhere, different predicate mix, post-rebuild) gets
+//! re-measured. All state is atomic: choosers live inside shared, immutable
+//! segments and are updated concurrently by many readers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One of the three ways a segment column can answer a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// The column-imprints secondary index.
+    Imprints,
+    /// The min/max-per-cacheline zonemap.
+    ZoneMap,
+    /// A sequential scan of the segment.
+    Scan,
+}
+
+impl PathKind {
+    /// All paths, in chooser slot order.
+    pub const ALL: [PathKind; 3] = [PathKind::Imprints, PathKind::ZoneMap, PathKind::Scan];
+
+    fn slot(self) -> usize {
+        match self {
+            PathKind::Imprints => 0,
+            PathKind::ZoneMap => 1,
+            PathKind::Scan => 2,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PathKind::Imprints => "imprints",
+            PathKind::ZoneMap => "zonemap",
+            PathKind::Scan => "scan",
+        }
+    }
+}
+
+/// Every `EXPLORE_PERIOD`-th query takes a forced exploration path.
+pub const EXPLORE_PERIOD: u64 = 16;
+
+const UNSEEN: u64 = u64::MAX;
+
+/// Adaptive chooser: EWMA cost per path + periodic exploration.
+#[derive(Debug)]
+pub struct PathChooser {
+    queries: AtomicU64,
+    /// EWMA of observed cost (nanoseconds) per path; `UNSEEN` until the
+    /// first observation.
+    cost: [AtomicU64; 3],
+}
+
+impl Default for PathChooser {
+    fn default() -> Self {
+        PathChooser {
+            queries: AtomicU64::new(0),
+            cost: [AtomicU64::new(UNSEEN), AtomicU64::new(UNSEEN), AtomicU64::new(UNSEEN)],
+        }
+    }
+}
+
+impl PathChooser {
+    /// Picks the path for the next query.
+    pub fn choose(&self) -> PathKind {
+        let n = self.queries.fetch_add(1, Ordering::Relaxed);
+        // Bootstrap: measure each path once before trusting the EWMA, then
+        // keep probing on a fixed cadence.
+        if n.is_multiple_of(EXPLORE_PERIOD)
+            || self.cost.iter().any(|c| c.load(Ordering::Relaxed) == UNSEEN)
+        {
+            return PathKind::ALL[(n % 3) as usize];
+        }
+        let mut best = PathKind::Imprints;
+        let mut best_cost = u64::MAX;
+        for p in PathKind::ALL {
+            let c = self.cost[p.slot()].load(Ordering::Relaxed);
+            if c < best_cost {
+                best_cost = c;
+                best = p;
+            }
+        }
+        best
+    }
+
+    /// Feeds back the observed cost of one evaluation over `path`.
+    pub fn record(&self, path: PathKind, cost_nanos: u64) {
+        let slot = &self.cost[path.slot()];
+        let old = slot.load(Ordering::Relaxed);
+        let new = if old == UNSEEN { cost_nanos } else { (old * 7 + cost_nanos) / 8 };
+        // A racy lost update only loses one observation; fine for a cost model.
+        slot.store(new, Ordering::Relaxed);
+    }
+
+    /// Current EWMA cost estimates in chooser slot order (`None` = unseen).
+    pub fn estimates(&self) -> [Option<u64>; 3] {
+        [0, 1, 2].map(|i| {
+            let c = self.cost[i].load(Ordering::Relaxed);
+            (c != UNSEEN).then_some(c)
+        })
+    }
+
+    /// Queries routed through this chooser.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// A copy with the same counters and learned costs — used when a
+    /// sibling column's rebuild swaps the segment but this column's index
+    /// is unchanged, so its cost model stays valid.
+    pub fn carry_over(&self) -> PathChooser {
+        PathChooser {
+            queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
+            cost: [0, 1, 2].map(|i| AtomicU64::new(self.cost[i].load(Ordering::Relaxed))),
+        }
+    }
+
+    /// Forgets learned costs (after a rebuild changed the index).
+    pub fn reset(&self) {
+        for c in &self.cost {
+            c.store(UNSEEN, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explores_all_paths_then_exploits_cheapest() {
+        let ch = PathChooser::default();
+        // Feed costs: scan cheap, imprints expensive.
+        for _ in 0..64 {
+            let p = ch.choose();
+            let cost = match p {
+                PathKind::Imprints => 9_000,
+                PathKind::ZoneMap => 5_000,
+                PathKind::Scan => 1_000,
+            };
+            ch.record(p, cost);
+        }
+        let est = ch.estimates();
+        assert!(est.iter().all(Option::is_some), "all paths must have been explored");
+        // Exploitation picks scan on non-probe queries.
+        let picks: Vec<PathKind> = (0..EXPLORE_PERIOD - 1).map(|_| ch.choose()).collect();
+        let scans = picks.iter().filter(|p| **p == PathKind::Scan).count();
+        assert!(scans as u64 >= EXPLORE_PERIOD - 3, "expected mostly scans, got {picks:?}");
+    }
+
+    #[test]
+    fn adapts_when_costs_flip() {
+        let ch = PathChooser::default();
+        for _ in 0..48 {
+            let p = ch.choose();
+            ch.record(p, if p == PathKind::Imprints { 100 } else { 10_000 });
+        }
+        // Imprints now degrade (e.g. saturated): exploration must flip the
+        // choice to another path.
+        for _ in 0..256 {
+            let p = ch.choose();
+            ch.record(p, if p == PathKind::Imprints { 50_000 } else { 400 });
+        }
+        let p = ch.choose();
+        ch.record(p, 400);
+        let est = ch.estimates();
+        let imp = est[PathKind::Imprints.slot()].unwrap();
+        assert!(
+            est[1].unwrap() < imp || est[2].unwrap() < imp,
+            "chooser failed to re-learn: {est:?}"
+        );
+    }
+}

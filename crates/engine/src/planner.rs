@@ -1,0 +1,299 @@
+//! The stats-driven maintenance planner.
+//!
+//! Sealed segments inherit their binning from the previous segment
+//! (§4.1: appends never readjust borders), so a shifting value
+//! distribution slowly degrades the index: values pile into the overflow
+//! bins, imprint vectors saturate, and the false-positive weeding cost
+//! grows. Instead of rebuilding eagerly — or never — the planner watches
+//! three per-segment-column signals and schedules **bounded** background
+//! rebuilds (one segment's index at a time, data shared, readers never
+//! blocked):
+//!
+//! * **saturation** — mean bits-set fraction of the stored imprint vectors;
+//! * **drift** — fraction of the segment's values that landed in the
+//!   inherited binning's overflow bins at seal time;
+//! * **observed false-positive rate** — fraction of fetched-and-compared
+//!   values that did not match, accumulated by live queries.
+//!
+//! This is the automated-index-management loop (AIM-style): observe →
+//! decide → rebuild → swap, with the epoch scheme making each swap atomic
+//! to readers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::catalog::Catalog;
+use crate::config::MaintenanceConfig;
+use crate::table::Table;
+
+/// Why a segment column was (or would be) rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RebuildReason {
+    /// Imprint vectors saturated past the threshold.
+    Saturated(f64),
+    /// Seal-time overflow drift past the threshold.
+    Drifted(f64),
+    /// Observed false-positive rate past the threshold.
+    FalsePositives(f64),
+}
+
+/// One planned or applied rebuild.
+#[derive(Debug, Clone)]
+pub struct RebuildAction {
+    /// Table name.
+    pub table: String,
+    /// Sealed segment index at planning time.
+    pub segment: usize,
+    /// Column name.
+    pub column: String,
+    /// The triggering signal.
+    pub reason: RebuildReason,
+}
+
+/// Outcome of one maintenance pass.
+#[derive(Debug, Default)]
+pub struct MaintenanceReport {
+    /// Segment columns examined.
+    pub examined: usize,
+    /// Rebuilds applied (segment swapped).
+    pub applied: Vec<RebuildAction>,
+    /// Rebuilds that lost the swap race (segment changed meanwhile).
+    pub skipped: usize,
+}
+
+fn diagnose(
+    table: &Table,
+    seg_cols: &crate::segment::AnySegCol,
+    cfg: &MaintenanceConfig,
+) -> Option<RebuildReason> {
+    let _ = table;
+    let sat = seg_cols.saturation();
+    if sat > cfg.saturation_threshold {
+        return Some(RebuildReason::Saturated(sat));
+    }
+    let drift = seg_cols.drift();
+    if drift > cfg.drift_threshold {
+        return Some(RebuildReason::Drifted(drift));
+    }
+    if let Some(fp) = seg_cols.observations().fp_rate(cfg.min_comparisons) {
+        if fp > cfg.fp_threshold {
+            return Some(RebuildReason::FalsePositives(fp));
+        }
+    }
+    None
+}
+
+/// Inspects every sealed segment column of every table and returns what a
+/// maintenance pass would rebuild, without touching anything.
+pub fn plan(catalog: &Catalog) -> Vec<RebuildAction> {
+    let mut actions = Vec::new();
+    for table in catalog.tables() {
+        let cfg = &table.config().maintenance;
+        for (si, seg) in table.sealed_snapshot().iter().enumerate() {
+            for (ci, col) in seg.columns().iter().enumerate() {
+                if let Some(reason) = diagnose(&table, col, cfg) {
+                    actions.push(RebuildAction {
+                        table: table.name().to_string(),
+                        segment: si,
+                        column: table.schema()[ci].name.clone(),
+                        reason,
+                    });
+                }
+            }
+        }
+    }
+    actions
+}
+
+/// One maintenance pass: diagnose and rebuild degraded segment columns,
+/// swapping each rebuilt segment in atomically. Returns what happened.
+pub fn maintenance_tick(catalog: &Catalog) -> MaintenanceReport {
+    let mut report = MaintenanceReport::default();
+    for table in catalog.tables() {
+        let cfg = table.config().maintenance.clone();
+        let sealed = table.sealed_snapshot();
+        for (si, seg) in sealed.iter().enumerate() {
+            let mut degraded: Vec<(usize, RebuildReason)> = Vec::new();
+            for (ci, col) in seg.columns().iter().enumerate() {
+                report.examined += 1;
+                if let Some(reason) = diagnose(&table, col, &cfg) {
+                    degraded.push((ci, reason));
+                }
+            }
+            if degraded.is_empty() {
+                continue;
+            }
+            // Rebuild every degraded column of the segment off the frozen
+            // snapshot (no locks held), then swap once — the swap checks
+            // the segment is still the one we rebuilt from, so a true
+            // concurrent change (not our own swap) makes it a no-op.
+            let cols: Vec<usize> = degraded.iter().map(|d| d.0).collect();
+            let rebuilt = seg.with_rebuilt_columns(&cols);
+            if table.replace_segment(si, seg, rebuilt) {
+                for (ci, reason) in degraded {
+                    report.applied.push(RebuildAction {
+                        table: table.name().to_string(),
+                        segment: si,
+                        column: table.schema()[ci].name.clone(),
+                        reason,
+                    });
+                }
+            } else {
+                report.skipped += degraded.len();
+            }
+        }
+    }
+    report
+}
+
+/// A background thread running [`maintenance_tick`] on an interval.
+pub struct MaintenanceDaemon {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    running: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MaintenanceDaemon {
+    /// Starts the daemon over `catalog`, ticking every `interval`.
+    pub fn start(catalog: Arc<Catalog>, interval: Duration) -> MaintenanceDaemon {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let running = Arc::new(AtomicBool::new(true));
+        let stop2 = Arc::clone(&stop);
+        let running2 = Arc::clone(&running);
+        let handle = std::thread::Builder::new()
+            .name("imprints-maintenance".into())
+            .spawn(move || {
+                let (lock, cv) = &*stop2;
+                loop {
+                    let _ = maintenance_tick(&catalog);
+                    let guard = lock.lock().expect("daemon lock");
+                    let (guard, _) =
+                        cv.wait_timeout_while(guard, interval, |stopped| !*stopped).expect("wait");
+                    if *guard {
+                        break;
+                    }
+                }
+                running2.store(false, Ordering::Release);
+            })
+            .expect("spawn maintenance thread");
+        MaintenanceDaemon { stop, running, handle: Some(handle) }
+    }
+
+    /// Whether the daemon thread is still alive.
+    pub fn is_running(&self) -> bool {
+        self.running.load(Ordering::Acquire)
+    }
+
+    /// Stops the daemon and joins its thread.
+    pub fn stop(&mut self) {
+        {
+            let (lock, cv) = &*self.stop;
+            *lock.lock().expect("daemon lock") = true;
+            cv.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MaintenanceDaemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use colstore::relation::AnyColumn;
+    use colstore::{ColumnType, Value};
+    use imprints::relation_index::ValueRange;
+
+    fn drifted_table(cat: &Catalog) -> Arc<Table> {
+        let cfg = EngineConfig { segment_rows: 512, ..Default::default() };
+        let t = cat.create_table("drift", &[("v", ColumnType::I64)], cfg).unwrap();
+        // First segments: small domain. Later segments: domain shifted far
+        // outside the inherited borders → drift signal fires.
+        let lo: Vec<i64> = (0..1024).map(|i| i % 1000).collect();
+        t.append_batch(vec![AnyColumn::I64(lo.into_iter().collect())]).unwrap();
+        let hi: Vec<i64> = (0..1024).map(|i| 10_000_000 + i % 1000).collect();
+        t.append_batch(vec![AnyColumn::I64(hi.into_iter().collect())]).unwrap();
+        t
+    }
+
+    #[test]
+    fn planner_detects_and_repairs_drift() {
+        let cat = Catalog::new();
+        let t = drifted_table(&cat);
+        let planned = plan(&cat);
+        assert!(
+            planned.iter().any(|a| matches!(a.reason, RebuildReason::Drifted(_))),
+            "expected drift actions, got {planned:?}"
+        );
+        let pred = [("v", ValueRange::between(Value::I64(10_000_100), Value::I64(10_000_300)))];
+        let before = t.query(&pred).unwrap();
+        let epoch_before = t.epoch();
+        let report = maintenance_tick(&cat);
+        assert!(!report.applied.is_empty(), "tick must apply the planned rebuilds");
+        assert!(t.epoch() > epoch_before, "swaps must bump the epoch");
+        // Rebuilt index answers identically.
+        let after = t.query(&pred).unwrap();
+        assert_eq!(before, after);
+        // Signals cleared: a second tick has nothing to do.
+        let again = maintenance_tick(&cat);
+        assert!(again.applied.is_empty(), "second tick should be clean, got {again:?}");
+        assert!(t.stats().rebuilds.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn one_tick_repairs_every_degraded_column_of_a_segment() {
+        let cat = Catalog::new();
+        let cfg = EngineConfig { segment_rows: 512, ..Default::default() };
+        let t = cat
+            .create_table("multi", &[("a", ColumnType::I64), ("b", ColumnType::I64)], cfg)
+            .unwrap();
+        // Seed segment sets the binnings; the second segment shifts BOTH
+        // column domains so both columns of it drift.
+        let lo: Vec<i64> = (0..512).map(|i| i % 1000).collect();
+        t.append_batch(vec![
+            AnyColumn::I64(lo.iter().copied().collect()),
+            AnyColumn::I64(lo.iter().copied().collect()),
+        ])
+        .unwrap();
+        let hi: Vec<i64> = (0..512).map(|i| 5_000_000 + i % 1000).collect();
+        t.append_batch(vec![
+            AnyColumn::I64(hi.iter().copied().collect()),
+            AnyColumn::I64(hi.iter().copied().collect()),
+        ])
+        .unwrap();
+        let report = maintenance_tick(&cat);
+        assert_eq!(report.skipped, 0, "no swap race exists, nothing may be skipped");
+        let mut repaired: Vec<&str> = report.applied.iter().map(|a| a.column.as_str()).collect();
+        repaired.sort_unstable();
+        assert_eq!(repaired, vec!["a", "b"], "both degraded columns repaired in one tick");
+        assert!(plan(&cat).is_empty(), "one tick must leave nothing diagnosed");
+    }
+
+    #[test]
+    fn daemon_runs_and_stops() {
+        let cat = Arc::new(Catalog::new());
+        let t = { drifted_table(&cat) };
+        let mut d = MaintenanceDaemon::start(Arc::clone(&cat), Duration::from_millis(5));
+        // Wait for the daemon to repair the drifted segments.
+        for _ in 0..500 {
+            if plan(&cat).is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(plan(&cat).is_empty(), "daemon should have repaired drift");
+        assert!(d.is_running());
+        d.stop();
+        assert!(!d.is_running());
+        drop(t);
+    }
+}

@@ -1,0 +1,610 @@
+//! Sealed, immutable data segments.
+//!
+//! A table's data is split into fixed-size segments of
+//! [`EngineConfig::segment_rows`](crate::EngineConfig::segment_rows) rows.
+//! Each sealed segment owns, per column, a cacheline-aligned data chunk and
+//! its own secondary indexes: a [`ColumnImprints`] (the primary access
+//! path, with a bounded rebuild scope — re-binning one segment never
+//! touches its neighbours) and a [`ZoneMap`], plus an adaptive
+//! [`PathChooser`] deciding per query which path answers.
+//!
+//! Sealed segments are immutable and shared via `Arc`: queries, appends and
+//! the maintenance planner never copy data, they swap segment pointers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use baselines::{SeqScan, ZoneMap};
+use colstore::index::BuildableIndex;
+use colstore::relation::AnyColumn;
+use colstore::{AccessStats, CachelineSet, Column, IdList, RangeIndex, Scalar, Value};
+use imprints::builder::BuildOptions;
+use imprints::query;
+use imprints::relation_index::ValueRange;
+use imprints::ColumnImprints;
+
+use crate::config::EngineConfig;
+use crate::paths::{PathChooser, PathKind};
+
+/// Cumulative per-column observation counters, updated lock-free by
+/// concurrent readers and consumed by the maintenance planner.
+#[derive(Debug, Default)]
+pub struct ColumnObservations {
+    /// Value comparisons spent weeding candidates on the imprint path.
+    pub comparisons: AtomicU64,
+    /// Of those comparisons, how many produced a match (the complement is
+    /// the index's false-positive work).
+    pub matches: AtomicU64,
+    /// Queries evaluated against this column.
+    pub queries: AtomicU64,
+}
+
+impl ColumnObservations {
+    /// Observed false-positive rate of the imprint path: the fraction of
+    /// fetched-and-compared values that did not match. `None` below
+    /// `min_comparisons` observations.
+    pub fn fp_rate(&self, min_comparisons: u64) -> Option<f64> {
+        let cmp = self.comparisons.load(Ordering::Relaxed);
+        if cmp < min_comparisons.max(1) {
+            return None;
+        }
+        let m = self.matches.load(Ordering::Relaxed).min(cmp);
+        Some(1.0 - m as f64 / cmp as f64)
+    }
+
+    fn carry_over(&self) -> ColumnObservations {
+        ColumnObservations {
+            comparisons: AtomicU64::new(self.comparisons.load(Ordering::Relaxed)),
+            matches: AtomicU64::new(self.matches.load(Ordering::Relaxed)),
+            queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One column of one sealed segment: aligned data plus its access paths.
+#[derive(Debug)]
+pub struct SegCol<T: Scalar> {
+    data: Arc<Column<T>>,
+    imprints: ColumnImprints<T>,
+    zonemap: ZoneMap<T>,
+    /// Fraction of (sampled) values that landed in the binning's overflow
+    /// bins at build time — the §4.1 drift signal when binning is inherited
+    /// from an older segment.
+    drift: f64,
+    /// Times the planner re-binned this column.
+    rebuilds: u32,
+    chooser: PathChooser,
+    obs: ColumnObservations,
+}
+
+impl<T: Scalar> SegCol<T> {
+    /// Seals `col` into an indexed segment column. With `share_binning`
+    /// and a previous segment of the same column available, the previous
+    /// binning is inherited (appends never readjust borders, §4.1) and the
+    /// drift against it recorded; otherwise the binning is freshly sampled.
+    pub fn seal(col: Column<T>, prev: Option<&SegCol<T>>, cfg: &EngineConfig) -> Self {
+        let opts = BuildOptions::default();
+        let (imprints, drift) = match prev.filter(|_| cfg.share_binning) {
+            Some(prev) => {
+                let binning = prev.imprints.binning().clone();
+                let drift = measure_drift(&binning, col.values());
+                (ColumnImprints::build_with_binning(&col, binning, opts), drift)
+            }
+            None => {
+                let built = if cfg.build_threads > 1 {
+                    imprints::parallel::build_parallel(&col, opts, cfg.build_threads)
+                } else {
+                    ColumnImprints::build_with(&col, opts)
+                };
+                (built, 0.0)
+            }
+        };
+        let zonemap = <ZoneMap<T> as BuildableIndex<T>>::build_index(&col);
+        SegCol {
+            data: Arc::new(col),
+            imprints,
+            zonemap,
+            drift,
+            rebuilds: 0,
+            chooser: PathChooser::default(),
+            obs: ColumnObservations::default(),
+        }
+    }
+
+    /// A copy of this column with freshly sampled binning over the same
+    /// (shared) data — the planner's background rebuild. Learned path costs
+    /// and observations reset, since the index changed under them.
+    pub fn rebuilt(&self) -> Self {
+        let opts = *self.imprints.options();
+        let imprints = ColumnImprints::build_with(&self.data, opts);
+        SegCol {
+            data: Arc::clone(&self.data),
+            imprints,
+            zonemap: self.zonemap.clone(),
+            drift: 0.0,
+            rebuilds: self.rebuilds + 1,
+            chooser: PathChooser::default(),
+            obs: ColumnObservations::default(),
+        }
+    }
+
+    /// Evaluates a single-column predicate through the adaptively chosen
+    /// access path, recording observed cost and false-positive work.
+    fn evaluate_adaptive(&self, pred: &colstore::RangePredicate<T>) -> (IdList, AccessStats) {
+        let path = self.chooser.choose();
+        let t0 = Instant::now();
+        let (ids, stats) = match path {
+            PathKind::Imprints => {
+                let (ids, istats) = query::evaluate(&self.imprints, &self.data, pred);
+                let vpb = self.imprints.values_per_block() as u64;
+                let emitted = ids.len() as u64;
+                let via_checks = emitted.saturating_sub(istats.lines_full * vpb);
+                self.obs.comparisons.fetch_add(istats.access.value_comparisons, Ordering::Relaxed);
+                self.obs
+                    .matches
+                    .fetch_add(via_checks.min(istats.access.value_comparisons), Ordering::Relaxed);
+                (ids, istats.access)
+            }
+            PathKind::ZoneMap => self.zonemap.evaluate_with_stats(&self.data, pred),
+            PathKind::Scan => <SeqScan as BuildableIndex<T>>::build_index(&self.data)
+                .evaluate_with_stats(&self.data, pred),
+        };
+        self.chooser.record(path, t0.elapsed().as_nanos() as u64);
+        self.obs.queries.fetch_add(1, Ordering::Relaxed);
+        (ids, stats)
+    }
+
+    /// Candidate row-id ranges for `pred` from the imprint (late
+    /// materialization step 1), plus probe statistics.
+    fn candidates(&self, pred: &colstore::RangePredicate<T>) -> (CachelineSet, AccessStats) {
+        let (set, istats) = query::candidate_id_ranges(&self.imprints, pred);
+        self.obs.queries.fetch_add(1, Ordering::Relaxed);
+        (set, istats.access)
+    }
+}
+
+fn measure_drift<T: Scalar>(binning: &imprints::Binning<T>, values: &[T]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let bins = binning.bins();
+    // Sample every 64th value: the signal is a fraction, not a count.
+    let mut seen = 0u64;
+    let mut overflow = 0u64;
+    for v in values.iter().step_by(64) {
+        let b = binning.bin_of(*v);
+        seen += 1;
+        if b == 0 || b == bins - 1 {
+            overflow += 1;
+        }
+    }
+    overflow as f64 / seen.max(1) as f64
+}
+
+/// A [`SegCol`] of whichever scalar type its column holds.
+#[derive(Debug)]
+pub enum AnySegCol {
+    /// `i8` column segment.
+    I8(SegCol<i8>),
+    /// `u8` column segment.
+    U8(SegCol<u8>),
+    /// `i16` column segment.
+    I16(SegCol<i16>),
+    /// `u16` column segment.
+    U16(SegCol<u16>),
+    /// `i32` column segment.
+    I32(SegCol<i32>),
+    /// `u32` column segment.
+    U32(SegCol<u32>),
+    /// `i64` column segment.
+    I64(SegCol<i64>),
+    /// `u64` column segment.
+    U64(SegCol<u64>),
+    /// `f32` column segment.
+    F32(SegCol<f32>),
+    /// `f64` column segment.
+    F64(SegCol<f64>),
+}
+
+macro_rules! seg_dispatch {
+    ($any:expr, $s:ident => $body:expr) => {
+        match $any {
+            AnySegCol::I8($s) => $body,
+            AnySegCol::U8($s) => $body,
+            AnySegCol::I16($s) => $body,
+            AnySegCol::U16($s) => $body,
+            AnySegCol::I32($s) => $body,
+            AnySegCol::U32($s) => $body,
+            AnySegCol::I64($s) => $body,
+            AnySegCol::U64($s) => $body,
+            AnySegCol::F32($s) => $body,
+            AnySegCol::F64($s) => $body,
+        }
+    };
+}
+
+macro_rules! seal_pairing {
+    ($data:expr, $prev:expr, $cfg:expr; $($v:ident),+) => {
+        match $data {
+            $(AnyColumn::$v(c) => {
+                let prev = match $prev {
+                    Some(AnySegCol::$v(p)) => Some(p),
+                    _ => None,
+                };
+                AnySegCol::$v(SegCol::seal(c, prev, $cfg))
+            })+
+        }
+    };
+}
+
+impl AnySegCol {
+    /// Seals a typed column buffer (see [`SegCol::seal`]).
+    pub fn seal(data: AnyColumn, prev: Option<&AnySegCol>, cfg: &EngineConfig) -> AnySegCol {
+        seal_pairing!(data, prev, cfg; I8, U8, I16, U16, I32, U32, I64, U64, F32, F64)
+    }
+
+    /// Background-rebuilt copy (fresh binning, shared data).
+    pub fn rebuilt(&self) -> AnySegCol {
+        match self {
+            AnySegCol::I8(s) => AnySegCol::I8(s.rebuilt()),
+            AnySegCol::U8(s) => AnySegCol::U8(s.rebuilt()),
+            AnySegCol::I16(s) => AnySegCol::I16(s.rebuilt()),
+            AnySegCol::U16(s) => AnySegCol::U16(s.rebuilt()),
+            AnySegCol::I32(s) => AnySegCol::I32(s.rebuilt()),
+            AnySegCol::U32(s) => AnySegCol::U32(s.rebuilt()),
+            AnySegCol::I64(s) => AnySegCol::I64(s.rebuilt()),
+            AnySegCol::U64(s) => AnySegCol::U64(s.rebuilt()),
+            AnySegCol::F32(s) => AnySegCol::F32(s.rebuilt()),
+            AnySegCol::F64(s) => AnySegCol::F64(s.rebuilt()),
+        }
+    }
+
+    /// Rows in the segment column.
+    pub fn rows(&self) -> usize {
+        seg_dispatch!(self, s => s.data.len())
+    }
+
+    /// The value at local row `id`.
+    pub fn value(&self, id: usize) -> Option<Value> {
+        seg_dispatch!(self, s => s.data.get(id).map(Scalar::into_value))
+    }
+
+    /// Index bytes (imprint + zonemap) for storage accounting.
+    pub fn index_bytes(&self) -> usize {
+        seg_dispatch!(self, s => RangeIndex::size_bytes(&s.imprints) + s.zonemap.size_bytes())
+    }
+
+    /// Raw data bytes.
+    pub fn data_bytes(&self) -> usize {
+        seg_dispatch!(self, s => s.data.data_bytes())
+    }
+
+    /// Imprint saturation (mean bits-set fraction; 1.0 filters nothing).
+    pub fn saturation(&self) -> f64 {
+        seg_dispatch!(self, s => s.imprints.saturation())
+    }
+
+    /// Overflow-bin drift against the inherited binning, measured at seal.
+    pub fn drift(&self) -> f64 {
+        seg_dispatch!(self, s => s.drift)
+    }
+
+    /// Times the planner re-binned this column.
+    pub fn rebuilds(&self) -> u32 {
+        seg_dispatch!(self, s => s.rebuilds)
+    }
+
+    /// The observation counters feeding the planner.
+    pub fn observations(&self) -> &ColumnObservations {
+        seg_dispatch!(self, s => &s.obs)
+    }
+
+    /// The path chooser (exposed for reporting).
+    pub fn chooser(&self) -> &PathChooser {
+        seg_dispatch!(self, s => &s.chooser)
+    }
+
+    fn evaluate_adaptive(&self, range: &ValueRange) -> (IdList, AccessStats) {
+        seg_dispatch!(self, s => {
+            let pred = range.to_predicate().expect("predicate validated against schema");
+            s.evaluate_adaptive(&pred)
+        })
+    }
+
+    fn candidates(&self, range: &ValueRange) -> (CachelineSet, AccessStats) {
+        seg_dispatch!(self, s => {
+            let pred = range.to_predicate().expect("predicate validated against schema");
+            s.candidates(&pred)
+        })
+    }
+
+    /// A per-row matcher for refinement, counting its comparisons and
+    /// matches into the column's observations.
+    fn matcher(&self, range: &ValueRange) -> Box<dyn Fn(u64) -> bool + Send + Sync + '_> {
+        seg_dispatch!(self, s => {
+            let pred = range.to_predicate().expect("predicate validated against schema");
+            let values = s.data.values();
+            let obs = &s.obs;
+            Box::new(move |id: u64| {
+                let hit = pred.matches(&values[id as usize]);
+                obs.comparisons.fetch_add(1, Ordering::Relaxed);
+                if hit {
+                    obs.matches.fetch_add(1, Ordering::Relaxed);
+                }
+                hit
+            })
+        })
+    }
+}
+
+/// An immutable, indexed run of `rows` consecutive table rows starting at
+/// global row id `base`.
+#[derive(Debug)]
+pub struct SealedSegment {
+    base: u64,
+    rows: usize,
+    cols: Vec<AnySegCol>,
+}
+
+impl SealedSegment {
+    /// Seals one segment's column buffers. `prev` is the previously sealed
+    /// segment (for binning inheritance).
+    pub fn seal(
+        base: u64,
+        bufs: Vec<AnyColumn>,
+        prev: Option<&SealedSegment>,
+        cfg: &EngineConfig,
+    ) -> SealedSegment {
+        let rows = bufs.first().map_or(0, AnyColumn::len);
+        debug_assert!(bufs.iter().all(|b| b.len() == rows), "ragged segment buffers");
+        let cols = bufs
+            .into_iter()
+            .enumerate()
+            .map(|(i, buf)| AnySegCol::seal(buf, prev.map(|p| &p.cols[i]), cfg))
+            .collect();
+        SealedSegment { base, rows, cols }
+    }
+
+    /// Copy of this segment with every column in `rebuild` re-binned
+    /// (fresh sampling); the other columns keep their indexes, cost models
+    /// and observation counters.
+    pub fn with_rebuilt_columns(&self, rebuild: &[usize]) -> SealedSegment {
+        let cols = self
+            .cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| if rebuild.contains(&i) { c.rebuilt() } else { c.shallow_clone() })
+            .collect();
+        SealedSegment { base: self.base, rows: self.rows, cols }
+    }
+
+    /// First global row id covered.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Rows in the segment.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The per-column structures.
+    pub fn columns(&self) -> &[AnySegCol] {
+        &self.cols
+    }
+
+    /// Evaluates a conjunction of (column index, range) predicates over
+    /// this segment, returning segment-local ids.
+    ///
+    /// One predicate takes the adaptive single-column path; conjunctions
+    /// take the late-materialization plan: per-column imprint candidates,
+    /// id-space merge-join, then one refinement pass over survivors.
+    pub fn evaluate(&self, preds: &[(usize, ValueRange)]) -> (IdList, AccessStats) {
+        match preds {
+            [] => {
+                let ids = IdList::from_sorted((0..self.rows as u64).collect());
+                (ids, AccessStats::default())
+            }
+            [(col, range)] => self.cols[*col].evaluate_adaptive(range),
+            _ => self.evaluate_conjunction(preds),
+        }
+    }
+
+    fn evaluate_conjunction(&self, preds: &[(usize, ValueRange)]) -> (IdList, AccessStats) {
+        let mut stats = AccessStats::default();
+        let mut joint: Option<CachelineSet> = None;
+        for (col, range) in preds {
+            let (cands, s) = self.cols[*col].candidates(range);
+            stats.merge(&s);
+            joint = Some(match joint {
+                Some(j) => j.intersect(&cands),
+                None => cands,
+            });
+            if joint.as_ref().is_some_and(CachelineSet::is_empty) {
+                return (IdList::new(), stats);
+            }
+        }
+        let matchers: Vec<_> = preds.iter().map(|(c, r)| self.cols[*c].matcher(r)).collect();
+        let mut out = Vec::new();
+        let mut comparisons = 0u64;
+        for run in joint.expect("at least two predicates").runs() {
+            'ids: for id in run {
+                for m in &matchers {
+                    comparisons += 1;
+                    if !m(id) {
+                        continue 'ids;
+                    }
+                }
+                out.push(id);
+            }
+        }
+        stats.value_comparisons += comparisons;
+        (IdList::from_sorted(out), stats)
+    }
+
+    /// Counts matching rows without materializing ids (single predicate
+    /// uses the imprint count kernel; conjunctions materialize internally).
+    pub fn count(&self, preds: &[(usize, ValueRange)]) -> (u64, AccessStats) {
+        match preds {
+            [] => (self.rows as u64, AccessStats::default()),
+            [(col, range)] => {
+                seg_dispatch!(&self.cols[*col], s => {
+                    let pred = range.to_predicate().expect("predicate validated");
+                    let (n, istats) = query::count(&s.imprints, &s.data, &pred);
+                    (n, istats.access)
+                })
+            }
+            _ => {
+                let (ids, stats) = self.evaluate_conjunction(preds);
+                (ids.len() as u64, stats)
+            }
+        }
+    }
+}
+
+impl AnySegCol {
+    /// Clone sharing data `Arc`s and *rebuilding nothing* — used when a
+    /// sibling column of the same segment is replaced. Index structures are
+    /// cloned (they are a few percent of the data); observation counters
+    /// and learned path costs carry over, since this column's index is
+    /// unchanged and the planner must keep seeing its accumulated signal.
+    fn shallow_clone(&self) -> AnySegCol {
+        macro_rules! arm {
+            ($v:ident, $s:expr) => {
+                AnySegCol::$v(SegCol {
+                    data: Arc::clone(&$s.data),
+                    imprints: $s.imprints.clone(),
+                    zonemap: $s.zonemap.clone(),
+                    drift: $s.drift,
+                    rebuilds: $s.rebuilds,
+                    chooser: $s.chooser.carry_over(),
+                    obs: $s.obs.carry_over(),
+                })
+            };
+        }
+        match self {
+            AnySegCol::I8(s) => arm!(I8, s),
+            AnySegCol::U8(s) => arm!(U8, s),
+            AnySegCol::I16(s) => arm!(I16, s),
+            AnySegCol::U16(s) => arm!(U16, s),
+            AnySegCol::I32(s) => arm!(I32, s),
+            AnySegCol::U32(s) => arm!(U32, s),
+            AnySegCol::I64(s) => arm!(I64, s),
+            AnySegCol::U64(s) => arm!(U64, s),
+            AnySegCol::F32(s) => arm!(F32, s),
+            AnySegCol::F64(s) => arm!(F64, s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colstore::Column;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig { segment_rows: 1024, ..Default::default() }
+    }
+
+    fn seal_i64(values: Vec<i64>) -> SealedSegment {
+        let col: Column<i64> = Column::from(values);
+        SealedSegment::seal(0, vec![AnyColumn::I64(col)], None, &cfg())
+    }
+
+    fn oracle(values: &[i64], lo: i64, hi: i64) -> Vec<u64> {
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| (lo..=hi).contains(*v))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    #[test]
+    fn single_predicate_matches_oracle_on_every_path() {
+        let values: Vec<i64> = (0..4096).map(|i| (i * 37) % 500).collect();
+        let seg = seal_i64(values.clone());
+        let range = ValueRange::between(Value::I64(100), Value::I64(200));
+        let expect = oracle(&values, 100, 200);
+        // Repeat enough that the chooser routes through all three paths.
+        for _ in 0..64 {
+            let (ids, _) = seg.evaluate(&[(0, range)]);
+            assert_eq!(ids.as_slice(), expect.as_slice());
+        }
+        assert!(seg.columns()[0].chooser().estimates().iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn conjunction_matches_oracle() {
+        let a: Vec<i64> = (0..2048).map(|i| i % 100).collect();
+        let b: Vec<f64> = (0..2048).map(|i| (i % 37) as f64).collect();
+        let seg = SealedSegment::seal(
+            0,
+            vec![AnyColumn::I64(Column::from(a.clone())), AnyColumn::F64(Column::from(b.clone()))],
+            None,
+            &cfg(),
+        );
+        let preds = [
+            (0, ValueRange::between(Value::I64(10), Value::I64(30))),
+            (1, ValueRange::at_most(Value::F64(9.0))),
+        ];
+        let (ids, stats) = seg.evaluate(&preds);
+        let expect: Vec<u64> = (0..2048u64)
+            .filter(|&i| (10..=30).contains(&a[i as usize]) && b[i as usize] <= 9.0)
+            .collect();
+        assert_eq!(ids.as_slice(), expect.as_slice());
+        assert!(stats.index_probes > 0);
+        let (n, _) = seg.count(&preds);
+        assert_eq!(n as usize, expect.len());
+    }
+
+    #[test]
+    fn binning_inheritance_and_drift() {
+        let first: Vec<i64> = (0..2048).map(|i| i % 1000).collect();
+        let seg1 = seal_i64(first);
+        // Second segment drawn from a shifted domain: most values land in
+        // the inherited binning's top overflow bin.
+        let shifted: Vec<i64> = (0..2048).map(|i| 1_000_000 + i % 1000).collect();
+        let col: Column<i64> = Column::from(shifted);
+        let seg2 = SealedSegment::seal(2048, vec![AnyColumn::I64(col)], Some(&seg1), &cfg());
+        assert!(seg1.columns()[0].drift() < 0.3, "fresh binning must not drift");
+        assert!(
+            seg2.columns()[0].drift() > 0.9,
+            "shifted domain must show overflow drift, got {}",
+            seg2.columns()[0].drift()
+        );
+        // Rebuild resamples: drift resets and queries still match.
+        let seg2 = Arc::new(seg2);
+        let rebuilt = seg2.with_rebuilt_columns(&[0]);
+        assert_eq!(rebuilt.columns()[0].drift(), 0.0);
+        assert_eq!(rebuilt.columns()[0].rebuilds(), 1);
+        let range = ValueRange::between(Value::I64(1_000_100), Value::I64(1_000_200));
+        let (a, _) = seg2.evaluate(&[(0, range)]);
+        let (b, _) = rebuilt.evaluate(&[(0, range)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_predicate_list_selects_all() {
+        let seg = seal_i64((0..100).collect());
+        let (ids, _) = seg.evaluate(&[]);
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn fp_rate_visible_on_unclustered_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        // High-cardinality random data: imprints produce false positives.
+        let values: Vec<i64> = (0..8192).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let seg = seal_i64(values);
+        let range = ValueRange::between(Value::I64(0), Value::I64(1000));
+        for _ in 0..32 {
+            let _ = seg.evaluate(&[(0, range)]);
+        }
+        let obs = seg.columns()[0].observations();
+        assert!(obs.fp_rate(1).is_some(), "comparisons must have been observed");
+    }
+}

@@ -1,0 +1,695 @@
+//! Tables: epoch-guarded sealed segments plus one open write segment.
+//!
+//! ## Concurrency scheme
+//!
+//! A table's sealed segments live behind `RwLock<Arc<Vec<Arc<SealedSegment>>>>`
+//! — an epoch-style snapshot: readers clone the outer `Arc` (O(1)) and work
+//! on a frozen segment list while writers install a new list by swapping
+//! the `Arc` (copy-on-write of the *pointer vector*, never of data). The
+//! open segment — the write head — sits behind its own `RwLock`; queries
+//! take it for read just long enough to scan its (bounded, ≤ one segment)
+//! rows, appenders take it for write.
+//!
+//! Lock order is `open` before `sealed` everywhere. Sealing happens while
+//! holding the open write lock, so a reader holding the open read lock
+//! observes a consistent pair: the sealed list cannot advance under it.
+//! Every query therefore sees an exact *prefix* of the table's rows —
+//! never a gap, never a duplicate — identified by `(epoch, visible rows)`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use colstore::relation::AnyColumn;
+use colstore::{AccessStats, Column, ColumnType, Error, IdList, Result, Scalar, Value};
+use imprints::relation_index::ValueRange;
+
+use crate::config::EngineConfig;
+use crate::executor::WorkerPool;
+use crate::segment::SealedSegment;
+
+/// A named column of a table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Scalar type.
+    pub ty: ColumnType,
+}
+
+type SegmentList = Arc<Vec<Arc<SealedSegment>>>;
+
+struct OpenSegment {
+    base: u64,
+    bufs: Vec<AnyColumn>,
+}
+
+impl OpenSegment {
+    fn len(&self) -> usize {
+        self.bufs.first().map_or(0, AnyColumn::len)
+    }
+}
+
+/// Cumulative table counters.
+#[derive(Debug, Default)]
+pub struct TableStats {
+    /// Queries served.
+    pub queries: AtomicU64,
+    /// Rows appended over the table's lifetime.
+    pub rows_appended: AtomicU64,
+    /// Segments sealed.
+    pub segments_sealed: AtomicU64,
+    /// Segment-column index rebuilds applied by the planner.
+    pub rebuilds: AtomicU64,
+}
+
+/// Aggregate statistics of one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Merged access counters across all segments visited.
+    pub access: AccessStats,
+    /// Sealed segments visited.
+    pub sealed_segments: usize,
+    /// Rows visible to the query (its consistent prefix length).
+    pub visible_rows: u64,
+    /// The table epoch the query executed against.
+    pub epoch: u64,
+}
+
+/// A sharded, concurrently readable and appendable relation.
+pub struct Table {
+    name: String,
+    schema: Vec<ColumnDef>,
+    cfg: EngineConfig,
+    sealed: RwLock<SegmentList>,
+    open: RwLock<OpenSegment>,
+    epoch: AtomicU64,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Creates an empty table with `schema`.
+    pub fn new(name: &str, schema: &[(&str, ColumnType)], cfg: EngineConfig) -> Result<Table> {
+        cfg.validate();
+        if schema.is_empty() {
+            return Err(Error::Mismatch("a table needs at least one column".into()));
+        }
+        let mut defs = Vec::with_capacity(schema.len());
+        for (cname, ty) in schema {
+            if defs.iter().any(|d: &ColumnDef| d.name == *cname) {
+                return Err(Error::Mismatch(format!("duplicate column {cname:?}")));
+            }
+            defs.push(ColumnDef { name: (*cname).to_string(), ty: *ty });
+        }
+        let bufs = defs.iter().map(|d| AnyColumn::new_empty(d.ty)).collect();
+        Ok(Table {
+            name: name.to_string(),
+            schema: defs,
+            cfg,
+            sealed: RwLock::new(Arc::new(Vec::new())),
+            open: RwLock::new(OpenSegment { base: 0, bufs }),
+            epoch: AtomicU64::new(0),
+            stats: TableStats::default(),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &[ColumnDef] {
+        &self.schema
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Monotonic structure-change counter (bumped per seal and per
+    /// maintenance swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Total rows (sealed + open) at this instant.
+    pub fn row_count(&self) -> u64 {
+        let open = self.open.read().expect("open lock");
+        open.base + open.len() as u64
+    }
+
+    /// Number of sealed segments at this instant.
+    pub fn sealed_segment_count(&self) -> usize {
+        self.sealed.read().expect("sealed lock").len()
+    }
+
+    /// Bytes of secondary-index structures across sealed segments.
+    pub fn index_bytes(&self) -> usize {
+        let sealed = self.sealed.read().expect("sealed lock").clone();
+        sealed.iter().map(|s| s.columns().iter().map(|c| c.index_bytes()).sum::<usize>()).sum()
+    }
+
+    /// Resolves and type-checks `(name, range)` predicates against the
+    /// schema.
+    fn resolve(&self, preds: &[(&str, ValueRange)]) -> Result<Vec<(usize, ValueRange)>> {
+        resolve_preds(&self.schema, preds)
+    }
+
+    // ------------------------------------------------------------------
+    // Appending
+    // ------------------------------------------------------------------
+
+    /// Appends one row (`values` in schema order). Prefer
+    /// [`Table::append_batch`] for throughput.
+    pub fn append_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.schema.len() {
+            return Err(Error::Mismatch(format!(
+                "row has {} values, schema has {} columns",
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        let mut batch: Vec<AnyColumn> =
+            self.schema.iter().map(|d| AnyColumn::new_empty(d.ty)).collect();
+        for (buf, v) in batch.iter_mut().zip(values) {
+            buf.push_value(*v)?;
+        }
+        self.append_batch(batch)
+    }
+
+    /// Appends a columnar batch (schema order, equal lengths), sealing
+    /// segments as they fill. Returns after all rows are visible.
+    pub fn append_batch(&self, batch: Vec<AnyColumn>) -> Result<()> {
+        if batch.len() != self.schema.len() {
+            return Err(Error::Mismatch(format!(
+                "batch has {} columns, schema has {}",
+                batch.len(),
+                self.schema.len()
+            )));
+        }
+        let rows = batch.first().map_or(0, AnyColumn::len);
+        for (buf, def) in batch.iter().zip(&self.schema) {
+            if buf.column_type() != def.ty {
+                return Err(Error::Mismatch(format!(
+                    "batch column for {:?} has type {}, schema says {}",
+                    def.name,
+                    buf.column_type(),
+                    def.ty
+                )));
+            }
+            if buf.len() != rows {
+                return Err(Error::Mismatch("ragged append batch".into()));
+            }
+        }
+        if rows == 0 {
+            return Ok(());
+        }
+
+        let mut open = self.open.write().expect("open lock");
+        let mut taken = 0usize;
+        while taken < rows {
+            let room = self.cfg.segment_rows - open.len();
+            let take = room.min(rows - taken);
+            for (buf, src) in open.bufs.iter_mut().zip(&batch) {
+                buf.extend_from_range(src, taken..taken + take)?;
+            }
+            taken += take;
+            if open.len() == self.cfg.segment_rows {
+                self.seal_open(&mut open);
+            }
+        }
+        self.stats.rows_appended.fetch_add(rows as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Seals the (full) open segment into the sealed list. Caller holds the
+    /// open write lock, which is what makes the seal atomic to readers.
+    fn seal_open(&self, open: &mut OpenSegment) {
+        let bufs = std::mem::replace(
+            &mut open.bufs,
+            self.schema.iter().map(|d| AnyColumn::new_empty(d.ty)).collect(),
+        );
+        let base = open.base;
+        let rows = bufs.first().map_or(0, AnyColumn::len);
+        let mut sealed = self.sealed.write().expect("sealed lock");
+        let seg = SealedSegment::seal(base, bufs, sealed.last().map(Arc::as_ref), &self.cfg);
+        let mut list: Vec<Arc<SealedSegment>> = sealed.as_ref().clone();
+        list.push(Arc::new(seg));
+        *sealed = Arc::new(list);
+        // Bump while still holding the write lock, so a reader holding the
+        // read lock always sees an epoch that matches the list it pinned.
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        drop(sealed);
+        open.base = base + rows as u64;
+        self.stats.segments_sealed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Atomically replaces sealed segment `idx` if it is still `old` —
+    /// the planner's swap step. Returns whether the swap happened.
+    pub(crate) fn replace_segment(
+        &self,
+        idx: usize,
+        old: &Arc<SealedSegment>,
+        new: SealedSegment,
+    ) -> bool {
+        let mut sealed = self.sealed.write().expect("sealed lock");
+        match sealed.get(idx) {
+            Some(cur) if Arc::ptr_eq(cur, old) => {
+                let mut list: Vec<Arc<SealedSegment>> = sealed.as_ref().clone();
+                list[idx] = Arc::new(new);
+                *sealed = Arc::new(list);
+                self.epoch.fetch_add(1, Ordering::AcqRel);
+                drop(sealed);
+                self.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The current sealed segment list (a frozen snapshot).
+    pub(crate) fn sealed_snapshot(&self) -> SegmentList {
+        self.sealed.read().expect("sealed lock").clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Querying
+    // ------------------------------------------------------------------
+
+    /// Evaluates a conjunction of `(column, range)` predicates serially on
+    /// the calling thread. An empty predicate list selects every row.
+    pub fn query(&self, preds: &[(&str, ValueRange)]) -> Result<IdList> {
+        Ok(self.query_with_stats(preds, None)?.0)
+    }
+
+    /// [`Table::query`] fanned out over a worker pool, one task per sealed
+    /// segment morsel.
+    pub fn query_on(&self, pool: &WorkerPool, preds: &[(&str, ValueRange)]) -> Result<IdList> {
+        Ok(self.query_with_stats(preds, Some(pool))?.0)
+    }
+
+    /// Full query entry point: resolves predicates, pins a consistent
+    /// prefix (sealed list + open rows), evaluates, merges ordered per-
+    /// segment id lists, and reports statistics.
+    pub fn query_with_stats(
+        &self,
+        preds: &[(&str, ValueRange)],
+        pool: Option<&WorkerPool>,
+    ) -> Result<(IdList, QueryStats)> {
+        let rpreds = Arc::new(self.resolve(preds)?);
+
+        // Pin the consistent prefix: open read lock excludes sealing, so
+        // the sealed list and the open rows agree. Open rows are evaluated
+        // under the lock (bounded by one segment); sealed segments after
+        // release, on the frozen snapshot.
+        let (sealed, open_base, open_hits, open_comparisons, epoch) = {
+            let open = self.open.read().expect("open lock");
+            let sealed_guard = self.sealed.read().expect("sealed lock");
+            let sealed = sealed_guard.clone();
+            // Read under the lock: epoch bumps happen inside the write
+            // critical sections, so this value names exactly the pinned
+            // (sealed list, open rows) pair.
+            let epoch = self.epoch();
+            drop(sealed_guard);
+            let (hits, cmp) = eval_open(&open.bufs, &rpreds);
+            (sealed, open.base, hits, cmp, epoch)
+        };
+
+        let mut stats = QueryStats {
+            sealed_segments: sealed.len(),
+            visible_rows: open_base + open_hits.1 as u64,
+            epoch,
+            ..Default::default()
+        };
+        stats.access.value_comparisons += open_comparisons;
+
+        let per_segment: Vec<(u64, IdList, AccessStats)> = match pool {
+            Some(pool) if sealed.len() > 1 => {
+                let results = pool.scatter(sealed.iter().map(|seg| {
+                    let seg = Arc::clone(seg);
+                    let rpreds = Arc::clone(&rpreds);
+                    move || {
+                        let (ids, st) = seg.evaluate(&rpreds);
+                        (seg.base(), ids, st)
+                    }
+                }));
+                let mut out = Vec::with_capacity(results.len());
+                for r in results {
+                    out.push(r.ok_or_else(|| {
+                        Error::Mismatch("segment evaluation task panicked".into())
+                    })?);
+                }
+                out
+            }
+            _ => sealed
+                .iter()
+                .map(|seg| {
+                    let (ids, st) = seg.evaluate(&rpreds);
+                    (seg.base(), ids, st)
+                })
+                .collect(),
+        };
+
+        let mut merged = IdList::with_capacity(
+            per_segment.iter().map(|(_, ids, _)| ids.len()).sum::<usize>() + open_hits.0.len(),
+        );
+        for (base, ids, st) in per_segment {
+            stats.access.merge(&st);
+            merged.extend_offset(&ids, base);
+        }
+        merged.extend_offset(&open_hits.0, open_base);
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        Ok((merged, stats))
+    }
+
+    /// Counts matching rows without materializing ids.
+    pub fn count(&self, preds: &[(&str, ValueRange)], pool: Option<&WorkerPool>) -> Result<u64> {
+        let rpreds = Arc::new(self.resolve(preds)?);
+        let (sealed, open_count) = {
+            let open = self.open.read().expect("open lock");
+            let sealed = self.sealed.read().expect("sealed lock").clone();
+            let (hits, _) = eval_open(&open.bufs, &rpreds);
+            (sealed, hits.0.len() as u64)
+        };
+        let total: u64 = match pool {
+            Some(pool) if sealed.len() > 1 => {
+                let results = pool.scatter(sealed.iter().map(|seg| {
+                    let seg = Arc::clone(seg);
+                    let rpreds = Arc::clone(&rpreds);
+                    move || seg.count(&rpreds).0
+                }));
+                let mut total = 0u64;
+                for r in results {
+                    total +=
+                        r.ok_or_else(|| Error::Mismatch("segment count task panicked".into()))?;
+                }
+                total
+            }
+            _ => sealed.iter().map(|seg| seg.count(&rpreds).0).sum(),
+        };
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(total + open_count)
+    }
+
+    /// Reconstructs the tuple at global row `id` (late materialization).
+    pub fn tuple(&self, id: u64) -> Option<Vec<Value>> {
+        let open = self.open.read().expect("open lock");
+        if id >= open.base {
+            let local = (id - open.base) as usize;
+            return (local < open.len())
+                .then(|| open.bufs.iter().map(|b| b.value(local).expect("in range")).collect());
+        }
+        let sealed = self.sealed.read().expect("sealed lock").clone();
+        drop(open);
+        let idx = sealed.partition_point(|s| s.base() + s.rows() as u64 <= id);
+        let seg = sealed.get(idx)?;
+        let local = (id - seg.base()) as usize;
+        Some(seg.columns().iter().map(|c| c.value(local).expect("in range")).collect())
+    }
+
+    /// A consistent point-in-time copy of the table's visible rows — meant
+    /// for validation and tests, not the hot path (it copies the data).
+    pub fn snapshot(&self) -> TableSnapshot {
+        let open = self.open.read().expect("open lock");
+        let sealed_guard = self.sealed.read().expect("sealed lock");
+        let sealed = sealed_guard.clone();
+        let epoch = self.epoch();
+        drop(sealed_guard);
+        let open_bufs = open.bufs.clone();
+        let open_base = open.base;
+        drop(open);
+        TableSnapshot { schema: self.schema.clone(), sealed, open_base, open_bufs, epoch }
+    }
+}
+
+/// Resolves and type-checks `(name, range)` predicates against `schema` —
+/// shared by [`Table`] and [`TableSnapshot`] so both surfaces report a
+/// mismatched bound as an error instead of panicking later.
+fn resolve_preds(
+    schema: &[ColumnDef],
+    preds: &[(&str, ValueRange)],
+) -> Result<Vec<(usize, ValueRange)>> {
+    let mut out = Vec::with_capacity(preds.len());
+    for (name, range) in preds {
+        let pos = schema
+            .iter()
+            .position(|d| d.name == *name)
+            .ok_or_else(|| Error::NotFound(format!("column {name:?}")))?;
+        let ty = schema[pos].ty;
+        for bound in [&range.low, &range.high].into_iter().flatten() {
+            if bound.column_type() != ty {
+                return Err(Error::Mismatch(format!(
+                    "predicate bound {bound} has type {}, column {name:?} holds {ty}",
+                    bound.column_type()
+                )));
+            }
+        }
+        out.push((pos, *range));
+    }
+    Ok(out)
+}
+
+/// Evaluates resolved predicates over the open segment buffers, returning
+/// (local hit ids + rows scanned, comparisons performed).
+fn eval_open(bufs: &[AnyColumn], rpreds: &[(usize, ValueRange)]) -> ((IdList, usize), u64) {
+    let rows = bufs.first().map_or(0, AnyColumn::len);
+    if rows == 0 {
+        return ((IdList::new(), 0), 0);
+    }
+    if rpreds.is_empty() {
+        return ((IdList::from_sorted((0..rows as u64).collect()), rows), 0);
+    }
+    let mut comparisons = 0u64;
+    let mut survivors: Option<Vec<u64>> = None;
+    for (col, range) in rpreds {
+        let current = survivors.take();
+        let next = filter_open_column(&bufs[*col], range, current.as_deref(), rows);
+        comparisons += match &current {
+            Some(ids) => ids.len() as u64,
+            None => rows as u64,
+        };
+        if next.is_empty() {
+            return ((IdList::new(), rows), comparisons);
+        }
+        survivors = Some(next);
+    }
+    ((IdList::from_sorted(survivors.unwrap_or_default()), rows), comparisons)
+}
+
+/// One column's filter pass over the open segment: scans `candidates` (or
+/// all `rows`) and keeps matching local ids.
+fn filter_open_column(
+    buf: &AnyColumn,
+    range: &ValueRange,
+    candidates: Option<&[u64]>,
+    rows: usize,
+) -> Vec<u64> {
+    macro_rules! arm {
+        ($c:expr) => {{
+            let pred = range.to_predicate().expect("predicate validated against schema");
+            let values = $c.values();
+            match candidates {
+                Some(ids) => {
+                    ids.iter().copied().filter(|&id| pred.matches(&values[id as usize])).collect()
+                }
+                None => (0..rows as u64).filter(|&id| pred.matches(&values[id as usize])).collect(),
+            }
+        }};
+    }
+    match buf {
+        AnyColumn::I8(c) => arm!(c),
+        AnyColumn::U8(c) => arm!(c),
+        AnyColumn::I16(c) => arm!(c),
+        AnyColumn::U16(c) => arm!(c),
+        AnyColumn::I32(c) => arm!(c),
+        AnyColumn::U32(c) => arm!(c),
+        AnyColumn::I64(c) => arm!(c),
+        AnyColumn::U64(c) => arm!(c),
+        AnyColumn::F32(c) => arm!(c),
+        AnyColumn::F64(c) => arm!(c),
+    }
+}
+
+/// A frozen, fully materialized view of a table prefix (see
+/// [`Table::snapshot`]).
+pub struct TableSnapshot {
+    schema: Vec<ColumnDef>,
+    sealed: SegmentList,
+    open_base: u64,
+    open_bufs: Vec<AnyColumn>,
+    epoch: u64,
+}
+
+impl TableSnapshot {
+    /// The epoch the snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rows visible in the snapshot.
+    pub fn row_count(&self) -> u64 {
+        self.open_base + self.open_bufs.first().map_or(0, AnyColumn::len) as u64
+    }
+
+    /// Evaluates predicates against the frozen view (serial).
+    pub fn query(&self, preds: &[(&str, ValueRange)]) -> Result<IdList> {
+        let rpreds = resolve_preds(&self.schema, preds)?;
+        let mut merged = IdList::concat_segments(
+            self.sealed.iter().map(|seg| (seg.base(), seg.evaluate(&rpreds).0)),
+        );
+        let (hits, _) = eval_open(&self.open_bufs, &rpreds);
+        merged.extend_offset(&hits.0, self.open_base);
+        Ok(merged)
+    }
+
+    /// The full contents of column `name` as typed values — the oracle
+    /// input for validation tests.
+    pub fn column_values<T: Scalar>(&self, name: &str) -> Result<Vec<T>> {
+        let pos = self
+            .schema
+            .iter()
+            .position(|d| d.name == name)
+            .ok_or_else(|| Error::NotFound(format!("column {name:?}")))?;
+        let mut out: Vec<T> = Vec::with_capacity(self.row_count() as usize);
+        for seg in self.sealed.iter() {
+            let col = &seg.columns()[pos];
+            let n = col.rows();
+            for i in 0..n {
+                let v = col.value(i).expect("in range");
+                out.push(T::from_value(&v).ok_or_else(|| {
+                    Error::Mismatch(format!("column {name:?} is not of the requested type"))
+                })?);
+            }
+        }
+        let buf = &self.open_bufs[pos];
+        let col: &Column<T> = buf
+            .downcast()
+            .ok_or_else(|| Error::Mismatch(format!("column {name:?} type mismatch")))?;
+        out.extend_from_slice(col.values());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> EngineConfig {
+        EngineConfig { segment_rows: 256, workers: 2, ..Default::default() }
+    }
+
+    fn ints(values: std::ops::Range<i64>) -> AnyColumn {
+        AnyColumn::I64(values.collect())
+    }
+
+    #[test]
+    fn append_seals_segments_and_queries_span_them() {
+        let t = Table::new("t", &[("v", ColumnType::I64)], small_cfg()).unwrap();
+        t.append_batch(vec![ints(0..1000)]).unwrap();
+        assert_eq!(t.row_count(), 1000);
+        assert_eq!(t.sealed_segment_count(), 3); // 3×256 sealed + 232 open
+        let ids = t.query(&[("v", ValueRange::between(Value::I64(100), Value::I64(899)))]).unwrap();
+        assert_eq!(ids.as_slice(), (100..900).collect::<Vec<u64>>().as_slice());
+    }
+
+    #[test]
+    fn parallel_query_equals_serial() {
+        let t = Table::new("t", &[("v", ColumnType::I64)], small_cfg()).unwrap();
+        let vals: Vec<i64> = (0..5000).map(|i| (i * 37) % 1000).collect();
+        t.append_batch(vec![AnyColumn::I64(vals.into_iter().collect())]).unwrap();
+        let pool = WorkerPool::new(4);
+        let pred = [("v", ValueRange::between(Value::I64(10), Value::I64(50)))];
+        let serial = t.query(&pred).unwrap();
+        let parallel = t.query_on(&pool, &pred).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(!serial.is_empty());
+        let n = t.count(&pred, Some(&pool)).unwrap();
+        assert_eq!(n as usize, serial.len());
+    }
+
+    #[test]
+    fn multi_column_conjunction() {
+        let t = Table::new("t", &[("a", ColumnType::I64), ("b", ColumnType::F64)], small_cfg())
+            .unwrap();
+        let a: Vec<i64> = (0..2000).map(|i| i % 100).collect();
+        let b: Vec<f64> = (0..2000).map(|i| (i % 7) as f64).collect();
+        t.append_batch(vec![
+            AnyColumn::I64(a.iter().copied().collect()),
+            AnyColumn::F64(b.iter().copied().collect()),
+        ])
+        .unwrap();
+        let ids = t
+            .query(&[
+                ("a", ValueRange::between(Value::I64(10), Value::I64(20))),
+                ("b", ValueRange::equals(Value::F64(3.0))),
+            ])
+            .unwrap();
+        let expect: Vec<u64> = (0..2000u64)
+            .filter(|&i| (10..=20).contains(&a[i as usize]) && b[i as usize] == 3.0)
+            .collect();
+        assert_eq!(ids.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn open_rows_visible_immediately() {
+        let t = Table::new("t", &[("v", ColumnType::I32)], small_cfg()).unwrap();
+        for i in 0..10 {
+            t.append_row(&[Value::I32(i)]).unwrap();
+        }
+        assert_eq!(t.sealed_segment_count(), 0);
+        let ids = t.query(&[("v", ValueRange::at_least(Value::I32(5)))]).unwrap();
+        assert_eq!(ids.as_slice(), &[5, 6, 7, 8, 9]);
+        assert_eq!(t.tuple(7), Some(vec![Value::I32(7)]));
+    }
+
+    #[test]
+    fn schema_validation_errors() {
+        let t = Table::new("t", &[("v", ColumnType::I64)], small_cfg()).unwrap();
+        assert!(t.query(&[("nope", ValueRange::equals(Value::I64(1)))]).is_err());
+        assert!(t.query(&[("v", ValueRange::equals(Value::I32(1)))]).is_err());
+        assert!(t.append_row(&[Value::I32(1)]).is_err());
+        assert!(t.append_batch(vec![AnyColumn::I32(Column::from(vec![1]))]).is_err());
+        assert!(Table::new("t", &[], small_cfg()).is_err());
+        assert!(
+            Table::new("t", &[("a", ColumnType::I8), ("a", ColumnType::I8)], small_cfg()).is_err()
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_predicates_like_the_table() {
+        let t = Table::new("t", &[("v", ColumnType::I64)], small_cfg()).unwrap();
+        t.append_batch(vec![ints(0..600)]).unwrap();
+        let snap = t.snapshot();
+        assert!(snap.query(&[("v", ValueRange::equals(Value::I32(1)))]).is_err());
+        assert!(snap.query(&[("nope", ValueRange::equals(Value::I64(1)))]).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_stable_under_later_appends() {
+        let t = Table::new("t", &[("v", ColumnType::I64)], small_cfg()).unwrap();
+        t.append_batch(vec![ints(0..600)]).unwrap();
+        let snap = t.snapshot();
+        t.append_batch(vec![ints(600..1200)]).unwrap();
+        assert_eq!(snap.row_count(), 600);
+        let ids = snap.query(&[("v", ValueRange::at_least(Value::I64(0)))]).unwrap();
+        assert_eq!(ids.len(), 600);
+        let vals: Vec<i64> = snap.column_values("v").unwrap();
+        assert_eq!(vals, (0..600).collect::<Vec<i64>>());
+        assert_eq!(t.row_count(), 1200);
+    }
+
+    #[test]
+    fn empty_predicates_select_every_visible_row() {
+        let t = Table::new("t", &[("v", ColumnType::U16)], small_cfg()).unwrap();
+        let vals: Vec<u16> = (0..700u32).map(|i| (i % 500) as u16).collect();
+        t.append_batch(vec![AnyColumn::U16(vals.into_iter().collect())]).unwrap();
+        let ids = t.query(&[]).unwrap();
+        assert_eq!(ids.len(), 700);
+    }
+}

@@ -6,7 +6,9 @@
 //! cargo run --release --example airtraffic_delays
 //! ```
 
-use column_imprints::colstore::{storage as colstorage, Column, DeltaStore, RangeIndex, RangePredicate};
+use column_imprints::colstore::{
+    storage as colstorage, Column, DeltaStore, RangeIndex, RangePredicate,
+};
 use column_imprints::datagen::distributions;
 use column_imprints::imprints::{storage as idxstorage, update, ColumnImprints};
 
@@ -24,11 +26,10 @@ fn main() {
 
     // --- Monthly appends (§4.1): no existing imprint vector is touched. --
     for month in 0..3 {
-        let batch: Vec<i64> =
-            distributions::time_clustered(100_000, 1, 120, 0.02, 100 + month)
-                .iter()
-                .map(|v| v + 1440 + month as i64 * 120)
-                .collect();
+        let batch: Vec<i64> = distributions::time_clustered(100_000, 1, 120, 0.02, 100 + month)
+            .iter()
+            .map(|v| v + 1440 + month as i64 * 120)
+            .collect();
         let stats = idx.append(&batch);
         col.extend_from_slice(&batch);
         println!(
@@ -63,9 +64,7 @@ fn main() {
     );
     // Verify against first-principles evaluation over the logical table.
     let expected = (0..delta.logical_len())
-        .filter(|&id| {
-            delta.effective_value(id, col.values()).is_some_and(|v| pred.matches(&v))
-        })
+        .filter(|&id| delta.effective_value(id, col.values()).is_some_and(|v| pred.matches(&v)))
         .count();
     assert_eq!(merged.len(), expected);
 

@@ -18,9 +18,8 @@ fn main() {
     // A mid-entropy column: slow drift + per-row noise (defeats the RLE,
     // the regime where the tuning knobs actually matter).
     let n: u64 = 4_000_000;
-    let col: Column<i64> = (0..n)
-        .map(|i| ((i * 59_500 / n) + i.wrapping_mul(2_654_435_761) % 2_500) as i64)
-        .collect();
+    let col: Column<i64> =
+        (0..n).map(|i| ((i * 59_500 / n) + i.wrapping_mul(2_654_435_761) % 2_500) as i64).collect();
     let pred = RangePredicate::between(1_000, 4_000);
     let brute: usize = col.values().iter().filter(|v| pred.matches(v)).count();
 
@@ -53,8 +52,7 @@ fn main() {
     for (name, strategy) in
         [("equi-height", BinningStrategy::EquiHeight), ("equi-width ", BinningStrategy::EquiWidth)]
     {
-        let idx =
-            ColumnImprints::build_with(&col, BuildOptions { strategy, ..Default::default() });
+        let idx = ColumnImprints::build_with(&col, BuildOptions { strategy, ..Default::default() });
         let (ids, dt) = timed(|| idx.evaluate(&col, &pred));
         assert_eq!(ids.len(), brute);
         println!("  {name}: query {:>9.1}µs, saturation {:.3}", dt * 1e6, idx.saturation());
@@ -68,11 +66,7 @@ fn main() {
     assert_eq!(flat_ids, ml_ids);
     let (_, flat_stats) = baseline.evaluate_with_stats(&col, &pred);
     let (_, ml_stats) = ml.evaluate_with_stats(&col, &pred);
-    println!(
-        "  flat:      {:>9.1}µs, {} probes",
-        flat_dt * 1e6,
-        flat_stats.index_probes
-    );
+    println!("  flat:      {:>9.1}µs, {} probes", flat_dt * 1e6, flat_stats.index_probes);
     println!(
         "  two-level: {:>9.1}µs, {} probes ({} blocks, +{} bytes)",
         ml_dt * 1e6,

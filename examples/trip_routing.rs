@@ -43,8 +43,7 @@ fn main() {
 
     // Late materialization: candidates -> merge-join -> refine.
     let t0 = std::time::Instant::now();
-    let (ids, stats) =
-        conjunction2((&idx_lat, &lat, &lat_pred), (&idx_lon, &lon, &lon_pred));
+    let (ids, stats) = conjunction2((&idx_lat, &lat, &lat_pred), (&idx_lon, &lon, &lon_pred));
     let dt_idx = t0.elapsed();
     println!(
         "\nbounding box [{lat_pred} x {lon_pred}]: {} points in {:?} ({} value checks)",
@@ -57,7 +56,8 @@ fn main() {
     let t0 = std::time::Instant::now();
     let brute: Vec<u64> = (0..n as u64)
         .filter(|&i| {
-            lat_pred.matches(&lat.values()[i as usize]) && lon_pred.matches(&lon.values()[i as usize])
+            lat_pred.matches(&lat.values()[i as usize])
+                && lon_pred.matches(&lon.values()[i as usize])
         })
         .collect();
     let dt_scan = t0.elapsed();

@@ -9,7 +9,10 @@
 //! * [`baselines`] — zonemap, WAH-compressed bitmap and sequential-scan
 //!   comparators;
 //! * [`datagen`] — synthetic dataset and workload generators emulating the
-//!   paper's evaluation datasets.
+//!   paper's evaluation datasets;
+//! * [`engine`] — the sharded, concurrent query-serving engine layering
+//!   segments, an epoch-guarded catalog, a morsel-driven executor, adaptive
+//!   access paths and background index maintenance on top of the above.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `imprints-bench` crate for the harness that regenerates every table and
@@ -19,6 +22,8 @@ pub use baselines;
 pub use colstore;
 pub use datagen;
 pub use imprints;
+pub use imprints_engine as engine;
 
 pub use colstore::{Column, IdList, RangeIndex, RangePredicate, Relation, Scalar};
 pub use imprints::ColumnImprints;
+pub use imprints_engine::Engine;

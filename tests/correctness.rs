@@ -98,11 +98,9 @@ fn narrow_types_u8_i16() {
     let imp = ColumnImprints::build(&v8);
     let zm = ZoneMap::build(&v8);
     let wah = WahBitmap::build_with_binning(&v8, imp.binning().clone());
-    for pred in [
-        RangePredicate::between(10u8, 20),
-        RangePredicate::at_least(250),
-        RangePredicate::all(),
-    ] {
+    for pred in
+        [RangePredicate::between(10u8, 20), RangePredicate::at_least(250), RangePredicate::all()]
+    {
         let expect = scan.evaluate(&v8, &pred);
         assert_eq!(imp.evaluate(&v8, &pred), expect);
         assert_eq!(zm.evaluate(&v8, &pred), expect);
@@ -168,7 +166,9 @@ fn all_dataset_families_cross_validate() {
                 ($c:expr) => {{
                     let c = $c;
                     let mut sorted = c.values().to_vec();
-                    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    sorted.sort_unstable_by(|a, b| {
+                        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                    });
                     let lo = sorted[sorted.len() / 4];
                     let hi = sorted[sorted.len() / 2];
                     check_all_indexes(c, &[RangePredicate::between(lo, hi), RangePredicate::all()]);
@@ -215,7 +215,11 @@ fn multilevel_cross_validates() {
     for fanout in [3u64, 64, 500] {
         let ml = MultiLevelImprints::from_base(ColumnImprints::build(&col), fanout);
         for pred in int_preds(-100, 250) {
-            assert_eq!(ml.evaluate(&col, &pred), scan.evaluate(&col, &pred), "fanout {fanout} {pred}");
+            assert_eq!(
+                ml.evaluate(&col, &pred),
+                scan.evaluate(&col, &pred),
+                "fanout {fanout} {pred}"
+            );
         }
     }
 }

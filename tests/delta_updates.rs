@@ -9,15 +9,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A logical-table oracle mirroring base + delta.
-fn oracle_ids(
-    base: &Column<i64>,
-    delta: &DeltaStore<i64>,
-    pred: &RangePredicate<i64>,
-) -> Vec<u64> {
+fn oracle_ids(base: &Column<i64>, delta: &DeltaStore<i64>, pred: &RangePredicate<i64>) -> Vec<u64> {
     (0..delta.logical_len())
-        .filter(|&id| {
-            delta.effective_value(id, base.values()).is_some_and(|v| pred.matches(&v))
-        })
+        .filter(|&id| delta.effective_value(id, base.values()).is_some_and(|v| pred.matches(&v)))
         .collect()
 }
 
@@ -26,8 +20,7 @@ fn randomized_delta_workloads_match_oracle() {
     let mut rng = StdRng::seed_from_u64(77);
     for round in 0..20 {
         let n = rng.gen_range(100..5000);
-        let base: Column<i64> =
-            Column::from(distributions::uniform_ints(n, 0, 500, round));
+        let base: Column<i64> = Column::from(distributions::uniform_ints(n, 0, 500, round));
         let idx = ColumnImprints::build(&base);
         let mut delta = DeltaStore::new(base.len());
         // Random mix of operations.
@@ -123,8 +116,7 @@ fn interleaved_appends_and_queries() {
     let mut idx = ColumnImprints::build(&col);
     let mut rng = StdRng::seed_from_u64(41);
     for _ in 0..50 {
-        let batch: Vec<i64> =
-            (0..rng.gen_range(1..300)).map(|_| rng.gen_range(0..1000)).collect();
+        let batch: Vec<i64> = (0..rng.gen_range(1..300)).map(|_| rng.gen_range(0..1000)).collect();
         idx.append(&batch);
         col.extend_from_slice(&batch);
         let a = rng.gen_range(0..1000);

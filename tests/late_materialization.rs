@@ -89,10 +89,8 @@ fn line_space_candidates_convert_to_id_space_consistently() {
     let vpb = idx.values_per_block() as u64;
     // Expected id count: each candidate line contributes its (possibly
     // clamped) row range.
-    let expected: u64 = lines
-        .lines()
-        .map(|l| ((l + 1) * vpb).min(n as u64).saturating_sub(l * vpb))
-        .sum();
+    let expected: u64 =
+        lines.lines().map(|l| ((l + 1) * vpb).min(n as u64).saturating_sub(l * vpb)).sum();
     assert_eq!(ids.line_count(), expected);
     // And every candidate id belongs to a candidate line.
     for r in ids.runs() {

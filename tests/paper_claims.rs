@@ -71,10 +71,7 @@ fn imprints_robust_to_entropy_wah_is_not() {
         wah_high_pct > 4.0 * wah_low_pct && wah_high_pct > 0.5,
         "WAH must degrade with entropy: {wah_low_pct:.3} -> {wah_high_pct:.3}"
     );
-    assert!(
-        imp_high_pct < wah_high_pct / 4.0,
-        "imprints must beat WAH at high entropy"
-    );
+    assert!(imp_high_pct < wah_high_pct / 4.0, "imprints must beat WAH at high entropy");
 }
 
 /// §2.2: "If each cacheline contains both the minimum and the maximum value

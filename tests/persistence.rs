@@ -16,8 +16,7 @@ fn tmpdir(name: &str) -> std::path::PathBuf {
 #[test]
 fn full_column_and_index_file_roundtrip() {
     let dir = tmpdir("roundtrip");
-    let col: Column<f64> =
-        Column::from(distributions::random_walk(123_457, 0.0, 1e4, 1.5, 999, 3));
+    let col: Column<f64> = Column::from(distributions::random_walk(123_457, 0.0, 1e4, 1.5, 999, 3));
     let idx = ColumnImprints::build(&col);
 
     let col_path = dir.join("col.bin");
@@ -81,8 +80,7 @@ fn reloaded_index_supports_appends() {
     let idx = ColumnImprints::build(&col);
     let mut bytes = Vec::new();
     idxstorage::write_index(&idx, &mut bytes).unwrap();
-    let mut idx2: ColumnImprints<i64> =
-        idxstorage::read_index(&mut bytes.as_slice()).unwrap();
+    let mut idx2: ColumnImprints<i64> = idxstorage::read_index(&mut bytes.as_slice()).unwrap();
 
     let extra = distributions::uniform_ints(7_777, 0, 700, 10);
     idx2.append(&extra);

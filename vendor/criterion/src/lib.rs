@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the measurement surface the workspace's benches use:
+//! benchmark groups, `bench_function` / `bench_with_input`, throughput
+//! annotation and the `criterion_group!` / `criterion_main!` macros. Each
+//! benchmark is timed with an adaptive iteration count targeting a fixed
+//! wall-clock budget per sample and reported as `ns/iter` (plus derived
+//! element throughput). There is no statistical analysis, plotting, or
+//! baseline comparison; when the binary is invoked with `--test` (as
+//! `cargo test --benches` does) every benchmark runs exactly once, as a
+//! smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to every benchmark target function.
+pub struct Criterion {
+    /// Run each closure once, without timing loops (smoke-test mode).
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` / `cargo bench -- --test` runs bench binaries with
+        // `--test` in the arguments: compile-and-smoke mode.
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.quick {
+            println!("\n== {name} ==");
+        }
+        BenchmarkGroup { c: self, name, throughput: None, sample_budget: Duration::from_millis(60) }
+    }
+}
+
+/// Throughput annotation: converts ns/iter into a rate in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; scales the per-sample time budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion's default is 100 samples; treat smaller requests as a
+        // proportionally smaller budget so heavy benches stay quick.
+        self.sample_budget = Duration::from_millis(60).mul_f64((n as f64 / 100.0).clamp(0.1, 1.0));
+        self
+    }
+
+    /// Measures `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { quick: self.c.quick, budget: self.sample_budget, report: None };
+        f(&mut b);
+        self.report(&id.id, b.report);
+        self
+    }
+
+    /// Measures `f` with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { quick: self.c.quick, budget: self.sample_budget, report: None };
+        f(&mut b, input);
+        self.report(&id.id, b.report);
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing left to do).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, ns_per_iter: Option<f64>) {
+        if self.c.quick {
+            return;
+        }
+        let Some(ns) = ns_per_iter else { return };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  {:>12.1} Melem/s", n as f64 / ns * 1e3),
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.1} MiB/s", n as f64 / ns * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!("{}/{id}: {ns:>14.1} ns/iter{rate}", self.name);
+    }
+}
+
+/// Passed to the closure; `iter` runs the measured routine.
+pub struct Bencher {
+    quick: bool,
+    budget: Duration,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, adapting the iteration count to the sample budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            return;
+        }
+        // Calibrate: run once to estimate cost.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = t1.elapsed();
+        self.report = Some(total.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
