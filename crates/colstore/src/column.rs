@@ -107,6 +107,17 @@ impl<T: Scalar> Column<T> {
         self.len() * std::mem::size_of::<T>()
     }
 
+    /// Concatenates `parts` into one column, in order — the segment-merge
+    /// primitive: compaction glues adjacent segments' data back together so
+    /// a single index can be rebuilt over the combined values.
+    pub fn concat(parts: &[&Column<T>]) -> Column<T> {
+        let mut out = Column::with_capacity(parts.iter().map(|c| c.len()).sum());
+        for part in parts {
+            out.extend_from_slice(part.values());
+        }
+        out
+    }
+
     /// Heap bytes actually allocated.
     pub fn allocated_bytes(&self) -> usize {
         self.data.allocated_bytes()
@@ -240,5 +251,17 @@ mod tests {
         let c: Column<i64> = (0..10).collect();
         assert_eq!(c.data_bytes(), 80);
         assert!(c.allocated_bytes() >= 80);
+    }
+
+    #[test]
+    fn concat_preserves_order_and_alignment() {
+        let a: Column<i32> = Column::from(vec![1, 2, 3]);
+        let b: Column<i32> = Column::new();
+        let c: Column<i32> = Column::from(vec![4, 5]);
+        let merged = Column::concat(&[&a, &b, &c]);
+        assert_eq!(merged.values(), &[1, 2, 3, 4, 5]);
+        assert!(merged.is_cacheline_aligned());
+        let empty = Column::<i32>::concat(&[]);
+        assert!(empty.is_empty());
     }
 }

@@ -64,6 +64,39 @@ impl Catalog {
     pub fn tables(&self) -> Vec<Arc<Table>> {
         self.tables.read().expect("catalog lock").values().cloned().collect()
     }
+
+    /// Aggregate storage statistics across all tables — the compaction
+    /// experiment's before/after metric and a cheap health probe for
+    /// operators. Per table, the segment count and index bytes come from
+    /// one frozen sealed-list snapshot, so they can never pair a pre-swap
+    /// count with post-swap bytes even while compaction churns.
+    pub fn storage_stats(&self) -> StorageStats {
+        let mut stats = StorageStats::default();
+        for table in self.tables() {
+            let sealed = table.sealed_snapshot();
+            stats.tables += 1;
+            stats.sealed_segments += sealed.len();
+            stats.index_bytes += sealed
+                .iter()
+                .map(|s| s.columns().iter().map(|c| c.index_bytes()).sum::<usize>())
+                .sum::<usize>();
+            stats.rows += table.row_count();
+        }
+        stats
+    }
+}
+
+/// Catalog-wide storage totals (see [`Catalog::storage_stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Registered tables.
+    pub tables: usize,
+    /// Sealed segments across all tables.
+    pub sealed_segments: usize,
+    /// Bytes of secondary-index structures across all sealed segments.
+    pub index_bytes: usize,
+    /// Visible rows across all tables.
+    pub rows: u64,
 }
 
 #[cfg(test)]
@@ -82,5 +115,19 @@ mod tests {
         assert!(cat.drop_table("a"));
         assert!(!cat.drop_table("a"));
         assert_eq!(cat.tables().len(), 1);
+    }
+
+    #[test]
+    fn storage_stats_aggregate_tables() {
+        use colstore::relation::AnyColumn;
+        let cat = Catalog::new();
+        let cfg = EngineConfig { segment_rows: 128, ..Default::default() };
+        let t = cat.create_table("s", &[("x", ColumnType::I64)], cfg).unwrap();
+        t.append_batch(vec![AnyColumn::I64((0..300).collect())]).unwrap();
+        let stats = cat.storage_stats();
+        assert_eq!(stats.tables, 1);
+        assert_eq!(stats.sealed_segments, 2);
+        assert_eq!(stats.rows, 300);
+        assert!(stats.index_bytes > 0);
     }
 }

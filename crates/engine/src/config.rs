@@ -49,7 +49,8 @@ impl EngineConfig {
     }
 }
 
-/// When the background planner rewrites a segment's index.
+/// When the background planner rewrites a segment's index, and how it
+/// merges small sealed segments into larger tiers.
 #[derive(Debug, Clone)]
 pub struct MaintenanceConfig {
     /// Rebuild when the imprint's mean bits-set fraction exceeds this
@@ -66,6 +67,24 @@ pub struct MaintenanceConfig {
     /// Ignore the false-positive signal until a segment has at least this
     /// many observed value comparisons (avoids reacting to noise).
     pub min_comparisons: u64,
+    /// Tier fan-in of segment compaction: a run of this many adjacent
+    /// sealed segments of the same size tier is merged into one segment
+    /// (data concatenated, bins re-sampled once, imprint + zonemap
+    /// rebuilt). Also the size ratio between tiers. Values below 2 disable
+    /// compaction.
+    pub tier_fanin: usize,
+    /// Rows of a tier-0 segment for tier classification. `0` (the default)
+    /// uses the table's [`EngineConfig::segment_rows`], which is what every
+    /// freshly sealed segment holds.
+    pub min_segment_rows: usize,
+    /// Never merge segments into one larger than this many rows — the top
+    /// tier, after which a segment only sees index rebuilds.
+    pub max_segment_rows: usize,
+    /// Input-data budget of one maintenance tick's compaction work, in
+    /// bytes. Each tick merges at least one planned run (so tiering never
+    /// stalls) but stops starting new merges once this many input bytes
+    /// were consumed. `0` means unlimited.
+    pub compaction_budget_bytes: usize,
 }
 
 impl Default for MaintenanceConfig {
@@ -75,6 +94,10 @@ impl Default for MaintenanceConfig {
             drift_threshold: 0.5,
             fp_threshold: 0.95,
             min_comparisons: 4096,
+            tier_fanin: 4,
+            min_segment_rows: 0,
+            max_segment_rows: 1 << 22,
+            compaction_budget_bytes: 64 << 20,
         }
     }
 }

@@ -19,7 +19,10 @@
 //!   periodic exploration).
 //! * **Maintenance planner** ([`planner`]): watches saturation, append
 //!   drift and observed false-positive rates, and re-bins degraded
-//!   segment indexes in the background, swapping them in atomically.
+//!   segment indexes in the background, swapping them in atomically; the
+//!   same loop runs LSM-style **tiered compaction**, merging runs of
+//!   adjacent same-tier sealed segments into one (re-binned once over the
+//!   merged values) under a per-tick byte budget.
 //!
 //! ```
 //! use colstore::{ColumnType, Value};
@@ -59,12 +62,15 @@ use std::time::Duration;
 
 use colstore::{ColumnType, IdList, Result};
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, StorageStats};
 pub use config::{EngineConfig, MaintenanceConfig};
 pub use executor::WorkerPool;
 pub use imprints::relation_index::ValueRange;
 pub use paths::{PathChooser, PathKind};
-pub use planner::{maintenance_tick, MaintenanceDaemon, MaintenanceReport, RebuildReason};
+pub use planner::{
+    maintenance_tick, CompactionAction, MaintenanceAction, MaintenanceDaemon, MaintenanceReport,
+    RebuildReason,
+};
 pub use segment::SealedSegment;
 pub use table::{ColumnDef, QueryStats, Table, TableSnapshot};
 

@@ -121,7 +121,11 @@ impl PathChooser {
 
     /// A copy with the same counters and learned costs — used when a
     /// sibling column's rebuild swaps the segment but this column's index
-    /// is unchanged, so its cost model stays valid.
+    /// is unchanged, so its cost model stays valid. A compaction merge
+    /// must **not** carry choosers over: the merged segment's data volume
+    /// and index are nothing like any input's, so its columns start from
+    /// [`PathChooser::default`] and re-explore (see
+    /// [`SealedSegment::merge`](crate::segment::SealedSegment::merge)).
     pub fn carry_over(&self) -> PathChooser {
         PathChooser {
             queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
@@ -160,6 +164,56 @@ mod tests {
         let picks: Vec<PathKind> = (0..EXPLORE_PERIOD - 1).map(|_| ch.choose()).collect();
         let scans = picks.iter().filter(|p| **p == PathKind::Scan).count();
         assert!(scans as u64 >= EXPLORE_PERIOD - 3, "expected mostly scans, got {picks:?}");
+    }
+
+    /// The compaction-swap contract, shallow-clone side: a column whose
+    /// index survived the swap keeps its learned costs and query cadence
+    /// byte-for-byte.
+    #[test]
+    fn carry_over_preserves_costs_and_cadence() {
+        let ch = PathChooser::default();
+        for _ in 0..40 {
+            let p = ch.choose();
+            let cost = match p {
+                PathKind::Imprints => 2_000,
+                PathKind::ZoneMap => 700,
+                PathKind::Scan => 9_000,
+            };
+            ch.record(p, cost);
+        }
+        let copy = ch.carry_over();
+        assert_eq!(copy.estimates(), ch.estimates());
+        assert_eq!(copy.queries(), ch.queries());
+        // The copy exploits the same winner the original learned.
+        let picks: Vec<PathKind> = (0..8).map(|_| copy.choose()).collect();
+        assert!(picks.iter().filter(|p| **p == PathKind::ZoneMap).count() >= 6, "{picks:?}");
+    }
+
+    /// The compaction-swap contract, merged-segment side: stale
+    /// per-segment estimates must not be trusted — `reset` drops every
+    /// learned cost and forces the bootstrap exploration sweep, exactly
+    /// what a fresh chooser does after a merge changed the index.
+    #[test]
+    fn reset_forgets_costs_and_forces_reexploration() {
+        let ch = PathChooser::default();
+        for _ in 0..40 {
+            let p = ch.choose();
+            ch.record(p, if p == PathKind::Scan { 100 } else { 50_000 });
+        }
+        assert!(ch.estimates().iter().all(Option::is_some));
+        ch.reset();
+        assert_eq!(ch.estimates(), [None, None, None], "reset must forget all learned costs");
+        // Until every path is re-measured, choose() is in the bootstrap
+        // branch: it cycles deterministically instead of exploiting the
+        // (forgotten) scan winner.
+        let picks: Vec<PathKind> = (0..3).map(|_| ch.choose()).collect();
+        let mut distinct = picks.clone();
+        distinct.sort_by_key(|p| p.slot());
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3, "bootstrap must probe all three paths: {picks:?}");
+        // Query cadence survives reset (it is not a new segment, the same
+        // one just got a new index).
+        assert_eq!(ch.queries(), 43);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The stats-driven maintenance planner.
+//! The stats-driven maintenance planner: index rebuilds + tiered segment
+//! compaction.
 //!
 //! Sealed segments inherit their binning from the previous segment
 //! (§4.1: appends never readjust borders), so a shifting value
@@ -15,9 +16,22 @@
 //! * **observed false-positive rate** — fraction of fetched-and-compared
 //!   values that did not match, accumulated by live queries.
 //!
+//! A second degradation mode is *structural*: trickle appends seal many
+//! small segments, each paying its own index overhead (bin dictionary,
+//! header, imprint-run breaks at segment boundaries) and each a separate
+//! stop on every query's sealed-list walk. The planner answers with
+//! LSM-style **tiered compaction**: segments are bucketed into size tiers
+//! (tier *t* holds segments of `unit·fanin^t ..< unit·fanin^(t+1)` rows),
+//! and a run of [`MaintenanceConfig::tier_fanin`] adjacent same-tier
+//! segments is merged into one — data concatenated, bins re-sampled once
+//! over the union, imprint + zonemap rebuilt — then swapped in atomically,
+//! exactly like a rebuild. Ticks interleave both kinds of work, with
+//! compaction throughput capped per tick by
+//! [`MaintenanceConfig::compaction_budget_bytes`].
+//!
 //! This is the automated-index-management loop (AIM-style): observe →
-//! decide → rebuild → swap, with the epoch scheme making each swap atomic
-//! to readers.
+//! decide → rebuild/merge → swap, with the epoch scheme making each swap
+//! atomic to readers.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -26,6 +40,7 @@ use std::time::Duration;
 
 use crate::catalog::Catalog;
 use crate::config::MaintenanceConfig;
+use crate::segment::SealedSegment;
 use crate::table::Table;
 
 /// Why a segment column was (or would be) rebuilt.
@@ -52,6 +67,32 @@ pub struct RebuildAction {
     pub reason: RebuildReason,
 }
 
+/// One planned or applied compaction merge: `len` adjacent sealed segments
+/// starting at index `start` (at planning time) merge into one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionAction {
+    /// Table name.
+    pub table: String,
+    /// First sealed segment index of the merge window at planning time.
+    pub start: usize,
+    /// Segments merged (the tier fan-in).
+    pub len: usize,
+    /// Rows of the merged output segment.
+    pub rows: usize,
+    /// Size tier of the input segments.
+    pub tier: u32,
+}
+
+/// Anything the maintenance planner wants done: re-bin one segment
+/// column's index, or merge a run of adjacent segments into a higher tier.
+#[derive(Debug, Clone)]
+pub enum MaintenanceAction {
+    /// Rebuild a degraded segment column's index in place.
+    Rebuild(RebuildAction),
+    /// Merge adjacent same-tier segments into one.
+    Compact(CompactionAction),
+}
+
 /// Outcome of one maintenance pass.
 #[derive(Debug, Default)]
 pub struct MaintenanceReport {
@@ -61,6 +102,19 @@ pub struct MaintenanceReport {
     pub applied: Vec<RebuildAction>,
     /// Rebuilds that lost the swap race (segment changed meanwhile).
     pub skipped: usize,
+    /// Compaction merges applied (window swapped for one segment).
+    pub compacted: Vec<CompactionAction>,
+    /// Input data bytes consumed by the applied compactions.
+    pub compaction_bytes: usize,
+    /// Compaction merges that lost the swap race.
+    pub compaction_races: usize,
+}
+
+impl MaintenanceReport {
+    /// Whether the pass changed nothing (no rebuilds, no compactions).
+    pub fn is_idle(&self) -> bool {
+        self.applied.is_empty() && self.compacted.is_empty()
+    }
 }
 
 fn diagnose(
@@ -85,30 +139,96 @@ fn diagnose(
     None
 }
 
-/// Inspects every sealed segment column of every table and returns what a
-/// maintenance pass would rebuild, without touching anything.
-pub fn plan(catalog: &Catalog) -> Vec<RebuildAction> {
+/// Size tier of a segment of `rows` rows: tier `t` spans
+/// `unit·fanin^t ..< unit·fanin^(t+1)` rows (everything below `unit·fanin`
+/// is tier 0).
+fn tier_of(rows: usize, unit: usize, fanin: usize) -> u32 {
+    let mut tier = 0u32;
+    let mut upper = unit.saturating_mul(fanin);
+    while rows >= upper {
+        tier += 1;
+        let next = upper.saturating_mul(fanin);
+        if next == upper {
+            break; // saturated at usize::MAX
+        }
+        upper = next;
+    }
+    tier
+}
+
+/// The tier policy over one frozen sealed list: walks runs of adjacent
+/// same-tier segments and emits one `Compact` window per `fanin` of them,
+/// skipping windows whose merged size would cross
+/// [`MaintenanceConfig::max_segment_rows`]. Windows never overlap, so any
+/// prefix of the plan can be applied against the same snapshot.
+fn plan_compactions_for(table: &Table, sealed: &[Arc<SealedSegment>]) -> Vec<CompactionAction> {
+    let cfg = &table.config().maintenance;
+    let fanin = cfg.tier_fanin;
+    if fanin < 2 {
+        return Vec::new();
+    }
+    let unit =
+        if cfg.min_segment_rows > 0 { cfg.min_segment_rows } else { table.config().segment_rows }
+            .max(1);
+    let mut actions = Vec::new();
+    let mut i = 0;
+    while i < sealed.len() {
+        let tier = tier_of(sealed[i].rows(), unit, fanin);
+        let mut run_end = i + 1;
+        while run_end < sealed.len() && tier_of(sealed[run_end].rows(), unit, fanin) == tier {
+            run_end += 1;
+        }
+        let mut start = i;
+        while start + fanin <= run_end {
+            let rows: usize = sealed[start..start + fanin].iter().map(|s| s.rows()).sum();
+            if rows <= cfg.max_segment_rows {
+                actions.push(CompactionAction {
+                    table: table.name().to_string(),
+                    start,
+                    len: fanin,
+                    rows,
+                    tier,
+                });
+                start += fanin;
+            } else {
+                // Window too large for the top tier: slide past its head.
+                start += 1;
+            }
+        }
+        i = run_end;
+    }
+    actions
+}
+
+/// Inspects every table and returns what a maintenance pass would do —
+/// index rebuilds and compaction merges — without touching anything.
+pub fn plan(catalog: &Catalog) -> Vec<MaintenanceAction> {
     let mut actions = Vec::new();
     for table in catalog.tables() {
         let cfg = &table.config().maintenance;
-        for (si, seg) in table.sealed_snapshot().iter().enumerate() {
+        let sealed = table.sealed_snapshot();
+        for (si, seg) in sealed.iter().enumerate() {
             for (ci, col) in seg.columns().iter().enumerate() {
                 if let Some(reason) = diagnose(&table, col, cfg) {
-                    actions.push(RebuildAction {
+                    actions.push(MaintenanceAction::Rebuild(RebuildAction {
                         table: table.name().to_string(),
                         segment: si,
                         column: table.schema()[ci].name.clone(),
                         reason,
-                    });
+                    }));
                 }
             }
         }
+        actions.extend(
+            plan_compactions_for(&table, &sealed).into_iter().map(MaintenanceAction::Compact),
+        );
     }
     actions
 }
 
 /// One maintenance pass: diagnose and rebuild degraded segment columns,
-/// swapping each rebuilt segment in atomically. Returns what happened.
+/// then merge small segment tiers under the compaction budget, swapping
+/// every result in atomically. Returns what happened.
 pub fn maintenance_tick(catalog: &Catalog) -> MaintenanceReport {
     let mut report = MaintenanceReport::default();
     for table in catalog.tables() {
@@ -144,8 +264,59 @@ pub fn maintenance_tick(catalog: &Catalog) -> MaintenanceReport {
                 report.skipped += degraded.len();
             }
         }
+        compact_table(&table, &cfg, &mut report);
     }
     report
+}
+
+/// The compaction half of one tick. Each pass of the outer loop freezes one
+/// snapshot, plans once, and applies *every* planned window against it —
+/// the windows are non-overlapping and ascending, so later windows stay
+/// valid after earlier swaps once their indices are shifted by the
+/// segments already consumed. Merges are built off the snapshot with no
+/// locks held and swapped in atomically. The outer loop then re-plans so
+/// merges cascade within one tick (four tier-0 merges can produce the four
+/// tier-1 segments that immediately merge into a tier-2), stopping when
+/// the plan is empty, the byte budget is spent, or a swap loses a race
+/// (stale snapshot; the next tick retries).
+fn compact_table(table: &Table, cfg: &MaintenanceConfig, report: &mut MaintenanceReport) {
+    let budget = match cfg.compaction_budget_bytes {
+        0 => usize::MAX,
+        b => b,
+    };
+    let mut spent = 0usize;
+    loop {
+        let sealed = table.sealed_snapshot();
+        let plan = plan_compactions_for(table, &sealed);
+        if plan.is_empty() {
+            return;
+        }
+        // Each applied merge replaces `len` segments by one, shifting every
+        // later window left by `len - 1` in the live list.
+        let mut shift = 0usize;
+        for action in plan {
+            let window = &sealed[action.start..action.start + action.len];
+            let bytes: usize = window
+                .iter()
+                .map(|s| s.columns().iter().map(|c| c.data_bytes()).sum::<usize>())
+                .sum();
+            // Always make progress on the first merge so tiering cannot
+            // stall, but stop starting new ones past the budget.
+            if spent > 0 && spent + bytes > budget {
+                return;
+            }
+            let merged = SealedSegment::merge(window, table.config());
+            if table.replace_segments(action.start - shift, window, merged) {
+                shift += action.len - 1;
+                spent += bytes;
+                report.compaction_bytes += bytes;
+                report.compacted.push(action);
+            } else {
+                report.compaction_races += 1;
+                return;
+            }
+        }
+    }
 }
 
 /// A background thread running [`maintenance_tick`] on an interval.
@@ -231,7 +402,10 @@ mod tests {
         let t = drifted_table(&cat);
         let planned = plan(&cat);
         assert!(
-            planned.iter().any(|a| matches!(a.reason, RebuildReason::Drifted(_))),
+            planned.iter().any(|a| matches!(
+                a,
+                MaintenanceAction::Rebuild(r) if matches!(r.reason, RebuildReason::Drifted(_))
+            )),
             "expected drift actions, got {planned:?}"
         );
         let pred = [("v", ValueRange::between(Value::I64(10_000_100), Value::I64(10_000_300)))];
@@ -276,6 +450,137 @@ mod tests {
         repaired.sort_unstable();
         assert_eq!(repaired, vec!["a", "b"], "both degraded columns repaired in one tick");
         assert!(plan(&cat).is_empty(), "one tick must leave nothing diagnosed");
+    }
+
+    #[test]
+    fn tier_of_buckets_by_size_ratio() {
+        // unit 512, fanin 4: tier 0 < 2048 <= tier 1 < 8192 <= tier 2 …
+        assert_eq!(tier_of(512, 512, 4), 0);
+        assert_eq!(tier_of(2047, 512, 4), 0);
+        assert_eq!(tier_of(2048, 512, 4), 1);
+        assert_eq!(tier_of(8191, 512, 4), 1);
+        assert_eq!(tier_of(8192, 512, 4), 2);
+        assert!(tier_of(usize::MAX, 512, 4) >= 20, "huge segments terminate at a high tier");
+    }
+
+    #[test]
+    fn compaction_plan_windows_same_tier_runs() {
+        let cat = Catalog::new();
+        let cfg = EngineConfig {
+            segment_rows: 128,
+            maintenance: crate::config::MaintenanceConfig { tier_fanin: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let t = cat.create_table("tiers", &[("v", ColumnType::I64)], cfg).unwrap();
+        let vals: Vec<i64> = (0..128 * 6).map(|i| i % 97).collect();
+        t.append_batch(vec![AnyColumn::I64(vals.into_iter().collect())]).unwrap();
+        assert_eq!(t.sealed_segment_count(), 6);
+        let planned = plan_compactions_for(&t, &t.sealed_snapshot());
+        // Six tier-0 segments, fan-in 2 → three non-overlapping windows.
+        assert_eq!(planned.len(), 3);
+        assert!(planned.iter().all(|a| a.len == 2 && a.tier == 0 && a.rows == 256));
+        assert_eq!(planned.iter().map(|a| a.start).collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn tick_cascades_tiers_and_preserves_answers() {
+        let cat = Catalog::new();
+        let cfg = EngineConfig {
+            segment_rows: 128,
+            maintenance: crate::config::MaintenanceConfig {
+                tier_fanin: 2,
+                compaction_budget_bytes: 0, // unlimited
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let t = cat.create_table("cascade", &[("v", ColumnType::I64)], cfg).unwrap();
+        let vals: Vec<i64> = (0..128 * 8).map(|i| (i * 7) % 500).collect();
+        t.append_batch(vec![AnyColumn::I64(vals.iter().copied().collect())]).unwrap();
+        assert_eq!(t.sealed_segment_count(), 8);
+        let pred = [("v", ValueRange::between(Value::I64(40), Value::I64(90)))];
+        let before = t.query(&pred).unwrap();
+        let report = maintenance_tick(&cat);
+        // 8 tier-0 → 4 tier-1 → 2 tier-2 → 1 tier-3, all within one tick.
+        assert_eq!(report.compacted.len(), 7, "cascade must run to one segment: {report:?}");
+        assert_eq!(t.sealed_segment_count(), 1);
+        assert!(report.compaction_bytes > 0);
+        assert_eq!(t.query(&pred).unwrap(), before, "compaction must not change answers");
+        assert!(maintenance_tick(&cat).is_idle(), "a compacted table has nothing left to do");
+    }
+
+    #[test]
+    fn budget_bounds_one_tick_but_progress_never_stalls() {
+        let cat = Catalog::new();
+        let seg_bytes = 128 * std::mem::size_of::<i64>(); // one segment's data
+        let cfg = EngineConfig {
+            segment_rows: 128,
+            maintenance: crate::config::MaintenanceConfig {
+                tier_fanin: 2,
+                // Budget below even one merge's input: each tick still does
+                // exactly its one guaranteed merge.
+                compaction_budget_bytes: seg_bytes,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let t = cat.create_table("budget", &[("v", ColumnType::I64)], cfg).unwrap();
+        let vals: Vec<i64> = (0..128 * 4).map(|i| i % 50).collect();
+        t.append_batch(vec![AnyColumn::I64(vals.into_iter().collect())]).unwrap();
+        assert_eq!(t.sealed_segment_count(), 4);
+        let r1 = maintenance_tick(&cat);
+        assert_eq!(r1.compacted.len(), 1, "budgeted tick merges exactly one window");
+        assert_eq!(t.sealed_segment_count(), 3);
+        // Ticking until idle still converges.
+        let mut guard = 0;
+        while !maintenance_tick(&cat).is_idle() {
+            guard += 1;
+            assert!(guard < 16, "budgeted compaction must converge");
+        }
+        assert_eq!(t.sealed_segment_count(), 1);
+    }
+
+    #[test]
+    fn max_segment_rows_caps_the_top_tier() {
+        let cat = Catalog::new();
+        let cfg = EngineConfig {
+            segment_rows: 128,
+            maintenance: crate::config::MaintenanceConfig {
+                tier_fanin: 2,
+                max_segment_rows: 256,
+                compaction_budget_bytes: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let t = cat.create_table("capped", &[("v", ColumnType::I64)], cfg).unwrap();
+        let vals: Vec<i64> = (0..128 * 8).map(|i| i % 10).collect();
+        t.append_batch(vec![AnyColumn::I64(vals.into_iter().collect())]).unwrap();
+        let mut guard = 0;
+        while !maintenance_tick(&cat).is_idle() {
+            guard += 1;
+            assert!(guard < 16);
+        }
+        // 8×128 rows can only reach 256-row segments, never 512.
+        assert_eq!(t.sealed_segment_count(), 4);
+        let sealed = t.sealed_snapshot();
+        assert!(sealed.iter().all(|s| s.rows() == 256));
+    }
+
+    #[test]
+    fn fanin_below_two_disables_compaction() {
+        let cat = Catalog::new();
+        let cfg = EngineConfig {
+            segment_rows: 128,
+            maintenance: crate::config::MaintenanceConfig { tier_fanin: 0, ..Default::default() },
+            ..Default::default()
+        };
+        let t = cat.create_table("off", &[("v", ColumnType::I64)], cfg).unwrap();
+        let vals: Vec<i64> = (0..128 * 8).map(|i| i % 10).collect();
+        t.append_batch(vec![AnyColumn::I64(vals.into_iter().collect())]).unwrap();
+        let report = maintenance_tick(&cat);
+        assert!(report.compacted.is_empty());
+        assert_eq!(t.sealed_segment_count(), 8);
     }
 
     #[test]

@@ -319,6 +319,40 @@ impl AnySegCol {
         })
     }
 
+    /// Merges the same column of several adjacent segments into one
+    /// freshly indexed column: data concatenated, bins re-sampled **once**
+    /// over the combined values, imprint and zonemap rebuilt. Path costs
+    /// and observations start from scratch — the merged segment's cost
+    /// profile is nothing like its parts', so inheriting their per-segment
+    /// estimates would mislead the chooser (see
+    /// [`PathChooser::reset`](crate::paths::PathChooser::reset)).
+    fn merged(parts: &[&AnySegCol], cfg: &EngineConfig) -> AnySegCol {
+        macro_rules! arm {
+            ($v:ident) => {{
+                let typed: Vec<&Column<_>> = parts
+                    .iter()
+                    .map(|p| match p {
+                        AnySegCol::$v(s) => s.data.as_ref(),
+                        _ => unreachable!("merging segments with mismatched column types"),
+                    })
+                    .collect();
+                AnySegCol::$v(SegCol::seal(Column::concat(&typed), None, cfg))
+            }};
+        }
+        match parts.first().expect("merge needs at least one segment") {
+            AnySegCol::I8(_) => arm!(I8),
+            AnySegCol::U8(_) => arm!(U8),
+            AnySegCol::I16(_) => arm!(I16),
+            AnySegCol::U16(_) => arm!(U16),
+            AnySegCol::I32(_) => arm!(I32),
+            AnySegCol::U32(_) => arm!(U32),
+            AnySegCol::I64(_) => arm!(I64),
+            AnySegCol::U64(_) => arm!(U64),
+            AnySegCol::F32(_) => arm!(F32),
+            AnySegCol::F64(_) => arm!(F64),
+        }
+    }
+
     /// A per-row matcher for refinement, counting its comparisons and
     /// matches into the column's observations.
     fn matcher(&self, range: &ValueRange) -> Box<dyn Fn(u64) -> bool + Send + Sync + '_> {
@@ -362,6 +396,37 @@ impl SealedSegment {
             .into_iter()
             .enumerate()
             .map(|(i, buf)| AnySegCol::seal(buf, prev.map(|p| &p.cols[i]), cfg))
+            .collect();
+        SealedSegment { base, rows, cols }
+    }
+
+    /// Merges `parts` — adjacent sealed segments in ascending base order —
+    /// into one segment covering their combined row range. Per column, the
+    /// data is concatenated and the index rebuilt with **one** fresh
+    /// binning sample over all merged values, which is the whole point of
+    /// tiering: N per-segment index overheads (bin dictionaries, headers,
+    /// run breaks at segment boundaries) collapse into one, and bins fitted
+    /// to the union replace bins inherited segment-by-segment.
+    ///
+    /// Row ids are preserved exactly: the merged segment starts at
+    /// `parts[0].base()` and keeps every row in order, so readers observe
+    /// no missing or duplicate ids across the swap.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or (in debug builds) not contiguous.
+    pub fn merge(parts: &[Arc<SealedSegment>], cfg: &EngineConfig) -> SealedSegment {
+        let first = parts.first().expect("merge needs at least one segment");
+        debug_assert!(
+            parts.windows(2).all(|w| w[0].base + w[0].rows as u64 == w[1].base),
+            "merged segments must be adjacent and in ascending base order"
+        );
+        let base = first.base;
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let cols = (0..first.cols.len())
+            .map(|ci| {
+                let col_parts: Vec<&AnySegCol> = parts.iter().map(|p| &p.cols[ci]).collect();
+                AnySegCol::merged(&col_parts, cfg)
+            })
             .collect();
         SealedSegment { base, rows, cols }
     }
@@ -583,6 +648,52 @@ mod tests {
         let (a, _) = seg2.evaluate(&[(0, range)]);
         let (b, _) = rebuilt.evaluate(&[(0, range)]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_concatenates_rebins_once_and_resets_adaptivity() {
+        let c = cfg();
+        // Three adjacent segments sealed as a chain (binning inherited), the
+        // later ones from a shifted domain so their inherited bins drift.
+        let parts: Vec<Vec<i64>> = (0..3)
+            .map(|s| (0..1024).map(|i| s as i64 * 500_000 + (i * 13) % 900).collect())
+            .collect();
+        let mut sealed: Vec<Arc<SealedSegment>> = Vec::new();
+        for (s, values) in parts.iter().enumerate() {
+            let prev = sealed.last().map(Arc::clone);
+            let seg = SealedSegment::seal(
+                s as u64 * 1024,
+                vec![AnyColumn::I64(Column::from(values.clone()))],
+                prev.as_deref(),
+                &c,
+            );
+            sealed.push(Arc::new(seg));
+        }
+        // Warm the parts' choosers/observations so the reset is observable.
+        let warm = ValueRange::between(Value::I64(0), Value::I64(100));
+        for seg in &sealed {
+            for _ in 0..8 {
+                let _ = seg.evaluate(&[(0, warm)]);
+            }
+        }
+        let merged = SealedSegment::merge(&sealed, &c);
+        assert_eq!(merged.base(), 0);
+        assert_eq!(merged.rows(), 3 * 1024);
+        // Fresh adaptivity: no learned costs, no carried observations.
+        assert!(merged.columns()[0].chooser().estimates().iter().all(Option::is_none));
+        assert_eq!(merged.columns()[0].chooser().queries(), 0);
+        assert_eq!(merged.columns()[0].observations().queries.load(Ordering::Relaxed), 0);
+        assert_eq!(merged.columns()[0].drift(), 0.0, "merge re-samples bins");
+        // Answers equal the per-part answers shifted to global ids.
+        let range = ValueRange::between(Value::I64(500_050), Value::I64(500_500));
+        let (got, _) = merged.evaluate(&[(0, range)]);
+        let mut expect = IdList::new();
+        for seg in &sealed {
+            let (ids, _) = seg.evaluate(&[(0, range)]);
+            expect.extend_offset(&ids, seg.base());
+        }
+        assert_eq!(got, expect);
+        assert!(!got.is_empty());
     }
 
     #[test]

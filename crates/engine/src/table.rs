@@ -60,6 +60,10 @@ pub struct TableStats {
     pub segments_sealed: AtomicU64,
     /// Segment-column index rebuilds applied by the planner.
     pub rebuilds: AtomicU64,
+    /// Compaction merges applied (each replaces several segments by one).
+    pub compactions: AtomicU64,
+    /// Sealed segments consumed as compaction inputs.
+    pub segments_compacted: AtomicU64,
 }
 
 /// Aggregate statistics of one query.
@@ -271,6 +275,47 @@ impl Table {
             }
             _ => false,
         }
+    }
+
+    /// Atomically replaces the `old.len()` sealed segments starting at
+    /// `start` with the single merged segment `new` — the compaction swap.
+    /// Succeeds only if every segment of the window is still the exact
+    /// `Arc` the merge was built from (a seal appending behind the window
+    /// does not invalidate it; a concurrent rebuild or compaction inside it
+    /// does). Readers pinned to the old list keep a fully consistent view;
+    /// new readers see the merged segment. Returns whether the swap
+    /// happened.
+    pub(crate) fn replace_segments(
+        &self,
+        start: usize,
+        old: &[Arc<SealedSegment>],
+        new: SealedSegment,
+    ) -> bool {
+        debug_assert!(old.len() >= 2, "compaction must merge at least two segments");
+        debug_assert_eq!(new.base(), old[0].base(), "merged segment must keep the window base");
+        debug_assert_eq!(
+            new.rows(),
+            old.iter().map(|s| s.rows()).sum::<usize>(),
+            "merged segment must keep every row"
+        );
+        let mut sealed = self.sealed.write().expect("sealed lock");
+        let window = match sealed.get(start..start + old.len()) {
+            Some(w) => w,
+            None => return false,
+        };
+        if !window.iter().zip(old).all(|(cur, o)| Arc::ptr_eq(cur, o)) {
+            return false;
+        }
+        let mut list: Vec<Arc<SealedSegment>> = Vec::with_capacity(sealed.len() - old.len() + 1);
+        list.extend(sealed[..start].iter().cloned());
+        list.push(Arc::new(new));
+        list.extend(sealed[start + old.len()..].iter().cloned());
+        *sealed = Arc::new(list);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        drop(sealed);
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        self.stats.segments_compacted.fetch_add(old.len() as u64, Ordering::Relaxed);
+        true
     }
 
     /// The current sealed segment list (a frozen snapshot).
@@ -682,6 +727,34 @@ mod tests {
         let vals: Vec<i64> = snap.column_values("v").unwrap();
         assert_eq!(vals, (0..600).collect::<Vec<i64>>());
         assert_eq!(t.row_count(), 1200);
+    }
+
+    #[test]
+    fn replace_segments_swaps_atomically_and_rejects_stale_windows() {
+        let t = Table::new("t", &[("v", ColumnType::I64)], small_cfg()).unwrap();
+        t.append_batch(vec![ints(0..1024)]).unwrap(); // 4 sealed segments of 256
+        let sealed = t.sealed_snapshot();
+        assert_eq!(sealed.len(), 4);
+        let pred = [("v", ValueRange::between(Value::I64(100), Value::I64(700)))];
+        let before = t.query(&pred).unwrap();
+        let epoch = t.epoch();
+
+        let merged = SealedSegment::merge(&sealed[1..3], t.config());
+        assert!(t.replace_segments(1, &sealed[1..3], merged));
+        assert_eq!(t.sealed_segment_count(), 3);
+        assert!(t.epoch() > epoch, "compaction swaps must bump the epoch");
+        assert_eq!(t.stats().compactions.load(Ordering::Relaxed), 1);
+        assert_eq!(t.stats().segments_compacted.load(Ordering::Relaxed), 2);
+        assert_eq!(t.query(&pred).unwrap(), before, "row ids must survive the merge");
+        assert_eq!(t.tuple(300), Some(vec![Value::I64(300)]));
+
+        // The same window is now stale: the swap must refuse it.
+        let merged_again = SealedSegment::merge(&sealed[1..3], t.config());
+        assert!(!t.replace_segments(1, &sealed[1..3], merged_again));
+        // And an out-of-range window is refused outright.
+        let merged_oob = SealedSegment::merge(&sealed[2..4], t.config());
+        assert!(!t.replace_segments(2, &sealed[2..4], merged_oob));
+        assert_eq!(t.query(&pred).unwrap(), before);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use column_imprints::colstore::relation::AnyColumn;
 use column_imprints::colstore::{Column, ColumnType, Value};
-use column_imprints::engine::{Catalog, EngineConfig, Table, ValueRange, WorkerPool};
+use column_imprints::engine::{
+    maintenance_tick, Catalog, EngineConfig, MaintenanceConfig, Table, ValueRange, WorkerPool,
+};
 use column_imprints::ColumnImprints;
 use proptest::prelude::*;
 
@@ -132,8 +134,71 @@ proptest! {
         let before = incremental.query(&preds).unwrap();
         prop_assert_eq!(before.as_slice(), whole.query(&preds).unwrap().as_slice());
         // Force every segment column through a rebuild: answers invariant.
-        let _ = column_imprints::engine::maintenance_tick(&catalog);
+        let _ = maintenance_tick(&catalog);
         let after = incremental.query(&preds).unwrap();
         prop_assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    /// Arbitrary interleavings of appends and forced compaction ticks:
+    /// query results always equal the whole-column oracle, and whenever a
+    /// tick actually compacts, the sealed-segment count strictly drops.
+    #[test]
+    fn compaction_interleaved_with_appends_is_unobservable(
+        chunks in prop::collection::vec(
+            prop::collection::vec(-2000i64..2000, 1..500),
+            1..8,
+        ),
+        tick_after in prop::collection::vec(any::<bool>(), 8..9),
+        lo in -2200i64..2200,
+        width in 0i64..1500,
+    ) {
+        let catalog = Catalog::new();
+        let cfg = EngineConfig {
+            segment_rows: 128,
+            maintenance: MaintenanceConfig {
+                tier_fanin: 2,
+                compaction_budget_bytes: 0, // unlimited: cascade fully per tick
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let t = catalog.create_table("t", &[("v", ColumnType::I64)], cfg).unwrap();
+        let preds = [("v", range(lo, width))];
+        let mut all: Vec<i64> = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            t.append_batch(vec![AnyColumn::I64(chunk.iter().copied().collect())]).unwrap();
+            all.extend_from_slice(chunk);
+            if tick_after[i] {
+                let sealed_before = t.sealed_segment_count();
+                let report = maintenance_tick(&catalog);
+                if !report.compacted.is_empty() {
+                    prop_assert!(
+                        t.sealed_segment_count() < sealed_before,
+                        "a firing compaction must strictly shrink the sealed list \
+                         ({} -> {}, report {:?})",
+                        sealed_before,
+                        t.sealed_segment_count(),
+                        report.compacted
+                    );
+                }
+                // Row ids and answers are invariant right after the swap.
+                let got = t.query(&preds).unwrap();
+                let oracle: Vec<u64> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| (lo..=lo + width).contains(*v))
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                prop_assert_eq!(got.as_slice(), oracle.as_slice());
+            }
+        }
+        prop_assert_eq!(t.row_count(), all.len() as u64);
+        // Final state equals whole-column evaluation regardless of how the
+        // segment list was reorganized along the way.
+        let whole = engine_table(&all, 128);
+        prop_assert_eq!(
+            t.query(&preds).unwrap().as_slice(),
+            whole.query(&preds).unwrap().as_slice()
+        );
     }
 }

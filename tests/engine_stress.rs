@@ -1,6 +1,7 @@
-//! Concurrency stress test for the engine: concurrent readers and one
-//! appender, with the maintenance daemon running, must always produce
-//! results identical to a serial scan of a consistent snapshot.
+//! Concurrency stress tests for the engine: concurrent readers and one
+//! appender, with the maintenance daemon running (index rebuilds *and*
+//! tiered segment compaction), must always produce results identical to a
+//! serial scan of a consistent snapshot.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -8,7 +9,10 @@ use std::time::Duration;
 
 use column_imprints::colstore::relation::AnyColumn;
 use column_imprints::colstore::{ColumnType, Value};
-use column_imprints::engine::{Catalog, EngineConfig, MaintenanceDaemon, ValueRange, WorkerPool};
+use column_imprints::engine::{
+    maintenance_tick, Catalog, EngineConfig, MaintenanceConfig, MaintenanceDaemon, ValueRange,
+    WorkerPool,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,11 +26,13 @@ fn concurrent_readers_and_appender_stay_consistent() {
         segment_rows: 2048,
         workers: 2,
         // Aggressive thresholds so background rebuilds actually trigger
-        // mid-flight.
-        maintenance: column_imprints::engine::MaintenanceConfig {
+        // mid-flight; fan-in 4 lets tiered compaction churn the sealed
+        // list under the readers at the same time.
+        maintenance: MaintenanceConfig {
             drift_threshold: 0.3,
             fp_threshold: 0.9,
             min_comparisons: 256,
+            tier_fanin: 4,
             ..Default::default()
         },
         ..Default::default()
@@ -128,11 +134,28 @@ fn concurrent_readers_and_appender_stay_consistent() {
     });
 
     drop(daemon);
-    // Deterministic final pass: any drift the daemon did not get to yet is
-    // repaired (and counted) here.
-    let _ = column_imprints::engine::maintenance_tick(&catalog);
+    // Deterministic final passes: any drift or pending tier merges the
+    // daemon did not get to are applied (and counted) here.
+    let mut guard = 0;
+    while !maintenance_tick(&catalog).is_idle() {
+        guard += 1;
+        assert!(guard < 64, "maintenance must converge after the appender stops");
+    }
     assert_eq!(table.row_count(), TOTAL_ROWS as u64);
-    assert!(table.sealed_segment_count() >= TOTAL_ROWS / 2048);
+    // Compaction merged the 2048-row seal-granularity segments into tiers:
+    // fewer, larger segments, with every row still present exactly once.
+    assert!(table.stats().compactions.load(Ordering::Relaxed) > 0, "tiered compaction never fired");
+    assert!(
+        table.sealed_segment_count() < TOTAL_ROWS / 2048,
+        "compaction must leave fewer segments than were sealed, got {}",
+        table.sealed_segment_count()
+    );
+    let everything = table.query(&[]).unwrap();
+    assert_eq!(everything.len() as u64, table.row_count());
+    assert!(
+        everything.as_slice().windows(2).all(|w| w[1] == w[0] + 1),
+        "row ids must stay contiguous after compaction"
+    );
     let n_checks = checks.load(Ordering::Relaxed);
     assert!(
         n_checks >= READERS as u64,
@@ -143,4 +166,121 @@ fn concurrent_readers_and_appender_stay_consistent() {
         table.stats().rebuilds.load(Ordering::Relaxed) > 0,
         "maintenance daemon never rebuilt a segment"
     );
+}
+
+/// Validating readers hold `TableSnapshot`s *across* compaction swaps while
+/// the daemon runs at an aggressive interval with an eager tier policy:
+/// every pinned snapshot must keep answering identically (its epoch's view
+/// is frozen), and every live query must see an exact contiguous row-id
+/// prefix — no id lost or duplicated by a merge swap.
+#[test]
+fn snapshots_stay_consistent_across_compaction_swaps() {
+    const ROWS: usize = 60_000;
+    const VALIDATORS: usize = 3;
+    let catalog = Arc::new(Catalog::new());
+    let cfg = EngineConfig {
+        segment_rows: 512,
+        workers: 2,
+        maintenance: MaintenanceConfig {
+            // Eager tiering: pairs merge as soon as they exist, so swaps
+            // happen constantly under the readers.
+            tier_fanin: 2,
+            compaction_budget_bytes: 0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let table = catalog.create_table("churn", &[("k", ColumnType::I64)], cfg).unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+    let daemon = MaintenanceDaemon::start(Arc::clone(&catalog), Duration::from_millis(1));
+
+    std::thread::scope(|s| {
+        {
+            let table = Arc::clone(&table);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut appended = 0usize;
+                while appended < ROWS {
+                    let n = rng.gen_range(100..600).min(ROWS - appended);
+                    let keys: Vec<i64> = (0..n).map(|_| rng.gen_range(0..100_000)).collect();
+                    table.append_batch(vec![AnyColumn::I64(keys.into_iter().collect())]).unwrap();
+                    appended += n;
+                }
+                done.store(true, Ordering::Release);
+            });
+        }
+        for r in 0..VALIDATORS {
+            let table = Arc::clone(&table);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + r as u64);
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let snap = table.snapshot();
+                    let pinned_epoch = snap.epoch();
+                    let full = snap.query(&[]).unwrap();
+                    // Consistency of the pinned view: exactly the rows
+                    // 0..row_count, each exactly once.
+                    assert_eq!(full.len() as u64, snap.row_count());
+                    assert!(
+                        full.as_slice().windows(2).all(|w| w[1] == w[0] + 1),
+                        "snapshot ids must be a contiguous prefix (epoch {pinned_epoch})"
+                    );
+                    // Hold the snapshot while the daemon swaps beneath it,
+                    // then re-ask: the frozen view may not move.
+                    std::thread::sleep(Duration::from_millis(rng.gen_range(1..4)));
+                    let again = snap.query(&[]).unwrap();
+                    assert_eq!(full, again, "a pinned snapshot changed across a swap");
+                    let lo = rng.gen_range(0..90_000i64);
+                    let pred = [("k", ValueRange::between(Value::I64(lo), Value::I64(lo + 5000)))];
+                    let a = snap.query(&pred).unwrap();
+                    let b = snap.query(&pred).unwrap();
+                    assert_eq!(a, b);
+                    // Live view: still an exact contiguous prefix, at least
+                    // as long as the snapshot's.
+                    let live = table.query(&[]).unwrap();
+                    assert!(live.len() as u64 >= snap.row_count());
+                    assert!(
+                        live.as_slice().windows(2).all(|w| w[1] == w[0] + 1),
+                        "live ids must be a contiguous prefix"
+                    );
+                    assert!(table.epoch() >= pinned_epoch, "epochs are monotonic");
+                    if finished {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    drop(daemon);
+    assert_eq!(table.row_count(), ROWS as u64);
+    let mut guard = 0;
+    while !maintenance_tick(&catalog).is_idle() {
+        guard += 1;
+        assert!(guard < 64);
+    }
+    // 117 tier-0 seals with fan-in 2: someone (daemon or drain) must have
+    // merged; the cumulative counter is deterministic either way.
+    assert!(
+        table.stats().compactions.load(Ordering::Relaxed) > 0,
+        "the eager tier policy never compacted"
+    );
+
+    // Epilogue, fully deterministic: pin a snapshot, force a merge swap
+    // beneath it, and check the frozen view does not move.
+    let pinned = table.snapshot();
+    let pinned_full = pinned.query(&[]).unwrap();
+    table.append_batch(vec![AnyColumn::I64((0..1024).collect())]).unwrap(); // 2 fresh tier-0 seals
+    let epoch_before_swap = table.epoch();
+    let report = maintenance_tick(&catalog);
+    assert!(!report.compacted.is_empty(), "two adjacent tier-0 segments must merge");
+    assert!(table.epoch() > epoch_before_swap, "the merge swap must bump the epoch");
+    assert_eq!(pinned.query(&[]).unwrap(), pinned_full, "pinned snapshot moved across the swap");
+    assert_eq!(pinned.row_count(), ROWS as u64);
+
+    let full = table.query(&[]).unwrap();
+    assert_eq!(full.len() as u64, table.row_count());
+    assert!(full.as_slice().windows(2).all(|w| w[1] == w[0] + 1));
 }
