@@ -95,6 +95,43 @@ impl<T: Scalar> ZoneMap<T> {
         }
     }
 
+    /// Counts matching rows without materializing ids — the same zone
+    /// walk as [`RangeIndex::evaluate_with_stats`], with fully-included
+    /// zones contributing their cardinality directly and no id vector
+    /// allocated.
+    pub fn count_with_stats(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+    ) -> (u64, AccessStats) {
+        assert_eq!(col.len(), self.rows, "index does not cover this column");
+        let mut stats = AccessStats::default();
+        let mut total = 0u64;
+        let values = col.values();
+        let vpz = self.values_per_zone as u64;
+        let rows = self.rows as u64;
+        for z in 0..self.mins.len() {
+            stats.index_probes += 1;
+            let (zmin, zmax) = (&self.mins[z], &self.maxs[z]);
+            if !Self::overlaps(pred, zmin, zmax) {
+                stats.lines_skipped += 1;
+                continue;
+            }
+            let start = z as u64 * vpz;
+            let end = ((z as u64 + 1) * vpz).min(rows);
+            if Self::fully_inside(pred, zmin, zmax) {
+                total += end - start;
+            } else {
+                stats.lines_fetched += 1;
+                stats.value_comparisons += end - start;
+                total +=
+                    values[start as usize..end as usize].iter().filter(|v| pred.matches(v)).count()
+                        as u64;
+            }
+        }
+        (total, stats)
+    }
+
     /// Whether every value of a zone `[zmin, zmax]` matches.
     #[inline]
     fn fully_inside(pred: &RangePredicate<T>, zmin: &T, zmax: &T) -> bool {
@@ -260,6 +297,26 @@ mod tests {
         let (_, stats) = zm.evaluate_with_stats(&col, &RangePredicate::between(400, 600));
         assert_eq!(stats.lines_skipped, 0, "zonemap cannot skip any zone here");
         assert_eq!(stats.value_comparisons, 16_000);
+    }
+
+    #[test]
+    fn count_agrees_with_evaluate_without_materializing() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(33);
+        let col: Column<i64> = (0..20_000).map(|_| rng.gen_range(-500..500)).collect();
+        let zm = ZoneMap::build(&col);
+        for pred in [
+            RangePredicate::between(-100, 100),
+            RangePredicate::all(),
+            RangePredicate::between(10, 5),
+            RangePredicate::at_least(499),
+        ] {
+            let (ids, estats) = zm.evaluate_with_stats(&col, &pred);
+            let (n, cstats) = zm.count_with_stats(&col, &pred);
+            assert_eq!(n as usize, ids.len(), "{pred}");
+            assert_eq!(estats, cstats, "count must do the same zone walk: {pred}");
+        }
     }
 
     #[test]

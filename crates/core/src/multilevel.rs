@@ -201,6 +201,7 @@ impl<T: Scalar> MultiLevelImprints<T> {
                     let ids = line * vpb..((line + take) * vpb).min(rows);
                     if vector & not_inner == 0 {
                         stats.lines_full += take;
+                        stats.ids_via_full_lines += ids.end - ids.start;
                         res.extend(ids);
                     } else {
                         stats.lines_checked += take;

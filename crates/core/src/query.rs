@@ -31,6 +31,12 @@ pub struct ImprintStats {
     /// Cachelines emitted wholesale through the `innermask` fast path — no
     /// value of these lines was ever compared.
     pub lines_full: u64,
+    /// Row ids emitted through that fast path, counted exactly. A partial
+    /// tail cacheline emitted wholesale contributes fewer than
+    /// `values_per_block` ids, so `lines_full * values_per_block` would
+    /// overestimate — consumers reconstructing "ids that went through the
+    /// value check" must subtract this counter, not a product.
+    pub ids_via_full_lines: u64,
     /// Cachelines fetched and checked value-by-value.
     pub lines_checked: u64,
 }
@@ -119,6 +125,7 @@ fn evaluate_with_masks<T: Scalar>(
                     let ids = line * vpb..((line + 1) * vpb).min(rows);
                     if imp & not_inner == 0 {
                         stats.lines_full += 1;
+                        stats.ids_via_full_lines += ids.end - ids.start;
                         emit_ids(&mut res, ids);
                     } else {
                         stats.lines_checked += 1;
@@ -145,6 +152,7 @@ fn evaluate_with_masks<T: Scalar>(
                 let ids = line * vpb..((line + cnt) * vpb).min(rows);
                 if imp & not_inner == 0 {
                     stats.lines_full += cnt;
+                    stats.ids_via_full_lines += ids.end - ids.start;
                     emit_ids(&mut res, ids);
                 } else {
                     stats.lines_checked += cnt;
@@ -165,6 +173,7 @@ fn evaluate_with_masks<T: Scalar>(
             let ids = line * vpb..rows;
             if tail_imp & not_inner == 0 {
                 stats.lines_full += 1;
+                stats.ids_via_full_lines += ids.end - ids.start;
                 emit_ids(&mut res, ids);
             } else {
                 stats.lines_checked += 1;
@@ -207,6 +216,7 @@ pub fn count<T: Scalar>(
         let end = ((run.first_line + run.line_count) * vpb).min(rows);
         if run.imprint & not_inner == 0 {
             stats.lines_full += run.line_count;
+            stats.ids_via_full_lines += end - start;
             total += end - start;
         } else {
             stats.lines_checked += run.line_count;

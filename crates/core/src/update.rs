@@ -101,11 +101,20 @@ impl<T: Scalar> ColumnImprints<T> {
         }
     }
 
+    /// The overflow-drift half of the rebuild heuristic: enough rows were
+    /// appended to trust the signal, and too many of them landed in the
+    /// overflow bins. O(1) — cheap enough for per-append-batch checks
+    /// (unlike [`ColumnImprints::saturation`], which sweeps every stored
+    /// vector).
+    pub fn append_drift_excessive(&self) -> bool {
+        self.appended_rows >= 1024 && self.append_drift() > 0.5
+    }
+
     /// Rebuild heuristic: the index stopped being useful either because the
     /// vectors saturated or because appended data keeps overflowing the
     /// sampled domain.
     pub fn needs_rebuild(&self) -> bool {
-        self.saturation() > 0.75 || (self.appended_rows >= 1024 && self.append_drift() > 0.5)
+        self.saturation() > 0.75 || self.append_drift_excessive()
     }
 
     /// Rebuilds from scratch over the current column contents — the "simply
@@ -245,6 +254,7 @@ impl<T: Scalar> OverlayImprints<T> {
             let ids = first_line * vpb..((first_line + line_count) * vpb).min(rows);
             if imprint & not_inner == 0 {
                 stats.lines_full += line_count;
+                stats.ids_via_full_lines += ids.end - ids.start;
                 res.extend(ids);
             } else {
                 stats.lines_checked += line_count;

@@ -16,6 +16,14 @@ pub struct EngineConfig {
     pub share_binning: bool,
     /// Threads used to build one segment's imprint at seal time.
     pub build_threads: usize,
+    /// Minimum open-segment row count before the write head grows its
+    /// incremental tail imprint (see [`crate::tail`]). Below the
+    /// threshold queries scan the open rows linearly — a tiny head is
+    /// cheaper to scan than to index, and the bin sample would be too
+    /// thin; at the threshold the tail index is built from the rows
+    /// accumulated so far and every later append extends it under the
+    /// open write lock. `usize::MAX` disables tail indexing entirely.
+    pub tail_index_min_rows: usize,
     /// Background maintenance thresholds.
     pub maintenance: MaintenanceConfig,
 }
@@ -27,6 +35,7 @@ impl Default for EngineConfig {
             workers: 0,
             share_binning: true,
             build_threads: 1,
+            tail_index_min_rows: 4096,
             maintenance: MaintenanceConfig::default(),
         }
     }

@@ -17,6 +17,11 @@
 //! * **Adaptive access paths** ([`paths`]): each segment column chooses
 //!   imprint vs. zonemap vs. scan per query from observed cost (EWMA +
 //!   periodic exploration).
+//! * **Tail-indexed write head** ([`tail`]): once the open segment is
+//!   large enough, each open column buffer carries an incremental tail
+//!   imprint extended on every append (§4.1: appends never readjust
+//!   borders), so queries skip cachelines of the hot head instead of
+//!   scanning it linearly under the open read lock.
 //! * **Maintenance planner** ([`planner`]): watches saturation, append
 //!   drift and observed false-positive rates, and re-bins degraded
 //!   segment indexes in the background, swapping them in atomically; the
@@ -56,6 +61,7 @@ pub mod paths;
 pub mod planner;
 pub mod segment;
 pub mod table;
+pub mod tail;
 
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -73,6 +79,7 @@ pub use planner::{
 };
 pub use segment::SealedSegment;
 pub use table::{ColumnDef, QueryStats, Table, TableSnapshot};
+pub use tail::AnyTailIndex;
 
 /// The assembled engine: catalog + worker pool + optional maintenance
 /// daemon, under one configuration.

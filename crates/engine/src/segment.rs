@@ -137,13 +137,13 @@ impl<T: Scalar> SegCol<T> {
         let (ids, stats) = match path {
             PathKind::Imprints => {
                 let (ids, istats) = query::evaluate(&self.imprints, &self.data, pred);
-                let vpb = self.imprints.values_per_block() as u64;
-                let emitted = ids.len() as u64;
-                let via_checks = emitted.saturating_sub(istats.lines_full * vpb);
+                // Ids not emitted via a full line each passed the value
+                // check; `ids_via_full_lines` is exact even when a partial
+                // tail cacheline was emitted wholesale, so this no longer
+                // undercounts matches (and inflates the planner's fp-rate).
+                let via_checks = (ids.len() as u64).saturating_sub(istats.ids_via_full_lines);
                 self.obs.comparisons.fetch_add(istats.access.value_comparisons, Ordering::Relaxed);
-                self.obs
-                    .matches
-                    .fetch_add(via_checks.min(istats.access.value_comparisons), Ordering::Relaxed);
+                self.obs.matches.fetch_add(via_checks, Ordering::Relaxed);
                 (ids, istats.access)
             }
             PathKind::ZoneMap => self.zonemap.evaluate_with_stats(&self.data, pred),
@@ -153,6 +153,38 @@ impl<T: Scalar> SegCol<T> {
         self.chooser.record(path, t0.elapsed().as_nanos() as u64);
         self.obs.queries.fetch_add(1, Ordering::Relaxed);
         (ids, stats)
+    }
+
+    /// Counts rows matching a single-column predicate through the
+    /// adaptively chosen access path — the count twin of
+    /// [`SegCol::evaluate_adaptive`], recording the same cost and
+    /// false-positive observations so count-heavy workloads feed the
+    /// planner and the chooser exactly like materializing queries do.
+    fn count_adaptive(&self, pred: &colstore::RangePredicate<T>) -> (u64, AccessStats) {
+        let path = self.chooser.choose();
+        let t0 = Instant::now();
+        let (n, stats) = match path {
+            PathKind::Imprints => {
+                let (n, istats) = query::count(&self.imprints, &self.data, pred);
+                let via_checks = n.saturating_sub(istats.ids_via_full_lines);
+                self.obs.comparisons.fetch_add(istats.access.value_comparisons, Ordering::Relaxed);
+                self.obs.matches.fetch_add(via_checks, Ordering::Relaxed);
+                (n, istats.access)
+            }
+            PathKind::ZoneMap => self.zonemap.count_with_stats(&self.data, pred),
+            PathKind::Scan => {
+                let stats = AccessStats {
+                    value_comparisons: self.data.len() as u64,
+                    lines_fetched: self.data.cacheline_count() as u64,
+                    ..AccessStats::default()
+                };
+                let n = self.data.values().iter().filter(|v| pred.matches(v)).count() as u64;
+                (n, stats)
+            }
+        };
+        self.chooser.record(path, t0.elapsed().as_nanos() as u64);
+        self.obs.queries.fetch_add(1, Ordering::Relaxed);
+        (n, stats)
     }
 
     /// Candidate row-id ranges for `pred` from the imprint (late
@@ -309,6 +341,13 @@ impl AnySegCol {
         seg_dispatch!(self, s => {
             let pred = range.to_predicate().expect("predicate validated against schema");
             s.evaluate_adaptive(&pred)
+        })
+    }
+
+    fn count_adaptive(&self, range: &ValueRange) -> (u64, AccessStats) {
+        seg_dispatch!(self, s => {
+            let pred = range.to_predicate().expect("predicate validated against schema");
+            s.count_adaptive(&pred)
         })
     }
 
@@ -508,18 +547,14 @@ impl SealedSegment {
         (IdList::from_sorted(out), stats)
     }
 
-    /// Counts matching rows without materializing ids (single predicate
-    /// uses the imprint count kernel; conjunctions materialize internally).
+    /// Counts matching rows without materializing ids. A single predicate
+    /// takes the adaptive path (same [`PathChooser`] and observation
+    /// recording as [`SealedSegment::evaluate`], with the imprint count
+    /// kernel on the imprint path); conjunctions materialize internally.
     pub fn count(&self, preds: &[(usize, ValueRange)]) -> (u64, AccessStats) {
         match preds {
             [] => (self.rows as u64, AccessStats::default()),
-            [(col, range)] => {
-                seg_dispatch!(&self.cols[*col], s => {
-                    let pred = range.to_predicate().expect("predicate validated");
-                    let (n, istats) = query::count(&s.imprints, &s.data, &pred);
-                    (n, istats.access)
-                })
-            }
+            [(col, range)] => self.cols[*col].count_adaptive(range),
             _ => {
                 let (ids, stats) = self.evaluate_conjunction(preds);
                 (ids.len() as u64, stats)
@@ -701,6 +736,73 @@ mod tests {
         let seg = seal_i64((0..100).collect());
         let (ids, _) = seg.evaluate(&[]);
         assert_eq!(ids.len(), 100);
+    }
+
+    /// Regression for the fp-rate accounting bug: a segment whose row count
+    /// is not a multiple of `values_per_block` has a partial tail cacheline;
+    /// when a predicate emits that line wholesale it contributes fewer than
+    /// `values_per_block` ids, and the old `emitted - lines_full * vpb`
+    /// reconstruction undercounted check-path matches — here every compared
+    /// value matches, so any observed fp-rate above zero is pure accounting
+    /// error (and planner-visible: it triggers spurious rebuilds).
+    #[test]
+    fn fp_accounting_exact_with_partial_tail_emitted_wholesale() {
+        // 1000 i32 rows, 16 values per 64-byte line: 62 full lines + an
+        // 8-value tail. 41 distinct values (< 64) give one bin per value,
+        // so the tail values 18..=25 sit in bins strictly inside the
+        // predicate [10, 50] and the tail line is emitted via the
+        // innermask fast path, while lines holding a 10 or a 50 (border
+        // bins) take the value-check route — and every check matches.
+        let values: Vec<i32> = (0..1000).map(|i| 10 + (i % 41)).collect();
+        assert!(values.iter().all(|v| (10..=50).contains(v)));
+        let col: Column<i32> = Column::from(values);
+        let seg = SealedSegment::seal(0, vec![AnyColumn::I32(col)], None, &cfg());
+        // One query; a fresh chooser's bootstrap routes it to Imprints.
+        let range = ValueRange::between(Value::I32(10), Value::I32(50));
+        let (ids, _) = seg.evaluate(&[(0, range)]);
+        assert_eq!(ids.len(), 1000);
+        let obs = seg.columns()[0].observations();
+        let cmp = obs.comparisons.load(Ordering::Relaxed);
+        let matches = obs.matches.load(Ordering::Relaxed);
+        assert!(cmp > 0, "some border line must have taken the check path");
+        assert_eq!(
+            matches, cmp,
+            "every compared value matches, so matches must equal comparisons \
+             (undercounting here is the old partial-tail formula bug)"
+        );
+        assert_eq!(obs.fp_rate(1), Some(0.0));
+    }
+
+    /// The count path is planner-visible: single-predicate counts go
+    /// through the chooser and record cost + observations exactly like
+    /// materializing queries.
+    #[test]
+    fn count_routes_through_chooser_and_records_observations() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<i64> = (0..8192).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let seg = seal_i64(values.clone());
+        let range = ValueRange::between(Value::I64(0), Value::I64(1000));
+        let expect = oracle(&values, 0, 1000).len() as u64;
+        // Enough repetitions that the bootstrap sweep visits all three
+        // paths; every path must agree on the count.
+        for _ in 0..64 {
+            let (n, _) = seg.count(&[(0, range)]);
+            assert_eq!(n, expect);
+        }
+        let col = &seg.columns()[0];
+        assert_eq!(col.chooser().queries(), 64, "counts must advance the chooser cadence");
+        assert!(
+            col.chooser().estimates().iter().all(Option::is_some),
+            "counts must feed path cost estimates"
+        );
+        let obs = col.observations();
+        assert_eq!(obs.queries.load(Ordering::Relaxed), 64);
+        assert!(
+            obs.comparisons.load(Ordering::Relaxed) > 0,
+            "imprint-path counts on unclustered data must record fp work"
+        );
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //! observes a consistent pair: the sealed list cannot advance under it.
 //! Every query therefore sees an exact *prefix* of the table's rows —
 //! never a gap, never a duplicate — identified by `(epoch, visible rows)`.
+//!
+//! The write head is not a blind buffer: once it holds
+//! [`EngineConfig::tail_index_min_rows`] rows, each open column buffer
+//! carries an incremental **tail imprint** ([`crate::tail`]) extended on
+//! every append inside the same write critical section, so queries skip
+//! non-qualifying cachelines of the head instead of scanning it linearly
+//! under the read lock. The tail index is discarded at seal, when the
+//! sealed segment builds its real per-segment imprint.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -26,6 +34,7 @@ use imprints::relation_index::ValueRange;
 use crate::config::EngineConfig;
 use crate::executor::WorkerPool;
 use crate::segment::SealedSegment;
+use crate::tail::AnyTailIndex;
 
 /// A named column of a table schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +50,10 @@ type SegmentList = Arc<Vec<Arc<SealedSegment>>>;
 struct OpenSegment {
     base: u64,
     bufs: Vec<AnyColumn>,
+    /// Per-column incremental tail imprints over `bufs`, present once the
+    /// head crossed [`EngineConfig::tail_index_min_rows`]; maintained
+    /// under the open write lock and discarded at seal.
+    tails: Option<Vec<AnyTailIndex>>,
 }
 
 impl OpenSegment {
@@ -69,8 +82,18 @@ pub struct TableStats {
 /// Aggregate statistics of one query.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueryStats {
-    /// Merged access counters across all segments visited.
+    /// Merged access counters across all *sealed* segments visited.
     pub access: AccessStats,
+    /// Access counters of the open write head, kept separate from the
+    /// sealed-path work: imprint probes/skips when the tail index served
+    /// the head, scalar comparisons when it fell back to the linear scan.
+    pub tail_access: AccessStats,
+    /// Whether the open rows were answered through the incremental tail
+    /// imprint (`false`: head below the engage threshold, tail indexing
+    /// disabled, or no predicate touched the head).
+    pub tail_indexed: bool,
+    /// Rows in the open write head visible to the query.
+    pub open_rows: usize,
     /// Sealed segments visited.
     pub sealed_segments: usize,
     /// Rows visible to the query (its consistent prefix length).
@@ -110,7 +133,7 @@ impl Table {
             schema: defs,
             cfg,
             sealed: RwLock::new(Arc::new(Vec::new())),
-            open: RwLock::new(OpenSegment { base: 0, bufs }),
+            open: RwLock::new(OpenSegment { base: 0, bufs, tails: None }),
             epoch: AtomicU64::new(0),
             stats: TableStats::default(),
         })
@@ -153,10 +176,19 @@ impl Table {
         self.sealed.read().expect("sealed lock").len()
     }
 
-    /// Bytes of secondary-index structures across sealed segments.
+    /// Bytes of secondary-index structures: every sealed segment's imprint
+    /// and zonemap, plus the open head's tail imprints once built.
     pub fn index_bytes(&self) -> usize {
+        let open = self.open.read().expect("open lock");
         let sealed = self.sealed.read().expect("sealed lock").clone();
-        sealed.iter().map(|s| s.columns().iter().map(|c| c.index_bytes()).sum::<usize>()).sum()
+        let tail_bytes: usize =
+            open.tails.as_ref().map_or(0, |tails| tails.iter().map(AnyTailIndex::size_bytes).sum());
+        drop(open);
+        sealed
+            .iter()
+            .map(|s| s.columns().iter().map(|c| c.index_bytes()).sum::<usize>())
+            .sum::<usize>()
+            + tail_bytes
     }
 
     /// Resolves and type-checks `(name, range)` predicates against the
@@ -220,12 +252,19 @@ impl Table {
         while taken < rows {
             let room = self.cfg.segment_rows - open.len();
             let take = room.min(rows - taken);
+            let from = open.len();
             for (buf, src) in open.bufs.iter_mut().zip(&batch) {
                 buf.extend_from_range(src, taken..taken + take)?;
             }
             taken += take;
             if open.len() == self.cfg.segment_rows {
+                // The chunk filled the segment: sealing builds the real
+                // per-segment imprint and discards the tail, so extending
+                // (or building) the tail for these rows would be pure
+                // throwaway work — skip straight to the seal.
                 self.seal_open(&mut open);
+            } else {
+                index_open_tail(&mut open, from, self.cfg.tail_index_min_rows);
             }
         }
         self.stats.rows_appended.fetch_add(rows as u64, Ordering::Relaxed);
@@ -233,8 +272,11 @@ impl Table {
     }
 
     /// Seals the (full) open segment into the sealed list. Caller holds the
-    /// open write lock, which is what makes the seal atomic to readers.
+    /// open write lock, which is what makes the seal atomic to readers. The
+    /// tail imprint is discarded here: the sealed segment builds its real
+    /// per-segment imprint (with binning inheritance) below.
     fn seal_open(&self, open: &mut OpenSegment) {
+        open.tails = None;
         let bufs = std::mem::replace(
             &mut open.bufs,
             self.schema.iter().map(|d| AnyColumn::new_empty(d.ty)).collect(),
@@ -339,6 +381,41 @@ impl Table {
         Ok(self.query_with_stats(preds, Some(pool))?.0)
     }
 
+    /// Pins the consistent prefix shared by every read entry point: the
+    /// open read lock excludes sealing, so the sealed list and the open
+    /// rows agree. Open rows are evaluated under the lock (bounded by one
+    /// segment, and through the tail imprint once the head is large
+    /// enough); sealed segments are evaluated by the caller after release,
+    /// on the frozen snapshot. Both [`Table::query_with_stats`] and
+    /// [`Table::count_with_stats`] go through here, so the two entry
+    /// points cannot drift on the consistency scheme.
+    fn pin_prefix(&self, rpreds: &[(usize, ValueRange)]) -> PinnedPrefix {
+        let open = self.open.read().expect("open lock");
+        let sealed_guard = self.sealed.read().expect("sealed lock");
+        let sealed = sealed_guard.clone();
+        // Read under the lock: epoch bumps happen inside the write
+        // critical sections, so this value names exactly the pinned
+        // (sealed list, open rows) pair.
+        let epoch = self.epoch();
+        drop(sealed_guard);
+        let open_eval = eval_open(&open.bufs, open.tails.as_deref(), rpreds);
+        PinnedPrefix { sealed, open_base: open.base, open: open_eval, epoch }
+    }
+
+    /// Seeds the per-query statistics from a pinned prefix (the fields
+    /// both read entry points report identically).
+    fn prefix_stats(pin: &PinnedPrefix) -> QueryStats {
+        QueryStats {
+            tail_access: pin.open.access,
+            tail_indexed: pin.open.tail_indexed,
+            open_rows: pin.open.rows,
+            sealed_segments: pin.sealed.len(),
+            visible_rows: pin.open_base + pin.open.rows as u64,
+            epoch: pin.epoch,
+            ..Default::default()
+        }
+    }
+
     /// Full query entry point: resolves predicates, pins a consistent
     /// prefix (sealed list + open rows), evaluates, merges ordered per-
     /// segment id lists, and reports statistics.
@@ -348,35 +425,12 @@ impl Table {
         pool: Option<&WorkerPool>,
     ) -> Result<(IdList, QueryStats)> {
         let rpreds = Arc::new(self.resolve(preds)?);
-
-        // Pin the consistent prefix: open read lock excludes sealing, so
-        // the sealed list and the open rows agree. Open rows are evaluated
-        // under the lock (bounded by one segment); sealed segments after
-        // release, on the frozen snapshot.
-        let (sealed, open_base, open_hits, open_comparisons, epoch) = {
-            let open = self.open.read().expect("open lock");
-            let sealed_guard = self.sealed.read().expect("sealed lock");
-            let sealed = sealed_guard.clone();
-            // Read under the lock: epoch bumps happen inside the write
-            // critical sections, so this value names exactly the pinned
-            // (sealed list, open rows) pair.
-            let epoch = self.epoch();
-            drop(sealed_guard);
-            let (hits, cmp) = eval_open(&open.bufs, &rpreds);
-            (sealed, open.base, hits, cmp, epoch)
-        };
-
-        let mut stats = QueryStats {
-            sealed_segments: sealed.len(),
-            visible_rows: open_base + open_hits.1 as u64,
-            epoch,
-            ..Default::default()
-        };
-        stats.access.value_comparisons += open_comparisons;
+        let pin = self.pin_prefix(&rpreds);
+        let mut stats = Self::prefix_stats(&pin);
 
         let per_segment: Vec<(u64, IdList, AccessStats)> = match pool {
-            Some(pool) if sealed.len() > 1 => {
-                let results = pool.scatter(sealed.iter().map(|seg| {
+            Some(pool) if pin.sealed.len() > 1 => {
+                let results = pool.scatter(pin.sealed.iter().map(|seg| {
                     let seg = Arc::clone(seg);
                     let rpreds = Arc::clone(&rpreds);
                     move || {
@@ -392,7 +446,8 @@ impl Table {
                 }
                 out
             }
-            _ => sealed
+            _ => pin
+                .sealed
                 .iter()
                 .map(|seg| {
                     let (ids, st) = seg.evaluate(&rpreds);
@@ -402,44 +457,59 @@ impl Table {
         };
 
         let mut merged = IdList::with_capacity(
-            per_segment.iter().map(|(_, ids, _)| ids.len()).sum::<usize>() + open_hits.0.len(),
+            per_segment.iter().map(|(_, ids, _)| ids.len()).sum::<usize>() + pin.open.hits.len(),
         );
         for (base, ids, st) in per_segment {
             stats.access.merge(&st);
             merged.extend_offset(&ids, base);
         }
-        merged.extend_offset(&open_hits.0, open_base);
+        merged.extend_offset(&pin.open.hits, pin.open_base);
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         Ok((merged, stats))
     }
 
-    /// Counts matching rows without materializing ids.
-    pub fn count(&self, preds: &[(&str, ValueRange)], pool: Option<&WorkerPool>) -> Result<u64> {
+    /// Counts matching rows without materializing ids, with the same
+    /// pinned-prefix consistency, epoch reporting and tail/sealed stats
+    /// split as [`Table::query_with_stats`].
+    pub fn count_with_stats(
+        &self,
+        preds: &[(&str, ValueRange)],
+        pool: Option<&WorkerPool>,
+    ) -> Result<(u64, QueryStats)> {
         let rpreds = Arc::new(self.resolve(preds)?);
-        let (sealed, open_count) = {
-            let open = self.open.read().expect("open lock");
-            let sealed = self.sealed.read().expect("sealed lock").clone();
-            let (hits, _) = eval_open(&open.bufs, &rpreds);
-            (sealed, hits.0.len() as u64)
-        };
-        let total: u64 = match pool {
-            Some(pool) if sealed.len() > 1 => {
-                let results = pool.scatter(sealed.iter().map(|seg| {
+        let pin = self.pin_prefix(&rpreds);
+        let mut stats = Self::prefix_stats(&pin);
+
+        let per_segment: Vec<(u64, AccessStats)> = match pool {
+            Some(pool) if pin.sealed.len() > 1 => {
+                let results = pool.scatter(pin.sealed.iter().map(|seg| {
                     let seg = Arc::clone(seg);
                     let rpreds = Arc::clone(&rpreds);
-                    move || seg.count(&rpreds).0
+                    move || seg.count(&rpreds)
                 }));
-                let mut total = 0u64;
+                let mut out = Vec::with_capacity(results.len());
                 for r in results {
-                    total +=
-                        r.ok_or_else(|| Error::Mismatch("segment count task panicked".into()))?;
+                    out.push(
+                        r.ok_or_else(|| Error::Mismatch("segment count task panicked".into()))?,
+                    );
                 }
-                total
+                out
             }
-            _ => sealed.iter().map(|seg| seg.count(&rpreds).0).sum(),
+            _ => pin.sealed.iter().map(|seg| seg.count(&rpreds)).collect(),
         };
+
+        let mut total = 0u64;
+        for (n, st) in per_segment {
+            stats.access.merge(&st);
+            total += n;
+        }
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
-        Ok(total + open_count)
+        Ok((total + pin.open.hits.len() as u64, stats))
+    }
+
+    /// Counts matching rows without materializing ids.
+    pub fn count(&self, preds: &[(&str, ValueRange)], pool: Option<&WorkerPool>) -> Result<u64> {
+        Ok(self.count_with_stats(preds, pool)?.0)
     }
 
     /// Reconstructs the tuple at global row `id` (late materialization).
@@ -500,31 +570,102 @@ fn resolve_preds(
     Ok(out)
 }
 
-/// Evaluates resolved predicates over the open segment buffers, returning
-/// (local hit ids + rows scanned, comparisons performed).
-fn eval_open(bufs: &[AnyColumn], rpreds: &[(usize, ValueRange)]) -> ((IdList, usize), u64) {
+/// The pinned consistent prefix one read observes: the frozen sealed list
+/// plus the already-evaluated open write head (see [`Table::pin_prefix`]).
+struct PinnedPrefix {
+    sealed: SegmentList,
+    open_base: u64,
+    open: OpenEval,
+    epoch: u64,
+}
+
+/// Result of evaluating a query's predicates over the open write head.
+#[derive(Debug, Default)]
+struct OpenEval {
+    /// Matching head-local row ids.
+    hits: IdList,
+    /// Open rows visible to the query.
+    rows: usize,
+    /// Work performed on the head (imprint probes or scalar comparisons).
+    access: AccessStats,
+    /// Whether the tail imprint served the head.
+    tail_indexed: bool,
+}
+
+/// Evaluates resolved predicates over the open segment. The first
+/// predicate reads the whole head, so it routes through the column's tail
+/// imprint when one is maintained — skipping non-qualifying cachelines
+/// exactly like sealed segments do; the remaining predicates only weed the
+/// (typically few) survivors, where a scalar pass wins. Without tails
+/// every predicate takes the scalar path.
+fn eval_open(
+    bufs: &[AnyColumn],
+    tails: Option<&[AnyTailIndex]>,
+    rpreds: &[(usize, ValueRange)],
+) -> OpenEval {
     let rows = bufs.first().map_or(0, AnyColumn::len);
     if rows == 0 {
-        return ((IdList::new(), 0), 0);
+        return OpenEval::default();
     }
     if rpreds.is_empty() {
-        return ((IdList::from_sorted((0..rows as u64).collect()), rows), 0);
+        return OpenEval {
+            hits: IdList::from_sorted((0..rows as u64).collect()),
+            rows,
+            ..Default::default()
+        };
     }
-    let mut comparisons = 0u64;
+    let mut out = OpenEval { rows, ..Default::default() };
     let mut survivors: Option<Vec<u64>> = None;
-    for (col, range) in rpreds {
-        let current = survivors.take();
-        let next = filter_open_column(&bufs[*col], range, current.as_deref(), rows);
-        comparisons += match &current {
-            Some(ids) => ids.len() as u64,
-            None => rows as u64,
+    for (i, (col, range)) in rpreds.iter().enumerate() {
+        let next = match (i, tails) {
+            (0, Some(tails)) => {
+                let tail = &tails[*col];
+                debug_assert_eq!(
+                    tail.rows(),
+                    rows,
+                    "tail imprint out of sync with the open buffer"
+                );
+                let (ids, stats) = tail.evaluate(&bufs[*col], range);
+                out.access.merge(&stats);
+                out.tail_indexed = true;
+                ids.into_vec()
+            }
+            _ => {
+                let current = survivors.as_deref();
+                out.access.value_comparisons += current.map_or(rows, <[u64]>::len) as u64;
+                filter_open_column(&bufs[*col], range, current, rows)
+            }
         };
         if next.is_empty() {
-            return ((IdList::new(), rows), comparisons);
+            return out;
         }
         survivors = Some(next);
     }
-    ((IdList::from_sorted(survivors.unwrap_or_default()), rows), comparisons)
+    out.hits = IdList::from_sorted(survivors.unwrap_or_default());
+    out
+}
+
+/// Maintains the open segment's tail imprints after an append landed rows
+/// `from..open.len()`: extends existing tails with exactly those rows,
+/// builds the tails once the head crosses `min_rows` (sampling bin borders
+/// from the rows accumulated so far), and re-bins a tail whose appended
+/// data drifted off its sampled domain — all bounded by one segment of
+/// rows, under the open write lock the caller already holds.
+fn index_open_tail(open: &mut OpenSegment, from: usize, min_rows: usize) {
+    if open.len() < min_rows {
+        return;
+    }
+    match &mut open.tails {
+        Some(tails) => {
+            for (tail, buf) in tails.iter_mut().zip(&open.bufs) {
+                tail.extend(buf, from);
+                if tail.needs_rebuild() {
+                    tail.rebuild(buf);
+                }
+            }
+        }
+        None => open.tails = Some(open.bufs.iter().map(AnyTailIndex::build).collect()),
+    }
 }
 
 /// One column's filter pass over the open segment: scans `candidates` (or
@@ -588,8 +729,8 @@ impl TableSnapshot {
         let mut merged = IdList::concat_segments(
             self.sealed.iter().map(|seg| (seg.base(), seg.evaluate(&rpreds).0)),
         );
-        let (hits, _) = eval_open(&self.open_bufs, &rpreds);
-        merged.extend_offset(&hits.0, self.open_base);
+        let open = eval_open(&self.open_bufs, None, &rpreds);
+        merged.extend_offset(&open.hits, self.open_base);
         Ok(merged)
     }
 
@@ -755,6 +896,100 @@ mod tests {
         let merged_oob = SealedSegment::merge(&sealed[2..4], t.config());
         assert!(!t.replace_segments(2, &sealed[2..4], merged_oob));
         assert_eq!(t.query(&pred).unwrap(), before);
+    }
+
+    fn tail_cfg(min_rows: usize) -> EngineConfig {
+        EngineConfig {
+            segment_rows: 1024,
+            workers: 2,
+            tail_index_min_rows: min_rows,
+            ..Default::default()
+        }
+    }
+
+    /// The write head's tail imprint is an invisible accelerator: a
+    /// tail-indexed table and a scalar-scan table answer identically, but
+    /// the indexed head skips cachelines instead of comparing every row.
+    #[test]
+    fn tail_indexed_head_matches_scalar_scan_and_skips_lines() {
+        let indexed = Table::new("t", &[("v", ColumnType::I64)], tail_cfg(64)).unwrap();
+        let scanned = Table::new("t", &[("v", ColumnType::I64)], tail_cfg(usize::MAX)).unwrap();
+        // One sealed segment plus a 640-row open head of clustered values.
+        let values: Vec<i64> = (0..1664).collect();
+        for t in [&indexed, &scanned] {
+            t.append_batch(vec![AnyColumn::I64(values.iter().copied().collect())]).unwrap();
+            assert_eq!(t.sealed_segment_count(), 1);
+        }
+        // A narrow range inside the open head (rows 1024..1664).
+        let pred = [("v", ValueRange::between(Value::I64(1100), Value::I64(1160)))];
+        let (ids_i, st_i) = indexed.query_with_stats(&pred, None).unwrap();
+        let (ids_s, st_s) = scanned.query_with_stats(&pred, None).unwrap();
+        assert_eq!(ids_i, ids_s);
+        assert_eq!(ids_i.as_slice(), (1100..1161).collect::<Vec<u64>>().as_slice());
+        assert_eq!(st_i.open_rows, 640);
+        assert!(st_i.tail_indexed, "a 640-row head above the threshold must use its tail");
+        assert!(!st_s.tail_indexed);
+        assert_eq!(st_s.tail_access.value_comparisons, 640, "scalar path compares every row");
+        assert!(
+            st_i.tail_access.value_comparisons < 640 / 4,
+            "tail imprint must weed most of the head without comparisons (did {})",
+            st_i.tail_access.value_comparisons
+        );
+        assert!(st_i.tail_access.lines_skipped > 0);
+    }
+
+    /// Sealing discards the tail imprint; the fresh (empty, below
+    /// threshold) head falls back to the scalar path until it regrows.
+    #[test]
+    fn seal_discards_tail_and_conjunctions_use_it_for_the_first_predicate() {
+        let t = Table::new("t", &[("a", ColumnType::I64), ("b", ColumnType::I64)], tail_cfg(128))
+            .unwrap();
+        let a: Vec<i64> = (0..1500).collect();
+        let b: Vec<i64> = (0..1500).map(|i| i % 7).collect();
+        t.append_batch(vec![
+            AnyColumn::I64(a.iter().copied().collect()),
+            AnyColumn::I64(b.iter().copied().collect()),
+        ])
+        .unwrap();
+        let pred = [
+            ("a", ValueRange::at_least(Value::I64(1200))),
+            ("b", ValueRange::equals(Value::I64(3))),
+        ];
+        let (ids, st) = t.query_with_stats(&pred, None).unwrap();
+        let expect: Vec<u64> =
+            (0..1500u64).filter(|&i| a[i as usize] >= 1200 && b[i as usize] == 3).collect();
+        assert_eq!(ids.as_slice(), expect.as_slice());
+        assert!(st.tail_indexed, "first predicate of a conjunction must ride the tail");
+
+        // Fill the head to exactly the seal boundary: the new head is empty
+        // and below threshold, so the next query takes the scalar path.
+        t.append_batch(vec![ints(0..548), AnyColumn::I64((0..548).map(|i| i % 7).collect())])
+            .unwrap();
+        assert_eq!(t.row_count() % 1024, 0);
+        let (_, st) = t.query_with_stats(&pred, None).unwrap();
+        assert_eq!(st.open_rows, 0);
+        assert!(!st.tail_indexed, "sealing must discard the head's tail imprint");
+    }
+
+    /// Count and query share one pinned-prefix path: identical epoch,
+    /// visibility and head accounting, and the count includes open rows.
+    #[test]
+    fn count_shares_the_pinned_prefix_path_with_query() {
+        let t = Table::new("t", &[("v", ColumnType::I64)], tail_cfg(64)).unwrap();
+        let vals: Vec<i64> = (0..2500).map(|i| (i * 37) % 1000).collect();
+        t.append_batch(vec![AnyColumn::I64(vals.into_iter().collect())]).unwrap();
+        let pred = [("v", ValueRange::between(Value::I64(10), Value::I64(50)))];
+        let (ids, qs) = t.query_with_stats(&pred, None).unwrap();
+        let (n, cs) = t.count_with_stats(&pred, None).unwrap();
+        assert_eq!(n as usize, ids.len());
+        assert_eq!(cs.epoch, qs.epoch);
+        assert_eq!(cs.visible_rows, qs.visible_rows);
+        assert_eq!(cs.open_rows, qs.open_rows);
+        assert_eq!(cs.sealed_segments, qs.sealed_segments);
+        assert_eq!(cs.tail_indexed, qs.tail_indexed);
+        assert!(cs.open_rows > 0, "the open head must be part of the count");
+        // The sealed count path reports its access work too.
+        assert!(cs.access.index_probes > 0 || cs.access.value_comparisons > 0);
     }
 
     #[test]

@@ -139,6 +139,70 @@ proptest! {
         prop_assert_eq!(before.as_slice(), after.as_slice());
     }
 
+    /// Tail-indexed open-segment evaluation is id-identical to the
+    /// scalar-scan oracle across arbitrary append/query/seal
+    /// interleavings: after every appended chunk — heads below and above
+    /// the engage threshold, heads that just rebuilt their tail after a
+    /// drifted batch, heads emptied by a seal — a tail-indexed table, a
+    /// tail-disabled table and the brute-force oracle must agree, for
+    /// single predicates and conjunctions alike.
+    #[test]
+    fn tail_indexed_open_segment_equals_scalar_oracle(
+        chunks in prop::collection::vec(
+            prop::collection::vec((-2000i64..2000, 0i64..60), 1..600),
+            1..8,
+        ),
+        a_lo in -2200i64..2200, a_width in 0i64..1500,
+        b_lo in 0i64..66, b_width in 0i64..40,
+    ) {
+        let mk = |tail_min: usize| {
+            let cfg = EngineConfig {
+                segment_rows: 1024,
+                workers: 2,
+                tail_index_min_rows: tail_min,
+                ..Default::default()
+            };
+            Table::new("t", &[("a", ColumnType::I64), ("b", ColumnType::I64)], cfg).unwrap()
+        };
+        let indexed = mk(64);
+        let scanned = mk(usize::MAX);
+        let single = [("a", range(a_lo, a_width))];
+        let conj = [("a", range(a_lo, a_width)), ("b", range(b_lo, b_width))];
+        let mut all: Vec<(i64, i64)> = Vec::new();
+        for chunk in &chunks {
+            for t in [&indexed, &scanned] {
+                t.append_batch(vec![
+                    AnyColumn::I64(chunk.iter().map(|r| r.0).collect()),
+                    AnyColumn::I64(chunk.iter().map(|r| r.1).collect()),
+                ])
+                .unwrap();
+            }
+            all.extend_from_slice(chunk);
+            for preds in [&single[..], &conj[..]] {
+                let got = indexed.query(preds).unwrap();
+                prop_assert_eq!(
+                    got.as_slice(),
+                    scanned.query(preds).unwrap().as_slice(),
+                    "tail-indexed and scalar-scan heads disagreed"
+                );
+                let oracle: Vec<u64> = (0..all.len() as u64)
+                    .filter(|&i| {
+                        let (a, b) = all[i as usize];
+                        (a_lo..=a_lo + a_width).contains(&a)
+                            && (preds.len() == 1 || (b_lo..=b_lo + b_width).contains(&b))
+                    })
+                    .collect();
+                prop_assert_eq!(got.as_slice(), oracle.as_slice());
+                prop_assert_eq!(
+                    indexed.count(preds, None).unwrap() as usize,
+                    oracle.len()
+                );
+            }
+        }
+        prop_assert_eq!(indexed.row_count(), all.len() as u64);
+        prop_assert_eq!(indexed.sealed_segment_count(), scanned.sealed_segment_count());
+    }
+
     /// Arbitrary interleavings of appends and forced compaction ticks:
     /// query results always equal the whole-column oracle, and whenever a
     /// tick actually compacts, the sealed-segment count strictly drops.

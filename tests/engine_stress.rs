@@ -25,6 +25,10 @@ fn concurrent_readers_and_appender_stay_consistent() {
     let cfg = EngineConfig {
         segment_rows: 2048,
         workers: 2,
+        // Engage the write head's tail imprint almost immediately, so the
+        // readers exercise the tail-indexed eval_open path against the
+        // appender's incremental extends and seal-time discards.
+        tail_index_min_rows: 128,
         // Aggressive thresholds so background rebuilds actually trigger
         // mid-flight; fan-in 4 lets tiered compaction churn the sealed
         // list under the readers at the same time.
@@ -181,6 +185,7 @@ fn snapshots_stay_consistent_across_compaction_swaps() {
     let cfg = EngineConfig {
         segment_rows: 512,
         workers: 2,
+        tail_index_min_rows: 128,
         maintenance: MaintenanceConfig {
             // Eager tiering: pairs merge as soon as they exist, so swaps
             // happen constantly under the readers.
