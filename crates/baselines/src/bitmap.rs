@@ -86,6 +86,63 @@ impl<T: Scalar> WahBitmap<T> {
     pub fn total_words(&self) -> usize {
         self.vectors.iter().map(WahVector::word_count).sum()
     }
+
+    /// Counts matching rows without materializing ids — the same bin walk
+    /// and the same [`AccessStats`] as
+    /// [`RangeIndex::evaluate_with_stats`], but the id-aligned result
+    /// bitvector is popcounted instead of being turned into an id list.
+    pub fn count_with_stats(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+    ) -> (u64, AccessStats) {
+        let (result, stats) = self.result_bitvector(col, pred);
+        (result.iter().map(|w| w.count_ones() as u64).sum(), stats)
+    }
+
+    /// The shared evaluation kernel (§6.3): decodes the bins overlapping
+    /// `pred` into one id-aligned result bitvector, value-checking edge
+    /// bins.
+    fn result_bitvector(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+    ) -> (Vec<u64>, AccessStats) {
+        assert_eq!(col.len(), self.rows, "index does not cover this column");
+        let mut stats = AccessStats::default();
+        if pred.is_empty_range() || self.rows == 0 {
+            // Both callers only iterate the words, so skip the allocation.
+            return (Vec::new(), stats);
+        }
+        let mut result = vec![0u64; self.rows.div_ceil(64)];
+        let bins = self.binning.bins();
+        let bin_lo = match pred.low() {
+            Bound::Unbounded => 0,
+            Bound::Inclusive(l) | Bound::Exclusive(l) => self.binning.bin_of(*l),
+        };
+        let bin_hi = match pred.high() {
+            Bound::Unbounded => bins - 1,
+            Bound::Inclusive(h) | Bound::Exclusive(h) => self.binning.bin_of(*h),
+        };
+        let values = col.values();
+        for bin in bin_lo..=bin_hi {
+            let vec = &self.vectors[bin];
+            if self.binning.bin_fully_inside(bin, pred.low(), pred.high()) {
+                // Inner bin: every set bit qualifies.
+                stats.index_probes += vec.or_into(&mut result);
+            } else {
+                // Edge bin: candidates need the false-positive check.
+                stats.index_probes += vec.word_count() as u64 + 1;
+                for id in vec.ones() {
+                    stats.value_comparisons += 1;
+                    if pred.matches(&values[id as usize]) {
+                        result[(id / 64) as usize] |= 1 << (id % 64);
+                    }
+                }
+            }
+        }
+        (result, stats)
+    }
 }
 
 impl<T: Scalar> colstore::index::BuildableIndex<T> for WahBitmap<T> {
@@ -110,41 +167,7 @@ impl<T: Scalar> RangeIndex<T> for WahBitmap<T> {
         col: &Column<T>,
         pred: &RangePredicate<T>,
     ) -> (IdList, AccessStats) {
-        assert_eq!(col.len(), self.rows, "index does not cover this column");
-        let mut stats = AccessStats::default();
-        if pred.is_empty_range() || self.rows == 0 {
-            return (IdList::new(), stats);
-        }
-        let bins = self.binning.bins();
-        let bin_lo = match pred.low() {
-            Bound::Unbounded => 0,
-            Bound::Inclusive(l) | Bound::Exclusive(l) => self.binning.bin_of(*l),
-        };
-        let bin_hi = match pred.high() {
-            Bound::Unbounded => bins - 1,
-            Bound::Inclusive(h) | Bound::Exclusive(h) => self.binning.bin_of(*h),
-        };
-
-        // The id-aligned result bitvector of §6.3.
-        let mut result = vec![0u64; self.rows.div_ceil(64)];
-        let values = col.values();
-        for bin in bin_lo..=bin_hi {
-            let vec = &self.vectors[bin];
-            if self.binning.bin_fully_inside(bin, pred.low(), pred.high()) {
-                // Inner bin: every set bit qualifies.
-                stats.index_probes += vec.or_into(&mut result);
-            } else {
-                // Edge bin: candidates need the false-positive check.
-                stats.index_probes += vec.word_count() as u64 + 1;
-                for id in vec.ones() {
-                    stats.value_comparisons += 1;
-                    if pred.matches(&values[id as usize]) {
-                        result[(id / 64) as usize] |= 1 << (id % 64);
-                    }
-                }
-            }
-        }
-
+        let (result, stats) = self.result_bitvector(col, pred);
         // Materialize ids in ascending order from the result bitvector.
         let mut res = Vec::new();
         for (w, &word) in result.iter().enumerate() {

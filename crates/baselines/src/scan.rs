@@ -30,6 +30,24 @@ impl SeqScan {
     pub fn new<T: Scalar>(col: &Column<T>) -> Self {
         SeqScan { rows: col.len() }
     }
+
+    /// Counts matching rows without materializing ids, reporting exactly
+    /// the [`AccessStats`] of [`RangeIndex::evaluate_with_stats`] — the
+    /// count and evaluate arms of an adaptive engine must be
+    /// indistinguishable to probe/comparison accounting.
+    pub fn count_with_stats<T: Scalar>(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+    ) -> (u64, AccessStats) {
+        assert_eq!(col.len(), self.rows, "scan bound to a different column");
+        let stats = AccessStats {
+            value_comparisons: col.len() as u64,
+            lines_fetched: col.cacheline_count() as u64,
+            ..AccessStats::default()
+        };
+        (col.values().iter().filter(|v| pred.matches(v)).count() as u64, stats)
+    }
 }
 
 impl<T: Scalar> colstore::index::BuildableIndex<T> for SeqScan {

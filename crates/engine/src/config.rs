@@ -24,6 +24,27 @@ pub struct EngineConfig {
     /// accumulated so far and every later append extends it under the
     /// open write lock. `usize::MAX` disables tail indexing entirely.
     pub tail_index_min_rows: usize,
+    /// Per-segment-column byte budget for the WAH bitmap access path
+    /// ([`baselines::WahBitmap`]). `0` (the default) leaves WAH
+    /// unregistered and each segment column keeps the three classic paths
+    /// (imprint, zonemap, scan). A positive budget registers WAH as a
+    /// fourth path, **built lazily** the first time a column's chooser
+    /// explores it — WAH can exceed the data size on high-cardinality
+    /// columns, so a column whose freshly built bitmap comes out larger
+    /// than the budget discards it and permanently falls back to the
+    /// three classic paths (per segment column, until a rebuild re-earns
+    /// the chance). Built bitmaps count toward
+    /// [`Catalog::storage_stats`](crate::Catalog::storage_stats) and
+    /// `index_bytes`.
+    pub wah_budget_bytes: usize,
+    /// Selectivity buckets of every segment column's
+    /// [`PathChooser`](crate::paths::PathChooser)
+    /// (1..=[`NUM_BUCKETS`](crate::paths::NUM_BUCKETS)). Each bucket
+    /// learns its own per-path cost EWMA and runs its own exploration
+    /// cadence, so wide and narrow predicates converge to separate
+    /// winners; `1` restores the single conflated EWMA (kept for the
+    /// `pathmix` baseline comparison).
+    pub path_buckets: usize,
     /// Background maintenance thresholds.
     pub maintenance: MaintenanceConfig,
 }
@@ -36,6 +57,8 @@ impl Default for EngineConfig {
             share_binning: true,
             build_threads: 1,
             tail_index_min_rows: 4096,
+            wah_budget_bytes: 0,
+            path_buckets: crate::paths::NUM_BUCKETS,
             maintenance: MaintenanceConfig::default(),
         }
     }
@@ -55,6 +78,11 @@ impl EngineConfig {
     pub fn validate(&self) {
         assert!(self.segment_rows > 0, "segment_rows must be positive");
         assert_eq!(self.segment_rows % 64, 0, "segment_rows must be a multiple of 64");
+        assert!(
+            (1..=crate::paths::NUM_BUCKETS).contains(&self.path_buckets),
+            "path_buckets must be in 1..={}",
+            crate::paths::NUM_BUCKETS
+        );
     }
 }
 

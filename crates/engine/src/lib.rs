@@ -15,8 +15,10 @@
 //!   imprint candidates → id-space merge-join → refinement) across
 //!   segments and merges the ordered per-segment id lists.
 //! * **Adaptive access paths** ([`paths`]): each segment column chooses
-//!   imprint vs. zonemap vs. scan per query from observed cost (EWMA +
-//!   periodic exploration).
+//!   imprint vs. zonemap vs. scan — vs. a lazily built, byte-budgeted WAH
+//!   bitmap when configured — per query from observed cost, **bucketed by
+//!   predicate selectivity** so wide and narrow queries learn separate
+//!   winners (per-bucket EWMA + exploration cadence).
 //! * **Tail-indexed write head** ([`tail`]): once the open segment is
 //!   large enough, each open column buffer carries an incremental tail
 //!   imprint extended on every append (§4.1: appends never readjust
@@ -72,10 +74,10 @@ pub use catalog::{Catalog, StorageStats};
 pub use config::{EngineConfig, MaintenanceConfig};
 pub use executor::WorkerPool;
 pub use imprints::relation_index::ValueRange;
-pub use paths::{PathChooser, PathKind};
+pub use paths::{PathChooser, PathKind, MAX_PATHS, NUM_BUCKETS};
 pub use planner::{
-    maintenance_tick, CompactionAction, MaintenanceAction, MaintenanceDaemon, MaintenanceReport,
-    RebuildReason,
+    maintenance_tick, path_report, BucketPathReport, ColumnPathReport, CompactionAction,
+    MaintenanceAction, MaintenanceDaemon, MaintenanceReport, RebuildReason,
 };
 pub use segment::SealedSegment;
 pub use table::{ColumnDef, QueryStats, Table, TableSnapshot};

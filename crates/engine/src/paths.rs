@@ -1,24 +1,34 @@
-//! Per-segment access-path choice.
+//! Per-segment access-path choice, bucketed by predicate selectivity.
 //!
-//! Every sealed segment column can answer a range predicate three ways:
-//! through its **imprint**, through its **zonemap**, or by **scanning**.
-//! Which one is fastest depends on the segment's data (clustering,
-//! cardinality) and the workload (selectivity), so the engine treats the
-//! access path as a per-query decision informed by observed cost — the
-//! stance of learned/adaptive secondary indexing (LSI, AIM) rather than a
-//! fixed structure choice.
+//! Every sealed segment column can answer a range predicate several ways:
+//! through its **imprint**, through its **zonemap**, by **scanning**, or —
+//! when enabled and within its byte budget — through a **WAH bitmap**
+//! ([`baselines::WahBitmap`]). Which one is fastest depends on the
+//! segment's data (clustering, cardinality) *and* the predicate's
+//! selectivity: a point lookup on clustered data loves a skipping index,
+//! while a half-the-domain range is often cheapest to scan. The engine
+//! therefore treats the access path as a per-query decision informed by
+//! observed cost — the stance of learned/adaptive secondary indexing
+//! (LSI, AIM) rather than a fixed structure choice.
 //!
 //! [`PathChooser`] keeps an exponentially-weighted moving average of the
-//! observed evaluation cost per path and picks the cheapest, with a
-//! deterministic round-robin exploration probe every
-//! [`EXPLORE_PERIOD`]-th query so a path whose relative cost changed
-//! (appends elsewhere, different predicate mix, post-rebuild) gets
-//! re-measured. All state is atomic: choosers live inside shared, immutable
-//! segments and are updated concurrently by many readers.
+//! observed evaluation cost per *registered* path, **bucketed by the
+//! predicate's estimated selectivity class** ([`NUM_BUCKETS`] classes,
+//! derived from the span the predicate covers over the segment's binning).
+//! Without the buckets a single EWMA conflates all predicates into one
+//! number, so a wide-predicate observation poisons the choice for narrow
+//! predicates and vice versa — exactly the query-shape mischoice the
+//! learned-index literature buckets to avoid. Each bucket exploits its own
+//! cheapest path and runs its own deterministic round-robin exploration
+//! probe every [`EXPLORE_PERIOD`]-th query, so a path whose relative cost
+//! changed (appends elsewhere, different predicate mix, post-rebuild) gets
+//! re-measured per class. All state is atomic: choosers live inside
+//! shared, immutable segments and are updated concurrently by many
+//! readers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-/// One of the three ways a segment column can answer a predicate.
+/// One of the ways a segment column can answer a predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathKind {
     /// The column-imprints secondary index.
@@ -27,17 +37,25 @@ pub enum PathKind {
     ZoneMap,
     /// A sequential scan of the segment.
     Scan,
+    /// The WAH-compressed bit-binned bitmap (lazily built, byte-budgeted).
+    Wah,
 }
 
 impl PathKind {
     /// All paths, in chooser slot order.
-    pub const ALL: [PathKind; 3] = [PathKind::Imprints, PathKind::ZoneMap, PathKind::Scan];
+    pub const ALL: [PathKind; MAX_PATHS] =
+        [PathKind::Imprints, PathKind::ZoneMap, PathKind::Scan, PathKind::Wah];
 
-    fn slot(self) -> usize {
+    /// The three always-available paths (WAH needs a configured budget).
+    pub const CLASSIC: [PathKind; 3] = [PathKind::Imprints, PathKind::ZoneMap, PathKind::Scan];
+
+    /// The chooser slot (index into cost arrays, [`PathKind::ALL`] order).
+    pub fn slot(self) -> usize {
         match self {
             PathKind::Imprints => 0,
             PathKind::ZoneMap => 1,
             PathKind::Scan => 2,
+            PathKind::Wah => 3,
         }
     }
 
@@ -47,48 +65,177 @@ impl PathKind {
             PathKind::Imprints => "imprints",
             PathKind::ZoneMap => "zonemap",
             PathKind::Scan => "scan",
+            PathKind::Wah => "wah",
         }
     }
 }
 
-/// Every `EXPLORE_PERIOD`-th query takes a forced exploration path.
+/// Maximum number of registrable paths (chooser slot-array size).
+pub const MAX_PATHS: usize = 4;
+
+/// Selectivity classes a chooser can keep separate cost models for:
+/// point, narrow, mid, wide (in bin-span order).
+pub const NUM_BUCKETS: usize = 4;
+
+/// Every `EXPLORE_PERIOD`-th query *of a bucket* takes a forced
+/// exploration path.
 pub const EXPLORE_PERIOD: u64 = 16;
 
 const UNSEEN: u64 = u64::MAX;
 
-/// Adaptive chooser: EWMA cost per path + periodic exploration.
+/// Observed costs above this are clamped before entering the EWMA, so the
+/// `(old*7 + cost)/8` recurrence can never overflow `u64` (the running
+/// estimate stays ≤ the cap, and `cap*7 + cap` fits comfortably) and a
+/// recorded cost can never collide with the `UNSEEN` sentinel.
+const COST_CAP: u64 = 1 << 48;
+
+/// EWMA cost slots of one selectivity bucket.
 #[derive(Debug)]
-pub struct PathChooser {
+struct BucketState {
+    /// Queries this bucket has routed (its exploration cadence).
     queries: AtomicU64,
-    /// EWMA of observed cost (nanoseconds) per path; `UNSEEN` until the
-    /// first observation.
-    cost: [AtomicU64; 3],
+    /// EWMA of observed cost (nanoseconds) per path slot; `UNSEEN` until
+    /// the first observation.
+    cost: [AtomicU64; MAX_PATHS],
 }
 
-impl Default for PathChooser {
+impl Default for BucketState {
     fn default() -> Self {
-        PathChooser {
+        BucketState {
             queries: AtomicU64::new(0),
-            cost: [AtomicU64::new(UNSEEN), AtomicU64::new(UNSEEN), AtomicU64::new(UNSEEN)],
+            cost: [(); MAX_PATHS].map(|()| AtomicU64::new(UNSEEN)),
         }
     }
 }
 
+/// Adaptive chooser: per-selectivity-bucket EWMA cost per registered path
+/// plus periodic per-bucket exploration.
+#[derive(Debug)]
+pub struct PathChooser {
+    /// Bit `slot` set = path registered at construction.
+    registered: u32,
+    /// Bit `slot` set = path currently eligible. Starts equal to
+    /// `registered`; a lazily built path that blew its byte budget is
+    /// cleared at runtime ([`PathChooser::disable`]).
+    enabled: AtomicU32,
+    /// Active selectivity buckets (1 = the classic single-EWMA chooser).
+    buckets: usize,
+    state: [BucketState; NUM_BUCKETS],
+}
+
+impl Default for PathChooser {
+    /// The classic three-path chooser with full selectivity bucketing.
+    fn default() -> Self {
+        PathChooser::new(&PathKind::CLASSIC, NUM_BUCKETS)
+    }
+}
+
 impl PathChooser {
-    /// Picks the path for the next query.
-    pub fn choose(&self) -> PathKind {
-        let n = self.queries.fetch_add(1, Ordering::Relaxed);
-        // Bootstrap: measure each path once before trusting the EWMA, then
-        // keep probing on a fixed cadence.
-        if n.is_multiple_of(EXPLORE_PERIOD)
-            || self.cost.iter().any(|c| c.load(Ordering::Relaxed) == UNSEEN)
-        {
-            return PathKind::ALL[(n % 3) as usize];
+    /// A chooser over `paths`, keeping `buckets` (1..=[`NUM_BUCKETS`])
+    /// separate selectivity classes.
+    ///
+    /// # Panics
+    /// Panics if `paths` is empty or `buckets` is out of range.
+    pub fn new(paths: &[PathKind], buckets: usize) -> PathChooser {
+        assert!(!paths.is_empty(), "a chooser needs at least one path");
+        assert!((1..=NUM_BUCKETS).contains(&buckets), "buckets must be in 1..={NUM_BUCKETS}");
+        let mut mask = 0u32;
+        for p in paths {
+            mask |= 1 << p.slot();
         }
-        let mut best = PathKind::Imprints;
-        let mut best_cost = u64::MAX;
+        PathChooser {
+            registered: mask,
+            enabled: AtomicU32::new(mask),
+            buckets,
+            state: [(); NUM_BUCKETS].map(|()| BucketState::default()),
+        }
+    }
+
+    /// The registered paths, in slot order.
+    pub fn paths(&self) -> Vec<PathKind> {
+        PathKind::ALL.into_iter().filter(|p| self.registered & (1 << p.slot()) != 0).collect()
+    }
+
+    /// Active selectivity buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets
+    }
+
+    /// Whether `path` is registered and still eligible.
+    pub fn is_enabled(&self, path: PathKind) -> bool {
+        self.enabled.load(Ordering::Relaxed) & (1 << path.slot()) != 0
+    }
+
+    /// Permanently removes `path` from consideration (e.g. its lazy build
+    /// exceeded the byte budget). At least one path always stays enabled:
+    /// the compare-exchange loop re-checks the invariant against the value
+    /// it swaps out, so concurrent disables of different paths cannot race
+    /// each other down to an empty set.
+    pub fn disable(&self, path: PathKind) {
+        let bit = 1u32 << path.slot();
+        let mut cur = self.enabled.load(Ordering::Relaxed);
+        while cur & !bit != 0 {
+            match self.enabled.compare_exchange_weak(
+                cur,
+                cur & !bit,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Maps a predicate spanning `width` of the binning's `bins` bins to
+    /// this chooser's selectivity bucket: point (one bin), narrow (≤ ⅛ of
+    /// the bins), mid (≤ ½), wide (the rest), scaled down to the active
+    /// bucket count (1 active bucket maps everything to 0).
+    pub fn bucket_of_span(&self, width: usize, bins: usize) -> usize {
+        let class = if width <= 1 {
+            0
+        } else if width * 8 <= bins {
+            1
+        } else if width * 2 <= bins {
+            2
+        } else {
+            3
+        };
+        class * self.buckets / NUM_BUCKETS
+    }
+
+    /// Picks the path for the next query of `bucket`.
+    pub fn choose(&self, bucket: usize) -> PathKind {
+        let b = &self.state[bucket.min(self.buckets - 1)];
+        let n = b.queries.fetch_add(1, Ordering::Relaxed);
+        let enabled = self.enabled.load(Ordering::Relaxed);
+        let mut live = [PathKind::Imprints; MAX_PATHS];
+        let mut k = 0;
         for p in PathKind::ALL {
-            let c = self.cost[p.slot()].load(Ordering::Relaxed);
+            if enabled & (1 << p.slot()) != 0 {
+                live[k] = p;
+                k += 1;
+            }
+        }
+        debug_assert!(k > 0, "at least one path is always enabled");
+        // Bootstrap: measure each live path once in this bucket before
+        // trusting its EWMA.
+        if live[..k].iter().any(|p| b.cost[p.slot()].load(Ordering::Relaxed) == UNSEEN) {
+            return live[(n % k as u64) as usize];
+        }
+        // Steady state: keep probing on a fixed cadence, rotating the
+        // probed path across periods. The rotation must be indexed by the
+        // *period* number, not the raw query count: probes fire at
+        // n = 0, P, 2P, … and with `n % k` any `k` dividing
+        // [`EXPLORE_PERIOD`] (e.g. all four paths enabled, k = 4, P = 16)
+        // would map every probe to slot 0 and never re-measure the rest.
+        if n.is_multiple_of(EXPLORE_PERIOD) {
+            return live[((n / EXPLORE_PERIOD) % k as u64) as usize];
+        }
+        let mut best = live[0];
+        let mut best_cost = u64::MAX;
+        for &p in &live[..k] {
+            let c = b.cost[p.slot()].load(Ordering::Relaxed);
             if c < best_cost {
                 best_cost = c;
                 best = p;
@@ -97,47 +244,119 @@ impl PathChooser {
         best
     }
 
-    /// Feeds back the observed cost of one evaluation over `path`.
-    pub fn record(&self, path: PathKind, cost_nanos: u64) {
-        let slot = &self.cost[path.slot()];
+    /// Feeds back the observed cost of one evaluation over `path` for a
+    /// query of `bucket`. Costs are clamped to `1..=`[`COST_CAP`]: a
+    /// sub-nanosecond (or timer-floored zero) observation must not drive
+    /// the EWMA to a stuck-at-zero estimate that permanently wins between
+    /// exploration probes, and a pathological huge cost must not overflow
+    /// the integer recurrence.
+    pub fn record(&self, bucket: usize, path: PathKind, cost_nanos: u64) {
+        let slot = &self.state[bucket.min(self.buckets - 1)].cost[path.slot()];
+        let cost = cost_nanos.clamp(1, COST_CAP);
         let old = slot.load(Ordering::Relaxed);
-        let new = if old == UNSEEN { cost_nanos } else { (old * 7 + cost_nanos) / 8 };
-        // A racy lost update only loses one observation; fine for a cost model.
+        let new = if old == UNSEEN {
+            cost
+        } else {
+            // Saturating keeps even a corrupted stored value from wrapping;
+            // the quotient stays ≥ 1 because both inputs are ≥ 1.
+            (old.saturating_mul(7).saturating_add(cost) / 8).max(1)
+        };
+        // A racy lost update only loses one observation; fine for a cost
+        // model.
         slot.store(new, Ordering::Relaxed);
     }
 
-    /// Current EWMA cost estimates in chooser slot order (`None` = unseen).
-    pub fn estimates(&self) -> [Option<u64>; 3] {
-        [0, 1, 2].map(|i| {
-            let c = self.cost[i].load(Ordering::Relaxed);
+    /// Current EWMA cost estimates of one bucket, in chooser slot order
+    /// (`None` = unseen or unregistered).
+    pub fn estimates_for(&self, bucket: usize) -> [Option<u64>; MAX_PATHS] {
+        let b = &self.state[bucket.min(self.buckets - 1)];
+        [0, 1, 2, 3].map(|i| {
+            let c = b.cost[i].load(Ordering::Relaxed);
             (c != UNSEEN).then_some(c)
         })
     }
 
-    /// Queries routed through this chooser.
-    pub fn queries(&self) -> u64 {
-        self.queries.load(Ordering::Relaxed)
+    /// Cheapest seen estimate per path across all buckets (`None` = never
+    /// measured anywhere) — the "has this path been explored at all" view
+    /// used by reports and tests.
+    pub fn estimates(&self) -> [Option<u64>; MAX_PATHS] {
+        let mut out = [None; MAX_PATHS];
+        for bucket in 0..self.buckets {
+            for (slot, est) in self.estimates_for(bucket).into_iter().enumerate() {
+                out[slot] = match (out[slot], est) {
+                    (Some(a), Some(b)) => Some(std::cmp::min::<u64>(a, b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+        out
     }
 
-    /// A copy with the same counters and learned costs — used when a
-    /// sibling column's rebuild swaps the segment but this column's index
-    /// is unchanged, so its cost model stays valid. A compaction merge
-    /// must **not** carry choosers over: the merged segment's data volume
-    /// and index are nothing like any input's, so its columns start from
-    /// [`PathChooser::default`] and re-explore (see
+    /// The path a bucket currently ranks cheapest (`None` until the bucket
+    /// has measured at least one enabled path).
+    pub fn winner(&self, bucket: usize) -> Option<PathKind> {
+        let est = self.estimates_for(bucket);
+        let enabled = self.enabled.load(Ordering::Relaxed);
+        PathKind::ALL
+            .into_iter()
+            .filter(|p| enabled & (1 << p.slot()) != 0)
+            .filter_map(|p| est[p.slot()].map(|c| (c, p)))
+            .min_by_key(|(c, _)| *c)
+            .map(|(_, p)| p)
+    }
+
+    /// Queries routed through this chooser, across all buckets.
+    pub fn queries(&self) -> u64 {
+        self.state.iter().map(|b| b.queries.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Queries routed through one bucket.
+    pub fn bucket_queries(&self, bucket: usize) -> u64 {
+        self.state[bucket.min(self.buckets - 1)].queries.load(Ordering::Relaxed)
+    }
+
+    /// A copy with the same registration, counters and learned costs —
+    /// used when a sibling column's rebuild swaps the segment but this
+    /// column's index is unchanged, so its cost model stays valid. A
+    /// compaction merge must **not** carry choosers over: the merged
+    /// segment's data volume and index are nothing like any input's, so
+    /// its columns start fresh and re-explore (see
     /// [`SealedSegment::merge`](crate::segment::SealedSegment::merge)).
     pub fn carry_over(&self) -> PathChooser {
         PathChooser {
-            queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
-            cost: [0, 1, 2].map(|i| AtomicU64::new(self.cost[i].load(Ordering::Relaxed))),
+            registered: self.registered,
+            enabled: AtomicU32::new(self.enabled.load(Ordering::Relaxed)),
+            buckets: self.buckets,
+            state: [0, 1, 2, 3].map(|i| BucketState {
+                queries: AtomicU64::new(self.state[i].queries.load(Ordering::Relaxed)),
+                cost: [0, 1, 2, 3]
+                    .map(|s| AtomicU64::new(self.state[i].cost[s].load(Ordering::Relaxed))),
+            }),
         }
     }
 
-    /// Forgets learned costs (after a rebuild changed the index).
-    pub fn reset(&self) {
-        for c in &self.cost {
-            c.store(UNSEEN, Ordering::Relaxed);
+    /// A fresh chooser with the same registration and bucket count but no
+    /// learned state — what a rebuilt or merged segment column starts
+    /// from.
+    pub fn fresh_like(&self) -> PathChooser {
+        PathChooser {
+            registered: self.registered,
+            enabled: AtomicU32::new(self.registered),
+            buckets: self.buckets,
+            state: [(); NUM_BUCKETS].map(|()| BucketState::default()),
         }
+    }
+
+    /// Forgets learned costs (after a rebuild changed the index) and
+    /// restores every registered path's eligibility — a rebuilt index
+    /// also gets a fresh chance at its lazily built paths.
+    pub fn reset(&self) {
+        for b in &self.state {
+            for c in &b.cost {
+                c.store(UNSEEN, Ordering::Relaxed);
+            }
+        }
+        self.enabled.store(self.registered, Ordering::Relaxed);
     }
 }
 
@@ -148,44 +367,226 @@ mod tests {
     #[test]
     fn explores_all_paths_then_exploits_cheapest() {
         let ch = PathChooser::default();
-        // Feed costs: scan cheap, imprints expensive.
+        // Feed costs into one bucket: scan cheap, imprints expensive.
         for _ in 0..64 {
-            let p = ch.choose();
+            let p = ch.choose(0);
             let cost = match p {
                 PathKind::Imprints => 9_000,
                 PathKind::ZoneMap => 5_000,
                 PathKind::Scan => 1_000,
+                PathKind::Wah => unreachable!("wah not registered by default"),
             };
-            ch.record(p, cost);
+            ch.record(0, p, cost);
         }
-        let est = ch.estimates();
-        assert!(est.iter().all(Option::is_some), "all paths must have been explored");
+        let est = ch.estimates_for(0);
+        assert!(
+            est[..3].iter().all(Option::is_some),
+            "all registered paths must have been explored"
+        );
+        assert_eq!(est[PathKind::Wah.slot()], None, "unregistered path never measured");
         // Exploitation picks scan on non-probe queries.
-        let picks: Vec<PathKind> = (0..EXPLORE_PERIOD - 1).map(|_| ch.choose()).collect();
+        let picks: Vec<PathKind> = (0..EXPLORE_PERIOD - 1).map(|_| ch.choose(0)).collect();
         let scans = picks.iter().filter(|p| **p == PathKind::Scan).count();
         assert!(scans as u64 >= EXPLORE_PERIOD - 3, "expected mostly scans, got {picks:?}");
+        assert_eq!(ch.winner(0), Some(PathKind::Scan));
+    }
+
+    /// The tentpole property: two selectivity buckets learn *independent*
+    /// winners from interleaved observations, where a single-EWMA chooser
+    /// would blend them into one.
+    #[test]
+    fn buckets_learn_separate_winners() {
+        let ch = PathChooser::new(&PathKind::ALL, NUM_BUCKETS);
+        let narrow = 1; // e.g. a few bins wide
+        let wide = 3;
+        for _ in 0..96 {
+            // Narrow queries: imprints fast, scan slow.
+            let p = ch.choose(narrow);
+            ch.record(narrow, p, if p == PathKind::Imprints { 500 } else { 20_000 });
+            // Wide queries: scan fast, everything else slow.
+            let p = ch.choose(wide);
+            ch.record(wide, p, if p == PathKind::Scan { 800 } else { 30_000 });
+        }
+        assert_eq!(ch.winner(narrow), Some(PathKind::Imprints));
+        assert_eq!(ch.winner(wide), Some(PathKind::Scan));
+        // Non-probe picks follow the per-bucket winner.
+        let narrow_picks: Vec<PathKind> = (0..8).map(|_| ch.choose(narrow)).collect();
+        let wide_picks: Vec<PathKind> = (0..8).map(|_| ch.choose(wide)).collect();
+        assert!(
+            narrow_picks.iter().filter(|p| **p == PathKind::Imprints).count() >= 6,
+            "{narrow_picks:?}"
+        );
+        assert!(wide_picks.iter().filter(|p| **p == PathKind::Scan).count() >= 6, "{wide_picks:?}");
+        // A single-bucket chooser fed the same mixed stream picks ONE path
+        // for both classes — the mischoice the buckets exist to avoid.
+        let single = PathChooser::new(&PathKind::ALL, 1);
+        for _ in 0..96 {
+            let p = single.choose(narrow);
+            single.record(narrow, p, if p == PathKind::Imprints { 500 } else { 20_000 });
+            let p = single.choose(wide);
+            single.record(wide, p, if p == PathKind::Scan { 800 } else { 30_000 });
+        }
+        assert_eq!(
+            single.winner(narrow),
+            single.winner(wide),
+            "one bucket cannot keep two winners"
+        );
+    }
+
+    /// Regression: with all four paths enabled, k = 4 divides
+    /// `EXPLORE_PERIOD` = 16, so a probe indexed by `n % k` would land on
+    /// slot 0 every single time and zonemap/scan/WAH would never be
+    /// re-measured after bootstrap. The rotation must walk every enabled
+    /// path across consecutive probe periods.
+    #[test]
+    fn exploration_probes_rotate_across_all_enabled_paths() {
+        let ch = PathChooser::new(&PathKind::ALL, 1);
+        // Bootstrap: all four measured once, imprints cheapest.
+        for _ in 0..4 {
+            let p = ch.choose(0);
+            ch.record(0, p, if p == PathKind::Imprints { 100 } else { 5_000 });
+        }
+        // Collect which paths the forced probes visit over several
+        // periods; non-probe queries exploit and are recorded cheap so the
+        // winner never changes underneath the test.
+        let mut probed = Vec::new();
+        for n in 4..(EXPLORE_PERIOD * 5) {
+            let p = ch.choose(0);
+            if n.is_multiple_of(EXPLORE_PERIOD) {
+                probed.push(p);
+            }
+            ch.record(0, p, if p == PathKind::Imprints { 100 } else { 5_000 });
+        }
+        let mut distinct: Vec<usize> = probed.iter().map(|p| p.slot()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(
+            distinct.len(),
+            4,
+            "probes must rotate through every enabled path, visited only {probed:?}"
+        );
+    }
+
+    /// After a path's relative cost flips, the rotating probe re-measures
+    /// it even in the 4-path configuration where `EXPLORE_PERIOD % k == 0`.
+    #[test]
+    fn four_path_chooser_adapts_when_costs_flip() {
+        let ch = PathChooser::new(&PathKind::ALL, 1);
+        for _ in 0..64 {
+            let p = ch.choose(0);
+            ch.record(0, p, if p == PathKind::Imprints { 100 } else { 10_000 });
+        }
+        assert_eq!(ch.winner(0), Some(PathKind::Imprints));
+        // Scan becomes the cheapest path: probes must discover it.
+        for _ in 0..EXPLORE_PERIOD * 2 * 4 {
+            let p = ch.choose(0);
+            ch.record(0, p, if p == PathKind::Scan { 50 } else { 20_000 });
+        }
+        assert_eq!(ch.winner(0), Some(PathKind::Scan), "{:?}", ch.estimates_for(0));
+    }
+
+    #[test]
+    fn bucket_of_span_classes() {
+        let ch = PathChooser::new(&PathKind::CLASSIC, NUM_BUCKETS);
+        assert_eq!(ch.bucket_of_span(1, 64), 0); // point
+        assert_eq!(ch.bucket_of_span(4, 64), 1); // ≤ 1/8
+        assert_eq!(ch.bucket_of_span(8, 64), 1);
+        assert_eq!(ch.bucket_of_span(20, 64), 2); // ≤ 1/2
+        assert_eq!(ch.bucket_of_span(33, 64), 3); // wide
+        assert_eq!(ch.bucket_of_span(64, 64), 3);
+        // Small binnings collapse the narrow class but stay in range.
+        assert_eq!(ch.bucket_of_span(1, 8), 0);
+        assert_eq!(ch.bucket_of_span(8, 8), 3);
+        // A single-bucket chooser maps everything to 0.
+        let single = PathChooser::new(&PathKind::CLASSIC, 1);
+        for width in [1, 4, 20, 64] {
+            assert_eq!(single.bucket_of_span(width, 64), 0);
+        }
+    }
+
+    /// Satellite regression: a cost of 0 must clamp to ≥ 1 — otherwise the
+    /// EWMA floors to zero and that path permanently wins every non-probe
+    /// query even after its real cost explodes.
+    #[test]
+    fn record_clamps_zero_costs() {
+        let ch = PathChooser::default();
+        for _ in 0..64 {
+            let p = ch.choose(0);
+            ch.record(0, p, if p == PathKind::Scan { 0 } else { 4 });
+        }
+        let est = ch.estimates_for(0);
+        for p in PathKind::CLASSIC {
+            let c = est[p.slot()].unwrap();
+            assert!(c >= 1, "{} EWMA floored to {c}", p.name());
+        }
+        // Sub-8ns costs must not decay to zero through the /8 recurrence.
+        assert_eq!(est[PathKind::Scan.slot()], Some(1));
+    }
+
+    /// Satellite regression: pathological huge costs must saturate, not
+    /// overflow (the old `old*7 + cost` wrapped and could land on the
+    /// `UNSEEN` sentinel or a tiny wrapped value).
+    #[test]
+    fn record_saturates_huge_costs() {
+        let ch = PathChooser::default();
+        for _ in 0..8 {
+            for p in PathKind::CLASSIC {
+                ch.record(0, p, u64::MAX);
+            }
+        }
+        let est = ch.estimates_for(0);
+        for p in PathKind::CLASSIC {
+            let c = est[p.slot()].expect("huge costs must still be recorded");
+            assert!(c <= COST_CAP, "{} estimate {c} escaped the cap", p.name());
+        }
+        // A sane cost recorded afterwards still moves the estimate.
+        ch.record(0, PathKind::Scan, 100);
+        assert!(ch.estimates_for(0)[PathKind::Scan.slot()].unwrap() < COST_CAP);
+    }
+
+    #[test]
+    fn disable_removes_path_from_rotation() {
+        let ch = PathChooser::new(&PathKind::ALL, 2);
+        assert!(ch.is_enabled(PathKind::Wah));
+        ch.disable(PathKind::Wah);
+        assert!(!ch.is_enabled(PathKind::Wah));
+        for _ in 0..64 {
+            let p = ch.choose(0);
+            assert_ne!(p, PathKind::Wah, "disabled path must never be chosen");
+            ch.record(0, p, 1_000);
+        }
+        // The bootstrap sweep completes without the disabled path.
+        assert!(ch.estimates_for(0)[..3].iter().all(Option::is_some));
+        // The last enabled path can never be disabled.
+        for p in PathKind::ALL {
+            ch.disable(p);
+        }
+        assert!(PathKind::ALL.into_iter().any(|p| ch.is_enabled(p)));
     }
 
     /// The compaction-swap contract, shallow-clone side: a column whose
-    /// index survived the swap keeps its learned costs and query cadence
-    /// byte-for-byte.
+    /// index survived the swap keeps its learned costs, query cadence and
+    /// eligibility byte-for-byte.
     #[test]
     fn carry_over_preserves_costs_and_cadence() {
-        let ch = PathChooser::default();
+        let ch = PathChooser::new(&PathKind::ALL, NUM_BUCKETS);
+        ch.disable(PathKind::Wah);
         for _ in 0..40 {
-            let p = ch.choose();
+            let p = ch.choose(2);
             let cost = match p {
                 PathKind::Imprints => 2_000,
                 PathKind::ZoneMap => 700,
                 PathKind::Scan => 9_000,
+                PathKind::Wah => unreachable!("disabled"),
             };
-            ch.record(p, cost);
+            ch.record(2, p, cost);
         }
         let copy = ch.carry_over();
-        assert_eq!(copy.estimates(), ch.estimates());
+        assert_eq!(copy.estimates_for(2), ch.estimates_for(2));
         assert_eq!(copy.queries(), ch.queries());
+        assert!(!copy.is_enabled(PathKind::Wah), "budget rejection must survive the clone");
         // The copy exploits the same winner the original learned.
-        let picks: Vec<PathKind> = (0..8).map(|_| copy.choose()).collect();
+        let picks: Vec<PathKind> = (0..8).map(|_| copy.choose(2)).collect();
         assert!(picks.iter().filter(|p| **p == PathKind::ZoneMap).count() >= 6, "{picks:?}");
     }
 
@@ -197,16 +598,16 @@ mod tests {
     fn reset_forgets_costs_and_forces_reexploration() {
         let ch = PathChooser::default();
         for _ in 0..40 {
-            let p = ch.choose();
-            ch.record(p, if p == PathKind::Scan { 100 } else { 50_000 });
+            let p = ch.choose(0);
+            ch.record(0, p, if p == PathKind::Scan { 100 } else { 50_000 });
         }
-        assert!(ch.estimates().iter().all(Option::is_some));
+        assert!(ch.estimates_for(0)[..3].iter().all(Option::is_some));
         ch.reset();
-        assert_eq!(ch.estimates(), [None, None, None], "reset must forget all learned costs");
+        assert_eq!(ch.estimates(), [None; MAX_PATHS], "reset must forget all learned costs");
         // Until every path is re-measured, choose() is in the bootstrap
         // branch: it cycles deterministically instead of exploiting the
         // (forgotten) scan winner.
-        let picks: Vec<PathKind> = (0..3).map(|_| ch.choose()).collect();
+        let picks: Vec<PathKind> = (0..3).map(|_| ch.choose(0)).collect();
         let mut distinct = picks.clone();
         distinct.sort_by_key(|p| p.slot());
         distinct.dedup();
@@ -217,21 +618,37 @@ mod tests {
     }
 
     #[test]
+    fn fresh_like_keeps_registration_only() {
+        let ch = PathChooser::new(&PathKind::ALL, 2);
+        ch.disable(PathKind::Wah);
+        for _ in 0..20 {
+            let p = ch.choose(1);
+            ch.record(1, p, 500);
+        }
+        let fresh = ch.fresh_like();
+        assert_eq!(fresh.paths(), ch.paths());
+        assert_eq!(fresh.bucket_count(), 2);
+        assert_eq!(fresh.queries(), 0);
+        assert_eq!(fresh.estimates(), [None; MAX_PATHS]);
+        assert!(fresh.is_enabled(PathKind::Wah), "a rebuilt column re-earns its lazy paths");
+    }
+
+    #[test]
     fn adapts_when_costs_flip() {
         let ch = PathChooser::default();
         for _ in 0..48 {
-            let p = ch.choose();
-            ch.record(p, if p == PathKind::Imprints { 100 } else { 10_000 });
+            let p = ch.choose(0);
+            ch.record(0, p, if p == PathKind::Imprints { 100 } else { 10_000 });
         }
         // Imprints now degrade (e.g. saturated): exploration must flip the
         // choice to another path.
         for _ in 0..256 {
-            let p = ch.choose();
-            ch.record(p, if p == PathKind::Imprints { 50_000 } else { 400 });
+            let p = ch.choose(0);
+            ch.record(0, p, if p == PathKind::Imprints { 50_000 } else { 400 });
         }
-        let p = ch.choose();
-        ch.record(p, 400);
-        let est = ch.estimates();
+        let p = ch.choose(0);
+        ch.record(0, p, 400);
+        let est = ch.estimates_for(0);
         let imp = est[PathKind::Imprints.slot()].unwrap();
         assert!(
             est[1].unwrap() < imp || est[2].unwrap() < imp,

@@ -40,6 +40,7 @@ use std::time::Duration;
 
 use crate::catalog::Catalog;
 use crate::config::MaintenanceConfig;
+use crate::paths::{PathKind, MAX_PATHS, NUM_BUCKETS};
 use crate::segment::SealedSegment;
 use crate::table::Table;
 
@@ -198,6 +199,89 @@ fn plan_compactions_for(table: &Table, sealed: &[Arc<SealedSegment>]) -> Vec<Com
         i = run_end;
     }
     actions
+}
+
+/// One selectivity bucket of a [`ColumnPathReport`]: how many queries the
+/// bucket routed (summed over segments) and which access path the
+/// segments' choosers currently rank cheapest for it.
+#[derive(Debug, Clone, Default)]
+pub struct BucketPathReport {
+    /// Queries routed through this bucket, across all sealed segments.
+    pub queries: u64,
+    /// Per path slot ([`PathKind::ALL`] order): how many segment choosers
+    /// currently rank it cheapest for this bucket.
+    pub votes: [u64; MAX_PATHS],
+    /// The majority winner across segments (`None` until some segment has
+    /// measured a path for this bucket).
+    pub winner: Option<PathKind>,
+}
+
+/// Aggregated access-path telemetry for one table column: per selectivity
+/// bucket, the per-segment-majority winner — the observable half of the
+/// bucketed-chooser claim ("wide and narrow queries learn separate
+/// winners"), consumed by the `pathmix` experiment and operators.
+#[derive(Debug, Clone)]
+pub struct ColumnPathReport {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Sealed segments inspected.
+    pub segments: usize,
+    /// Segments whose WAH bitmap was built within budget.
+    pub wah_built: usize,
+    /// Segments whose WAH build exceeded the budget and fell back.
+    pub wah_rejected: usize,
+    /// One entry per selectivity bucket (index = bucket).
+    pub buckets: Vec<BucketPathReport>,
+}
+
+/// Walks one frozen sealed snapshot per table and aggregates every
+/// column's per-bucket [`PathChooser`](crate::paths::PathChooser) state:
+/// each segment casts one vote per bucket for the path it currently ranks
+/// cheapest, and the majority becomes the bucket's winner.
+pub fn path_report(catalog: &Catalog) -> Vec<ColumnPathReport> {
+    let mut out = Vec::new();
+    for table in catalog.tables() {
+        let sealed = table.sealed_snapshot();
+        for (ci, def) in table.schema().iter().enumerate() {
+            let mut report = ColumnPathReport {
+                table: table.name().to_string(),
+                column: def.name.clone(),
+                segments: sealed.len(),
+                wah_built: 0,
+                wah_rejected: 0,
+                buckets: vec![BucketPathReport::default(); NUM_BUCKETS],
+            };
+            for seg in sealed.iter() {
+                let col = &seg.columns()[ci];
+                match col.wah_built() {
+                    Some(true) => report.wah_built += 1,
+                    Some(false) => report.wah_rejected += 1,
+                    None => {}
+                }
+                let chooser = col.chooser();
+                for (b, bucket) in
+                    report.buckets.iter_mut().enumerate().take(chooser.bucket_count())
+                {
+                    bucket.queries += chooser.bucket_queries(b);
+                    if let Some(w) = chooser.winner(b) {
+                        bucket.votes[w.slot()] += 1;
+                    }
+                }
+            }
+            for bucket in &mut report.buckets {
+                bucket.winner = PathKind::ALL
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(slot, _)| bucket.votes[*slot] > 0)
+                    .max_by_key(|(slot, _)| bucket.votes[*slot])
+                    .map(|(_, p)| p);
+            }
+            out.push(report);
+        }
+    }
+    out
 }
 
 /// Inspects every table and returns what a maintenance pass would do —
@@ -450,6 +534,61 @@ mod tests {
         repaired.sort_unstable();
         assert_eq!(repaired, vec!["a", "b"], "both degraded columns repaired in one tick");
         assert!(plan(&cat).is_empty(), "one tick must leave nothing diagnosed");
+    }
+
+    /// Satellite regression: a constant column appended across many sealed
+    /// segments (binning inherited down the chain) is perfectly in-domain;
+    /// the planner must diagnose nothing — the old bin-index drift measure
+    /// kept every such segment above the threshold and rebuilt it forever.
+    #[test]
+    fn constant_column_never_triggers_the_rebuild_loop() {
+        let cat = Catalog::new();
+        // Compaction off: this test isolates the drift diagnosis.
+        let cfg = EngineConfig {
+            segment_rows: 512,
+            maintenance: crate::config::MaintenanceConfig { tier_fanin: 0, ..Default::default() },
+            ..Default::default()
+        };
+        let t = cat.create_table("const", &[("v", ColumnType::I64)], cfg).unwrap();
+        t.append_batch(vec![AnyColumn::I64(std::iter::repeat_n(7i64, 2048).collect())]).unwrap();
+        assert_eq!(t.sealed_segment_count(), 4);
+        assert!(
+            plan(&cat).is_empty(),
+            "an in-domain constant chain must diagnose clean: {:?}",
+            plan(&cat)
+        );
+        let report = maintenance_tick(&cat);
+        assert!(report.applied.is_empty(), "nothing to rebuild: {report:?}");
+        // And appending more of the same never re-arms the signal.
+        t.append_batch(vec![AnyColumn::I64(std::iter::repeat_n(7i64, 1024).collect())]).unwrap();
+        assert!(plan(&cat).is_empty());
+    }
+
+    #[test]
+    fn path_report_aggregates_bucket_winners() {
+        use colstore::Value;
+        let cat = Catalog::new();
+        let cfg = EngineConfig { segment_rows: 512, ..Default::default() };
+        let t = cat.create_table("pr", &[("v", ColumnType::I64)], cfg).unwrap();
+        let vals: Vec<i64> = (0..2048).map(|i| (i * 13) % 1000).collect();
+        t.append_batch(vec![AnyColumn::I64(vals.into_iter().collect())]).unwrap();
+        // Narrow queries only: exactly one bucket accumulates cadence.
+        let pred = [("v", ValueRange::between(Value::I64(100), Value::I64(110)))];
+        for _ in 0..48 {
+            let _ = t.query(&pred).unwrap();
+        }
+        let reports = path_report(&cat);
+        assert_eq!(reports.len(), 1);
+        let col = &reports[0];
+        assert_eq!((col.table.as_str(), col.column.as_str()), ("pr", "v"));
+        assert_eq!(col.segments, 4);
+        assert_eq!(col.wah_built + col.wah_rejected, 0, "wah disabled by default");
+        let active: Vec<usize> =
+            (0..col.buckets.len()).filter(|&b| col.buckets[b].queries > 0).collect();
+        assert_eq!(active.len(), 1, "one selectivity class queried: {:?}", col.buckets);
+        let bucket = &col.buckets[active[0]];
+        assert!(bucket.winner.is_some(), "48 queries must have produced a winner");
+        assert_eq!(bucket.votes.iter().sum::<u64>(), 4, "every segment casts one vote");
     }
 
     #[test]

@@ -5,20 +5,21 @@
 //! Each sealed segment owns, per column, a cacheline-aligned data chunk and
 //! its own secondary indexes: a [`ColumnImprints`] (the primary access
 //! path, with a bounded rebuild scope — re-binning one segment never
-//! touches its neighbours) and a [`ZoneMap`], plus an adaptive
+//! touches its neighbours), a [`ZoneMap`], and optionally a lazily built,
+//! byte-budgeted [`WahBitmap`] — plus an adaptive, selectivity-bucketed
 //! [`PathChooser`] deciding per query which path answers.
 //!
 //! Sealed segments are immutable and shared via `Arc`: queries, appends and
 //! the maintenance planner never copy data, they swap segment pointers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use baselines::{SeqScan, ZoneMap};
+use baselines::{SeqScan, WahBitmap, ZoneMap};
 use colstore::index::BuildableIndex;
 use colstore::relation::AnyColumn;
-use colstore::{AccessStats, CachelineSet, Column, IdList, RangeIndex, Scalar, Value};
+use colstore::{AccessStats, Bound, CachelineSet, Column, IdList, RangeIndex, Scalar, Value};
 use imprints::builder::BuildOptions;
 use imprints::query;
 use imprints::relation_index::ValueRange;
@@ -62,12 +63,58 @@ impl ColumnObservations {
     }
 }
 
+/// The lazily built, byte-budgeted WAH bitmap path of one segment column.
+///
+/// `budget == 0` means the path is disabled by configuration (never
+/// registered with the chooser). Otherwise the cell starts empty and the
+/// bitmap is built — sharing the imprint's binning, as the paper's §6
+/// evaluation does for fairness — the first time the chooser routes a
+/// query to [`PathKind::Wah`]; a bitmap that comes out larger than the
+/// budget is discarded (`Some(None)`) and the chooser's WAH slot is
+/// disabled, leaving the three classic paths.
+#[derive(Debug)]
+struct WahSlot<T: Scalar> {
+    budget: usize,
+    cell: OnceLock<Option<WahBitmap<T>>>,
+}
+
+impl<T: Scalar> WahSlot<T> {
+    fn new(budget: usize) -> Self {
+        WahSlot { budget, cell: OnceLock::new() }
+    }
+
+    /// An empty slot with the same budget (rebuilt/merged columns re-earn
+    /// their lazy build).
+    fn fresh(&self) -> Self {
+        WahSlot::new(self.budget)
+    }
+
+    /// A clone keeping the built (or rejected) state — the shallow-clone
+    /// side of a segment swap, where this column's indexes are unchanged.
+    fn clone_state(&self) -> Self {
+        let cell = OnceLock::new();
+        if let Some(state) = self.cell.get() {
+            let _ = cell.set(state.clone());
+        }
+        WahSlot { budget: self.budget, cell }
+    }
+
+    /// Bytes of the built bitmap (0 when disabled, unbuilt or rejected).
+    fn bytes(&self) -> usize {
+        match self.cell.get() {
+            Some(Some(bm)) => RangeIndex::size_bytes(bm),
+            _ => 0,
+        }
+    }
+}
+
 /// One column of one sealed segment: aligned data plus its access paths.
 #[derive(Debug)]
 pub struct SegCol<T: Scalar> {
     data: Arc<Column<T>>,
     imprints: ColumnImprints<T>,
     zonemap: ZoneMap<T>,
+    wah: WahSlot<T>,
     /// Fraction of (sampled) values that landed in the binning's overflow
     /// bins at build time — the §4.1 drift signal when binning is inherited
     /// from an older segment.
@@ -88,7 +135,7 @@ impl<T: Scalar> SegCol<T> {
         let (imprints, drift) = match prev.filter(|_| cfg.share_binning) {
             Some(prev) => {
                 let binning = prev.imprints.binning().clone();
-                let drift = measure_drift(&binning, col.values());
+                let drift = measure_drift(&binning, &prev.zonemap, col.values());
                 (ColumnImprints::build_with_binning(&col, binning, opts), drift)
             }
             None => {
@@ -105,16 +152,19 @@ impl<T: Scalar> SegCol<T> {
             data: Arc::new(col),
             imprints,
             zonemap,
+            wah: WahSlot::new(cfg.wah_budget_bytes),
             drift,
             rebuilds: 0,
-            chooser: PathChooser::default(),
+            chooser: chooser_for(cfg),
             obs: ColumnObservations::default(),
         }
     }
 
     /// A copy of this column with freshly sampled binning over the same
     /// (shared) data — the planner's background rebuild. Learned path costs
-    /// and observations reset, since the index changed under them.
+    /// and observations reset, since the index changed under them; the WAH
+    /// slot empties too (a rejected bitmap re-earns its lazy build against
+    /// the new binning).
     pub fn rebuilt(&self) -> Self {
         let opts = *self.imprints.options();
         let imprints = ColumnImprints::build_with(&self.data, opts);
@@ -122,17 +172,61 @@ impl<T: Scalar> SegCol<T> {
             data: Arc::clone(&self.data),
             imprints,
             zonemap: self.zonemap.clone(),
+            wah: self.wah.fresh(),
             drift: 0.0,
             rebuilds: self.rebuilds + 1,
-            chooser: PathChooser::default(),
+            chooser: self.chooser.fresh_like(),
             obs: ColumnObservations::default(),
         }
     }
 
+    /// The selectivity bucket of `pred` on this column: the span the
+    /// predicate covers over the imprint's binning, classed by
+    /// [`PathChooser::bucket_of_span`]. O(log bins) — two border searches.
+    fn bucket_of(&self, pred: &colstore::RangePredicate<T>) -> usize {
+        let binning = self.imprints.binning();
+        let bins = binning.bins();
+        let lo = match pred.low() {
+            Bound::Unbounded => 0,
+            Bound::Inclusive(l) | Bound::Exclusive(l) => binning.bin_of(*l),
+        };
+        let hi = match pred.high() {
+            Bound::Unbounded => bins - 1,
+            Bound::Inclusive(h) | Bound::Exclusive(h) => binning.bin_of(*h),
+        };
+        self.chooser.bucket_of_span(hi.saturating_sub(lo) + 1, bins)
+    }
+
+    /// The WAH bitmap, built on first use and `None` once rejected for
+    /// exceeding its byte budget (which also disables the chooser's WAH
+    /// slot, so later queries never route here again). Callers resolve
+    /// this *before* starting their cost timer: the one-off build must not
+    /// enter the path's EWMA.
+    fn wah_index(&self) -> Option<&WahBitmap<T>> {
+        if self.wah.budget == 0 {
+            return None;
+        }
+        let built = self.wah.cell.get_or_init(|| {
+            let bm = WahBitmap::build_with_binning(&self.data, self.imprints.binning().clone());
+            (RangeIndex::size_bytes(&bm) <= self.wah.budget).then_some(bm)
+        });
+        if built.is_none() {
+            self.chooser.disable(PathKind::Wah);
+        }
+        built.as_ref()
+    }
+
     /// Evaluates a single-column predicate through the adaptively chosen
-    /// access path, recording observed cost and false-positive work.
+    /// access path, recording observed cost (in the predicate's
+    /// selectivity bucket) and false-positive work.
     fn evaluate_adaptive(&self, pred: &colstore::RangePredicate<T>) -> (IdList, AccessStats) {
-        let path = self.chooser.choose();
+        let bucket = self.bucket_of(pred);
+        let mut path = self.chooser.choose(bucket);
+        if path == PathKind::Wah && self.wah_index().is_none() {
+            // The lazy build just blew the budget: WAH is now disabled in
+            // the chooser; route this query through a surviving path.
+            path = self.chooser.choose(bucket);
+        }
         let t0 = Instant::now();
         let (ids, stats) = match path {
             PathKind::Imprints => {
@@ -149,8 +243,12 @@ impl<T: Scalar> SegCol<T> {
             PathKind::ZoneMap => self.zonemap.evaluate_with_stats(&self.data, pred),
             PathKind::Scan => <SeqScan as BuildableIndex<T>>::build_index(&self.data)
                 .evaluate_with_stats(&self.data, pred),
+            PathKind::Wah => self
+                .wah_index()
+                .expect("wah availability resolved before dispatch")
+                .evaluate_with_stats(&self.data, pred),
         };
-        self.chooser.record(path, t0.elapsed().as_nanos() as u64);
+        self.chooser.record(bucket, path, t0.elapsed().as_nanos() as u64);
         self.obs.queries.fetch_add(1, Ordering::Relaxed);
         (ids, stats)
     }
@@ -160,8 +258,13 @@ impl<T: Scalar> SegCol<T> {
     /// [`SegCol::evaluate_adaptive`], recording the same cost and
     /// false-positive observations so count-heavy workloads feed the
     /// planner and the chooser exactly like materializing queries do.
+    /// Every arm reports the [`AccessStats`] its evaluate twin reports.
     fn count_adaptive(&self, pred: &colstore::RangePredicate<T>) -> (u64, AccessStats) {
-        let path = self.chooser.choose();
+        let bucket = self.bucket_of(pred);
+        let mut path = self.chooser.choose(bucket);
+        if path == PathKind::Wah && self.wah_index().is_none() {
+            path = self.chooser.choose(bucket);
+        }
         let t0 = Instant::now();
         let (n, stats) = match path {
             PathKind::Imprints => {
@@ -172,17 +275,14 @@ impl<T: Scalar> SegCol<T> {
                 (n, istats.access)
             }
             PathKind::ZoneMap => self.zonemap.count_with_stats(&self.data, pred),
-            PathKind::Scan => {
-                let stats = AccessStats {
-                    value_comparisons: self.data.len() as u64,
-                    lines_fetched: self.data.cacheline_count() as u64,
-                    ..AccessStats::default()
-                };
-                let n = self.data.values().iter().filter(|v| pred.matches(v)).count() as u64;
-                (n, stats)
-            }
+            PathKind::Scan => <SeqScan as BuildableIndex<T>>::build_index(&self.data)
+                .count_with_stats(&self.data, pred),
+            PathKind::Wah => self
+                .wah_index()
+                .expect("wah availability resolved before dispatch")
+                .count_with_stats(&self.data, pred),
         };
-        self.chooser.record(path, t0.elapsed().as_nanos() as u64);
+        self.chooser.record(bucket, path, t0.elapsed().as_nanos() as u64);
         self.obs.queries.fetch_add(1, Ordering::Relaxed);
         (n, stats)
     }
@@ -196,22 +296,77 @@ impl<T: Scalar> SegCol<T> {
     }
 }
 
-fn measure_drift<T: Scalar>(binning: &imprints::Binning<T>, values: &[T]) -> f64 {
+/// The chooser a freshly sealed segment column starts from: the three
+/// classic paths, plus WAH when the configuration budgets it, bucketed by
+/// [`EngineConfig::path_buckets`].
+fn chooser_for(cfg: &EngineConfig) -> PathChooser {
+    if cfg.wah_budget_bytes > 0 {
+        PathChooser::new(&PathKind::ALL, cfg.path_buckets)
+    } else {
+        PathChooser::new(&PathKind::CLASSIC, cfg.path_buckets)
+    }
+}
+
+/// Fraction of (sampled) values falling *outside the binning's sampled
+/// domain* — strictly below the first border or strictly above the last
+/// real border (the §4.1 drift signal for inherited binnings).
+///
+/// Measuring by bin index (`bin == 0 || bin == bins - 1`) is wrong at both
+/// ends: the bin count is rounded up to a power of two, so a
+/// low-cardinality binning's top *reachable* bin sits far below `bins - 1`
+/// and true overflow there went unnoticed, while a column with exactly
+/// `bins - 1` distinct values (or any 64-bin equal-height binning) keeps
+/// its perfectly in-domain maximum values in bin `bins - 1` — reporting
+/// near-1.0 drift forever on skewed-to-max data and sending the planner
+/// into a rebuild loop (each rebuild resamples the same borders and the
+/// next seal re-reports the same phantom drift). Comparing against the
+/// border values directly is exact for every bin count.
+///
+/// One ambiguity remains in the borders alone: a *real* border equal to
+/// the type's total-order maximum (a column legitimately holding the
+/// domain maximum, or NaN — the float total-order maximum — as a sentinel
+/// marker) is indistinguishable from the unused-slot sentinel, so values
+/// near the top would read as phantom overflow. The previous segment's
+/// zonemap resolves it for free: its zone bounds give the exact min/max
+/// of the data the chain last held, and the in-domain range is the union
+/// of the border span and that data span — widening only ever suppresses
+/// phantom drift, never true domain shifts, since inherited borders were
+/// fitted to (an ancestor of) exactly that data.
+fn measure_drift<T: Scalar>(
+    binning: &imprints::Binning<T>,
+    prev_zonemap: &ZoneMap<T>,
+    values: &[T],
+) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let bins = binning.bins();
-    // Sample every 64th value: the signal is a fraction, not a count.
-    let mut seen = 0u64;
-    let mut overflow = 0u64;
-    for v in values.iter().step_by(64) {
-        let b = binning.bin_of(*v);
-        seen += 1;
-        if b == 0 || b == bins - 1 {
-            overflow += 1;
+    let borders = binning.borders();
+    let mut lo = borders[0];
+    // The largest non-sentinel border (unused tail entries hold the domain
+    // maximum): the top of the sampled domain. A domain-max border means
+    // nothing can sit above it — then only underflow can drift.
+    let max = T::MAX_VALUE;
+    let mut hi =
+        *borders[..binning.bins() - 1].iter().rev().find(|b| b.lt_total(&max)).unwrap_or(&max);
+    for z in 0..prev_zonemap.zone_count() {
+        let (zmin, zmax) = prev_zonemap.zone_bounds(z);
+        if zmin.lt_total(&lo) {
+            lo = zmin;
+        }
+        if hi.lt_total(&zmax) {
+            hi = zmax;
         }
     }
-    overflow as f64 / seen.max(1) as f64
+    // Sample every 64th value: the signal is a fraction, not a count.
+    let mut seen = 0u64;
+    let mut out = 0u64;
+    for v in values.iter().step_by(64) {
+        seen += 1;
+        if v.lt_total(&lo) || hi.lt_total(v) {
+            out += 1;
+        }
+    }
+    out as f64 / seen.max(1) as f64
 }
 
 /// A [`SegCol`] of whichever scalar type its column holds.
@@ -302,9 +457,26 @@ impl AnySegCol {
         seg_dispatch!(self, s => s.data.get(id).map(Scalar::into_value))
     }
 
-    /// Index bytes (imprint + zonemap) for storage accounting.
+    /// Index bytes (imprint + zonemap + built WAH bitmap) for storage
+    /// accounting.
     pub fn index_bytes(&self) -> usize {
-        seg_dispatch!(self, s => RangeIndex::size_bytes(&s.imprints) + s.zonemap.size_bytes())
+        seg_dispatch!(self, s => {
+            RangeIndex::size_bytes(&s.imprints) + s.zonemap.size_bytes() + s.wah.bytes()
+        })
+    }
+
+    /// Bytes of the built WAH bitmap path (0 when disabled, not yet built,
+    /// or rejected for exceeding its byte budget).
+    pub fn wah_bytes(&self) -> usize {
+        seg_dispatch!(self, s => s.wah.bytes())
+    }
+
+    /// The WAH path's lazy-build state: `None` until the chooser first
+    /// explored it (or when disabled by configuration), then `Some(true)`
+    /// if the bitmap was built within budget, `Some(false)` if it was
+    /// rejected and the column fell back to the three classic paths.
+    pub fn wah_built(&self) -> Option<bool> {
+        seg_dispatch!(self, s => s.wah.cell.get().map(Option::is_some))
     }
 
     /// Raw data bytes.
@@ -576,6 +748,7 @@ impl AnySegCol {
                     data: Arc::clone(&$s.data),
                     imprints: $s.imprints.clone(),
                     zonemap: $s.zonemap.clone(),
+                    wah: $s.wah.clone_state(),
                     drift: $s.drift,
                     rebuilds: $s.rebuilds,
                     chooser: $s.chooser.carry_over(),
@@ -621,6 +794,14 @@ mod tests {
             .collect()
     }
 
+    /// Registered paths of a column's chooser must all have been measured.
+    fn assert_explored(col: &AnySegCol) {
+        let est = col.chooser().estimates();
+        for p in col.chooser().paths() {
+            assert!(est[p.slot()].is_some(), "{} never explored", p.name());
+        }
+    }
+
     #[test]
     fn single_predicate_matches_oracle_on_every_path() {
         let values: Vec<i64> = (0..4096).map(|i| (i * 37) % 500).collect();
@@ -632,7 +813,70 @@ mod tests {
             let (ids, _) = seg.evaluate(&[(0, range)]);
             assert_eq!(ids.as_slice(), expect.as_slice());
         }
-        assert!(seg.columns()[0].chooser().estimates().iter().all(Option::is_some));
+        assert_explored(&seg.columns()[0]);
+    }
+
+    /// With a WAH budget configured, the chooser explores all *four* paths
+    /// and every one of them — WAH included — answers byte-identically to
+    /// the oracle, for materializing queries and counts alike.
+    #[test]
+    fn four_path_chooser_matches_oracle_including_wah() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let cfg =
+            EngineConfig { segment_rows: 1024, wah_budget_bytes: usize::MAX, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(11);
+        let values: Vec<i64> = (0..4096).map(|_| rng.gen_range(0..500)).collect();
+        let col: Column<i64> = Column::from(values.clone());
+        let seg = SealedSegment::seal(0, vec![AnyColumn::I64(col)], None, &cfg);
+        // Mixed selectivities so several buckets bootstrap through WAH.
+        let cases = [(100i64, 140i64), (0, 499), (42, 42), (100, 350)];
+        for _ in 0..96 {
+            for &(lo, hi) in &cases {
+                let range = ValueRange::between(Value::I64(lo), Value::I64(hi));
+                let expect = oracle(&values, lo, hi);
+                let (ids, _) = seg.evaluate(&[(0, range)]);
+                assert_eq!(ids.as_slice(), expect.as_slice(), "[{lo}, {hi}]");
+                let (n, _) = seg.count(&[(0, range)]);
+                assert_eq!(n as usize, expect.len(), "count [{lo}, {hi}]");
+            }
+        }
+        let col = &seg.columns()[0];
+        assert_eq!(col.chooser().paths().len(), 4);
+        assert_explored(col);
+        assert_eq!(col.wah_built(), Some(true), "wah must have been lazily built");
+        assert!(col.wah_bytes() > 0);
+        assert!(col.index_bytes() > col.wah_bytes(), "index bytes include wah + the rest");
+    }
+
+    /// A WAH bitmap larger than its byte budget is rejected: the column
+    /// permanently falls back to the three classic paths, reports zero WAH
+    /// bytes, and queries keep answering correctly.
+    #[test]
+    fn wah_over_budget_falls_back_to_three_paths() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // High-cardinality random data: WAH at its worst (§6.2); a budget
+        // of a few hundred bytes is impossible to meet.
+        let cfg = EngineConfig { segment_rows: 1024, wah_budget_bytes: 512, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(13);
+        let values: Vec<i64> = (0..4096).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let col: Column<i64> = Column::from(values.clone());
+        let seg = SealedSegment::seal(0, vec![AnyColumn::I64(col)], None, &cfg);
+        let range = ValueRange::between(Value::I64(0), Value::I64(1000));
+        let expect = oracle(&values, 0, 1000);
+        for _ in 0..64 {
+            let (ids, _) = seg.evaluate(&[(0, range)]);
+            assert_eq!(ids.as_slice(), expect.as_slice());
+        }
+        let col = &seg.columns()[0];
+        assert_eq!(col.wah_built(), Some(false), "the over-budget build must be rejected");
+        assert_eq!(col.wah_bytes(), 0);
+        assert!(!col.chooser().is_enabled(PathKind::Wah));
+        // The three survivors finished their bootstrap regardless.
+        let est = col.chooser().estimates();
+        assert!(est[..3].iter().all(Option::is_some));
+        assert_eq!(est[3], None, "a rejected wah never records a cost");
     }
 
     #[test]
@@ -731,6 +975,93 @@ mod tests {
         assert!(!got.is_empty());
     }
 
+    /// Satellite regression: a constant (or low-cardinality) column sealed
+    /// in a binning-inheritance chain is perfectly in-domain — the old
+    /// bin-index drift measure (`bin == 0 || bin == bins - 1`) must not
+    /// report phantom overflow that sends the planner into a rebuild loop.
+    #[test]
+    fn constant_column_chain_reports_no_drift() {
+        let c = cfg();
+        let mut prev: Option<SealedSegment> = None;
+        for s in 0..3u64 {
+            let col: Column<i64> = Column::from(vec![42i64; 1024]);
+            let seg = SealedSegment::seal(s * 1024, vec![AnyColumn::I64(col)], prev.as_ref(), &c);
+            assert_eq!(
+                seg.columns()[0].drift(),
+                0.0,
+                "segment {s} of a constant chain must not drift"
+            );
+            prev = Some(seg);
+        }
+        // A column holding exactly bins-1 distinct values skewed to its
+        // maximum: the max lands in bin `bins - 1` (the rounded-up bin
+        // count leaves it the top reachable bin), which the old measure
+        // counted as overflow — near-1.0 drift on perfectly in-domain data.
+        let skewed: Vec<i64> =
+            (0..1024).map(|i| if i % 8 == 0 { i as i64 % 7 } else { 6 }).collect();
+        let first =
+            SealedSegment::seal(0, vec![AnyColumn::I64(Column::from(skewed.clone()))], None, &c);
+        let second =
+            SealedSegment::seal(1024, vec![AnyColumn::I64(Column::from(skewed))], Some(&first), &c);
+        assert_eq!(
+            second.columns()[0].drift(),
+            0.0,
+            "in-domain max values must not count as overflow drift"
+        );
+        // True out-of-domain appends still fire the signal, at both ends.
+        let below: Vec<i64> = vec![-1000; 1024];
+        let under =
+            SealedSegment::seal(2048, vec![AnyColumn::I64(Column::from(below))], Some(&first), &c);
+        assert!(under.columns()[0].drift() > 0.9, "underflow must still be measured");
+        let above: Vec<i64> = vec![1_000_000; 1024];
+        let over =
+            SealedSegment::seal(3072, vec![AnyColumn::I64(Column::from(above))], Some(&first), &c);
+        assert!(over.columns()[0].drift() > 0.9, "true overflow must still be measured");
+        // A column whose sentinel/NULL marker is the type maximum: the
+        // real border at `i64::MAX` is indistinguishable from the unused
+        // binning slots, so MAX values must never count as phantom
+        // overflow in their inheritance chain.
+        let with_sentinel: Vec<i64> =
+            (0..1024).map(|i| if i % 4 == 0 { i as i64 % 97 } else { i64::MAX }).collect();
+        let s1 = SealedSegment::seal(
+            0,
+            vec![AnyColumn::I64(Column::from(with_sentinel.clone()))],
+            None,
+            &c,
+        );
+        let s2 = SealedSegment::seal(
+            1024,
+            vec![AnyColumn::I64(Column::from(with_sentinel))],
+            Some(&s1),
+            &c,
+        );
+        assert_eq!(
+            s2.columns()[0].drift(),
+            0.0,
+            "type-max sentinel values must not report phantom drift"
+        );
+    }
+
+    /// Satellite regression: the count and evaluate twins must report
+    /// identical [`AccessStats`] on every path — the scan arm of
+    /// `count_adaptive` used to hand-roll its stats and drift from the
+    /// evaluate arm's accounting. Two identical fresh segments walk the
+    /// deterministic bootstrap in lockstep (imprints, zonemap, scan), so
+    /// call *i* of each takes the same path.
+    #[test]
+    fn count_and_evaluate_report_identical_stats_on_every_path() {
+        let values: Vec<i64> = (0..3000).map(|i| (i * 37) % 500).collect();
+        let eval_seg = seal_i64(values.clone());
+        let count_seg = seal_i64(values);
+        let range = ValueRange::between(Value::I64(100), Value::I64(200));
+        for call in 0..3 {
+            let (ids, es) = eval_seg.evaluate(&[(0, range)]);
+            let (n, cs) = count_seg.count(&[(0, range)]);
+            assert_eq!(n as usize, ids.len());
+            assert_eq!(es, cs, "bootstrap call {call}: count and evaluate stats diverged");
+        }
+    }
+
     #[test]
     fn empty_predicate_list_selects_all() {
         let seg = seal_i64((0..100).collect());
@@ -793,10 +1124,7 @@ mod tests {
         }
         let col = &seg.columns()[0];
         assert_eq!(col.chooser().queries(), 64, "counts must advance the chooser cadence");
-        assert!(
-            col.chooser().estimates().iter().all(Option::is_some),
-            "counts must feed path cost estimates"
-        );
+        assert_explored(col);
         let obs = col.observations();
         assert_eq!(obs.queries.load(Ordering::Relaxed), 64);
         assert!(

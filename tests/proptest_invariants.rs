@@ -79,6 +79,65 @@ proptest! {
         prop_assert_eq!(got.as_slice(), expect.as_slice());
     }
 
+    /// Satellite regression for the partial-tail geometry: columns whose
+    /// length is *not* a multiple of `values_per_block` end in a partial
+    /// cacheline, and every imprint query kernel — materializing
+    /// evaluation, the count kernel, and the late-materialization
+    /// `candidates` + `refine` pair — must agree with the scalar oracle
+    /// there (this is exactly where PR 3's `ids_via_full_lines` accounting
+    /// bug hid; the oracles elsewhere almost all use exact multiples).
+    #[test]
+    fn partial_tail_lengths_agree_with_oracle(
+        values in prop::collection::vec(-1500i32..1500, 0..3000),
+        extra in -1500i32..1500,
+        pred in arb_pred_i32(),
+    ) {
+        // Force a partial tail: i32 packs 16 values per 64-byte line, so a
+        // non-multiple of 16 is also a non-multiple of u8's 64.
+        let mut values = values;
+        while values.len() % 16 == 0 {
+            values.push(extra);
+        }
+        let col: Column<i32> = Column::from(values.clone());
+        let idx = ColumnImprints::build(&col);
+        prop_assert_eq!(idx.values_per_block(), 16);
+        prop_assert!(!col.len().is_multiple_of(idx.values_per_block()));
+        let expect = oracle(&col, &pred);
+
+        let (ids, stats) = imprints::query::evaluate(&idx, &col, &pred);
+        prop_assert_eq!(ids.as_slice(), expect.as_slice());
+        // The exact fast-path id counter can never exceed what was emitted.
+        prop_assert!(stats.ids_via_full_lines <= ids.len() as u64);
+
+        let (n, cstats) = imprints::query::count(&idx, &col, &pred);
+        prop_assert_eq!(n as usize, expect.len());
+        prop_assert_eq!(cstats.ids_via_full_lines, stats.ids_via_full_lines);
+
+        let (cands, mut rstats) = imprints::query::candidate_id_ranges(&idx, &pred);
+        let refined = imprints::query::refine(&col, &pred, &cands, &mut rstats);
+        prop_assert_eq!(refined.as_slice(), expect.as_slice());
+
+        // Same partial-tail geometry at u8's 64-values-per-line grid.
+        let u8col: Column<u8> = values.iter().map(|v| (v.unsigned_abs() % 256) as u8).collect();
+        let u8idx = ColumnImprints::build(&u8col);
+        prop_assert!(!u8col.len().is_multiple_of(u8idx.values_per_block()));
+        for p in [
+            RangePredicate::between(20u8, 180),
+            RangePredicate::less_than(7),
+            RangePredicate::at_least(250),
+            RangePredicate::equals(values.len() as u8),
+        ] {
+            let expect = oracle(&u8col, &p);
+            let (ids, _) = imprints::query::evaluate(&u8idx, &u8col, &p);
+            prop_assert_eq!(ids.as_slice(), expect.as_slice(), "u8 evaluate {}", p);
+            let (n, _) = imprints::query::count(&u8idx, &u8col, &p);
+            prop_assert_eq!(n as usize, expect.len(), "u8 count {}", p);
+            let (cands, mut rstats) = imprints::query::candidate_id_ranges(&u8idx, &p);
+            let refined = imprints::query::refine(&u8col, &p, &cands, &mut rstats);
+            prop_assert_eq!(refined.as_slice(), expect.as_slice(), "u8 refine {}", p);
+        }
+    }
+
     #[test]
     fn compressor_roundtrips_any_run_sequence(
         runs in prop::collection::vec((0u64..6, 1u64..40), 0..60),
