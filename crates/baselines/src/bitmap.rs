@@ -15,6 +15,7 @@
 use colstore::{AccessStats, Column, IdList, RangeIndex, RangePredicate, Scalar};
 use imprints::binning::Binning;
 use imprints::builder::BuildOptions;
+use imprints::simd::{self, PredicateKernel, RefineKernel};
 use imprints::Bound;
 
 use crate::wah::WahVector;
@@ -96,21 +97,57 @@ impl<T: Scalar> WahBitmap<T> {
         col: &Column<T>,
         pred: &RangePredicate<T>,
     ) -> (u64, AccessStats) {
-        let (result, stats) = self.result_bitvector(col, pred);
+        self.count_with_kernel(col, pred, simd::ambient_kernel())
+    }
+
+    /// [`WahBitmap::count_with_stats`] under an explicit refinement kernel
+    /// (differential testing).
+    pub fn count_with_kernel(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+        kernel: RefineKernel,
+    ) -> (u64, AccessStats) {
+        let (result, stats) = self.result_bitvector(col, pred, kernel);
         (result.iter().map(|w| w.count_ones() as u64).sum(), stats)
+    }
+
+    /// [`RangeIndex::evaluate_with_stats`] under an explicit refinement
+    /// kernel (differential testing).
+    pub fn evaluate_with_kernel(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+        kernel: RefineKernel,
+    ) -> (IdList, AccessStats) {
+        let (result, stats) = self.result_bitvector(col, pred, kernel);
+        // Materialize ids in ascending order from the result bitvector.
+        let mut res = Vec::new();
+        for (w, &word) in result.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let b = word.trailing_zeros() as u64;
+                res.push(w as u64 * 64 + b);
+                word &= word - 1;
+            }
+        }
+        (IdList::from_sorted(res), stats)
     }
 
     /// The shared evaluation kernel (§6.3): decodes the bins overlapping
     /// `pred` into one id-aligned result bitvector, value-checking edge
-    /// bins.
+    /// bins. Edge-bin candidates are scattered ids (set bits of a WAH
+    /// vector), so they take the refinement kernel's per-value check.
     fn result_bitvector(
         &self,
         col: &Column<T>,
         pred: &RangePredicate<T>,
+        kernel: RefineKernel,
     ) -> (Vec<u64>, AccessStats) {
         assert_eq!(col.len(), self.rows, "index does not cover this column");
         let mut stats = AccessStats::default();
-        if pred.is_empty_range() || self.rows == 0 {
+        let kernel = PredicateKernel::with_kernel(pred, kernel);
+        if kernel.is_empty() || self.rows == 0 {
             // Both callers only iterate the words, so skip the allocation.
             return (Vec::new(), stats);
         }
@@ -135,7 +172,7 @@ impl<T: Scalar> WahBitmap<T> {
                 stats.index_probes += vec.word_count() as u64 + 1;
                 for id in vec.ones() {
                     stats.value_comparisons += 1;
-                    if pred.matches(&values[id as usize]) {
+                    if kernel.matches(&values[id as usize]) {
                         result[(id / 64) as usize] |= 1 << (id % 64);
                     }
                 }
@@ -167,18 +204,7 @@ impl<T: Scalar> RangeIndex<T> for WahBitmap<T> {
         col: &Column<T>,
         pred: &RangePredicate<T>,
     ) -> (IdList, AccessStats) {
-        let (result, stats) = self.result_bitvector(col, pred);
-        // Materialize ids in ascending order from the result bitvector.
-        let mut res = Vec::new();
-        for (w, &word) in result.iter().enumerate() {
-            let mut word = word;
-            while word != 0 {
-                let b = word.trailing_zeros() as u64;
-                res.push(w as u64 * 64 + b);
-                word &= word - 1;
-            }
-        }
-        (IdList::from_sorted(res), stats)
+        self.evaluate_with_kernel(col, pred, simd::ambient_kernel())
     }
 }
 

@@ -4,8 +4,15 @@
 //! materialize every qualifying id. Zero index storage, zero index probes,
 //! one comparison per row. Modern optimizers fall back to this plan for
 //! low-selectivity predicates — exactly the crossover Figures 8–10 chart.
+//!
+//! The full-column value check routes through the shared refinement
+//! kernels of [`imprints::simd`]: one compiled [`PredicateKernel`] per
+//! scan, weeding either by the `u64`-word SWAR kernel or the scalar
+//! oracle loop. A predicate that can match nothing examines no data and
+//! reports zero comparisons/fetches.
 
 use colstore::{AccessStats, Column, IdList, RangeIndex, RangePredicate, Scalar};
+use imprints::simd::{self, PredicateKernel, RefineKernel};
 
 /// The sequential-scan pseudo-index.
 ///
@@ -40,13 +47,50 @@ impl SeqScan {
         col: &Column<T>,
         pred: &RangePredicate<T>,
     ) -> (u64, AccessStats) {
+        self.count_with_kernel(col, pred, simd::ambient_kernel())
+    }
+
+    /// [`SeqScan::count_with_stats`] under an explicit refinement kernel
+    /// (differential testing).
+    pub fn count_with_kernel<T: Scalar>(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+        kernel: RefineKernel,
+    ) -> (u64, AccessStats) {
         assert_eq!(col.len(), self.rows, "scan bound to a different column");
-        let stats = AccessStats {
-            value_comparisons: col.len() as u64,
-            lines_fetched: col.cacheline_count() as u64,
-            ..AccessStats::default()
-        };
-        (col.values().iter().filter(|v| pred.matches(v)).count() as u64, stats)
+        let kernel = PredicateKernel::with_kernel(pred, kernel);
+        let mut stats = AccessStats::default();
+        let n =
+            kernel.count_matches(col.values(), 0..col.len() as u64, &mut stats.value_comparisons);
+        if stats.value_comparisons > 0 {
+            stats.lines_fetched = col.cacheline_count() as u64;
+        }
+        (n, stats)
+    }
+
+    /// [`RangeIndex::evaluate_with_stats`] under an explicit refinement
+    /// kernel (differential testing).
+    pub fn evaluate_with_kernel<T: Scalar>(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+        kernel: RefineKernel,
+    ) -> (IdList, AccessStats) {
+        assert_eq!(col.len(), self.rows, "scan bound to a different column");
+        let kernel = PredicateKernel::with_kernel(pred, kernel);
+        let mut stats = AccessStats::default();
+        let mut res = Vec::new();
+        kernel.append_matches(
+            col.values(),
+            0..col.len() as u64,
+            &mut res,
+            &mut stats.value_comparisons,
+        );
+        if stats.value_comparisons > 0 {
+            stats.lines_fetched = col.cacheline_count() as u64;
+        }
+        (IdList::from_sorted(res), stats)
     }
 }
 
@@ -70,19 +114,7 @@ impl<T: Scalar> RangeIndex<T> for SeqScan {
         col: &Column<T>,
         pred: &RangePredicate<T>,
     ) -> (IdList, AccessStats) {
-        assert_eq!(col.len(), self.rows, "scan bound to a different column");
-        let stats = AccessStats {
-            value_comparisons: col.len() as u64,
-            lines_fetched: col.cacheline_count() as u64,
-            ..AccessStats::default()
-        };
-        let mut res = Vec::new();
-        for (id, v) in col.values().iter().enumerate() {
-            if pred.matches(v) {
-                res.push(id as u64);
-            }
-        }
-        (IdList::from_sorted(res), stats)
+        self.evaluate_with_kernel(col, pred, simd::ambient_kernel())
     }
 }
 
@@ -106,6 +138,44 @@ mod tests {
         let col: Column<f32> = (0..100).map(|i| i as f32).collect();
         let scan = SeqScan::new(&col);
         assert!(scan.evaluate(&col, &RangePredicate::between(5.0, 1.0)).is_empty());
+    }
+
+    /// Satellite regression: a predicate that can match nothing examines
+    /// no values, so the scan bills zero comparisons and zero fetched
+    /// lines instead of a full column's worth of phantom work.
+    #[test]
+    fn scan_empty_predicate_reports_zero_comparisons() {
+        let col: Column<i64> = (0..1000).collect();
+        let scan = SeqScan::new(&col);
+        for kernel in [RefineKernel::Scalar, RefineKernel::Swar] {
+            let (ids, stats) =
+                scan.evaluate_with_kernel(&col, &RangePredicate::between(5, 1), kernel);
+            assert!(ids.is_empty());
+            assert_eq!(stats, AccessStats::default(), "{kernel:?}");
+            let (n, cstats) = scan.count_with_kernel(&col, &RangePredicate::between(5, 1), kernel);
+            assert_eq!((n, cstats), (0, AccessStats::default()), "{kernel:?}");
+        }
+    }
+
+    /// Scalar and SWAR scans agree byte-for-byte on ids and statistics.
+    #[test]
+    fn scan_kernels_agree() {
+        let col: Column<i16> = (0..5003).map(|i| (i % 300) as i16 - 150).collect();
+        let scan = SeqScan::new(&col);
+        for pred in [
+            RangePredicate::between(-20, 20),
+            RangePredicate::equals(0),
+            RangePredicate::all(),
+            RangePredicate::less_than(i16::MIN + 1),
+        ] {
+            let s = scan.evaluate_with_kernel(&col, &pred, RefineKernel::Scalar);
+            let v = scan.evaluate_with_kernel(&col, &pred, RefineKernel::Swar);
+            assert_eq!(s, v, "{pred}");
+            let sc = scan.count_with_kernel(&col, &pred, RefineKernel::Scalar);
+            let vc = scan.count_with_kernel(&col, &pred, RefineKernel::Swar);
+            assert_eq!(sc, vc, "{pred}");
+            assert_eq!(sc.0 as usize, s.0.len(), "{pred}");
+        }
     }
 
     #[test]

@@ -7,8 +7,14 @@
 //! Query evaluation compares each zone's `[min, max]` with the predicate:
 //! disjoint zones are skipped, fully-included zones emit all their ids
 //! without value checks, overlapping zones are fetched and checked.
+//!
+//! The overlapping-zone value check routes through the shared refinement
+//! kernels of [`imprints::simd`] — one compiled [`PredicateKernel`] per
+//! query, SWAR or scalar per the ambient selection — and a predicate that
+//! can match nothing skips every zone without probing.
 
 use colstore::{AccessStats, Bound, Column, IdList, RangeIndex, RangePredicate, Scalar};
+use imprints::simd::{self, PredicateKernel, RefineKernel};
 
 /// Min/max-per-zone secondary index.
 ///
@@ -104,8 +110,24 @@ impl<T: Scalar> ZoneMap<T> {
         col: &Column<T>,
         pred: &RangePredicate<T>,
     ) -> (u64, AccessStats) {
+        self.count_with_kernel(col, pred, simd::ambient_kernel())
+    }
+
+    /// [`ZoneMap::count_with_stats`] under an explicit refinement kernel
+    /// (differential testing).
+    pub fn count_with_kernel(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+        kernel: RefineKernel,
+    ) -> (u64, AccessStats) {
         assert_eq!(col.len(), self.rows, "index does not cover this column");
         let mut stats = AccessStats::default();
+        let kernel = PredicateKernel::with_kernel(pred, kernel);
+        if kernel.is_empty() {
+            stats.lines_skipped = self.mins.len() as u64;
+            return (0, stats);
+        }
         let mut total = 0u64;
         let values = col.values();
         let vpz = self.values_per_zone as u64;
@@ -123,13 +145,51 @@ impl<T: Scalar> ZoneMap<T> {
                 total += end - start;
             } else {
                 stats.lines_fetched += 1;
-                stats.value_comparisons += end - start;
-                total +=
-                    values[start as usize..end as usize].iter().filter(|v| pred.matches(v)).count()
-                        as u64;
+                total += kernel.count_matches(values, start..end, &mut stats.value_comparisons);
             }
         }
         (total, stats)
+    }
+
+    /// [`RangeIndex::evaluate_with_stats`] under an explicit refinement
+    /// kernel (differential testing).
+    pub fn evaluate_with_kernel(
+        &self,
+        col: &Column<T>,
+        pred: &RangePredicate<T>,
+        kernel: RefineKernel,
+    ) -> (IdList, AccessStats) {
+        assert_eq!(col.len(), self.rows, "index does not cover this column");
+        let mut stats = AccessStats::default();
+        let kernel = PredicateKernel::with_kernel(pred, kernel);
+        let mut res: Vec<u64> = Vec::new();
+        // Satellite accounting fix: an impossible predicate examines no
+        // zone and no value — every zone is "skipped", matching the
+        // imprint evaluator's empty-mask early-out shape.
+        if kernel.is_empty() {
+            stats.lines_skipped = self.mins.len() as u64;
+            return (IdList::from_sorted(res), stats);
+        }
+        let values = col.values();
+        let vpz = self.values_per_zone as u64;
+        let rows = self.rows as u64;
+        for z in 0..self.mins.len() {
+            stats.index_probes += 1;
+            let (zmin, zmax) = (&self.mins[z], &self.maxs[z]);
+            if !Self::overlaps(pred, zmin, zmax) {
+                stats.lines_skipped += 1;
+                continue;
+            }
+            let start = z as u64 * vpz;
+            let end = ((z as u64 + 1) * vpz).min(rows);
+            if Self::fully_inside(pred, zmin, zmax) {
+                res.extend(start..end);
+            } else {
+                stats.lines_fetched += 1;
+                kernel.append_matches(values, start..end, &mut res, &mut stats.value_comparisons);
+            }
+        }
+        (IdList::from_sorted(res), stats)
     }
 
     /// Whether every value of a zone `[zmin, zmax]` matches.
@@ -172,34 +232,7 @@ impl<T: Scalar> RangeIndex<T> for ZoneMap<T> {
         col: &Column<T>,
         pred: &RangePredicate<T>,
     ) -> (IdList, AccessStats) {
-        assert_eq!(col.len(), self.rows, "index does not cover this column");
-        let mut stats = AccessStats::default();
-        let mut res: Vec<u64> = Vec::new();
-        let values = col.values();
-        let vpz = self.values_per_zone as u64;
-        let rows = self.rows as u64;
-        for z in 0..self.mins.len() {
-            stats.index_probes += 1;
-            let (zmin, zmax) = (&self.mins[z], &self.maxs[z]);
-            if !Self::overlaps(pred, zmin, zmax) {
-                stats.lines_skipped += 1;
-                continue;
-            }
-            let start = z as u64 * vpz;
-            let end = ((z as u64 + 1) * vpz).min(rows);
-            if Self::fully_inside(pred, zmin, zmax) {
-                res.extend(start..end);
-            } else {
-                stats.lines_fetched += 1;
-                stats.value_comparisons += end - start;
-                for id in start..end {
-                    if pred.matches(&values[id as usize]) {
-                        res.push(id);
-                    }
-                }
-            }
-        }
-        (IdList::from_sorted(res), stats)
+        self.evaluate_with_kernel(col, pred, simd::ambient_kernel())
     }
 }
 
@@ -316,6 +349,45 @@ mod tests {
             let (n, cstats) = zm.count_with_stats(&col, &pred);
             assert_eq!(n as usize, ids.len(), "{pred}");
             assert_eq!(estats, cstats, "count must do the same zone walk: {pred}");
+        }
+    }
+
+    /// Satellite regression: an impossible predicate must not be billed a
+    /// zone's worth of comparisons per overlapping-looking zone (the old
+    /// walk fetched and "compared" zones an empty range can never match).
+    #[test]
+    fn empty_predicate_skips_all_zones_without_comparisons() {
+        let col: Column<i32> = (0..10_000).collect();
+        let zm = ZoneMap::build(&col);
+        for kernel in [RefineKernel::Scalar, RefineKernel::Swar] {
+            let (ids, stats) =
+                zm.evaluate_with_kernel(&col, &RangePredicate::between(9, 3), kernel);
+            assert!(ids.is_empty());
+            assert_eq!(stats.value_comparisons, 0, "{kernel:?}");
+            assert_eq!(stats.lines_fetched, 0, "{kernel:?}");
+            assert_eq!(stats.lines_skipped as usize, zm.zone_count(), "{kernel:?}");
+        }
+    }
+
+    /// Scalar and SWAR zone walks agree byte-for-byte on ids and stats.
+    #[test]
+    fn zonemap_kernels_agree() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(29);
+        let col: Column<u32> = (0..20_011).map(|_| rng.gen_range(0..5000)).collect();
+        let zm = ZoneMap::build(&col);
+        for _ in 0..20 {
+            let a = rng.gen_range(0..5500u32);
+            let b = rng.gen_range(0..5500u32);
+            let pred = RangePredicate::between(a.min(b), a.max(b));
+            let s = zm.evaluate_with_kernel(&col, &pred, RefineKernel::Scalar);
+            let v = zm.evaluate_with_kernel(&col, &pred, RefineKernel::Swar);
+            assert_eq!(s, v, "{pred}");
+            let sc = zm.count_with_kernel(&col, &pred, RefineKernel::Scalar);
+            let vc = zm.count_with_kernel(&col, &pred, RefineKernel::Swar);
+            assert_eq!(sc, vc, "{pred}");
+            assert_eq!(sc.0 as usize, s.0.len(), "{pred}");
         }
     }
 

@@ -53,7 +53,7 @@ impl ExpConfig {
 }
 
 /// All experiment names accepted by [`run`].
-pub const ALL_EXPERIMENTS: [&str; 14] = [
+pub const ALL_EXPERIMENTS: [&str; 15] = [
     "table1",
     "fig3",
     "fig4",
@@ -68,6 +68,7 @@ pub const ALL_EXPERIMENTS: [&str; 14] = [
     "compaction",
     "writehead",
     "pathmix",
+    "refine",
 ];
 
 /// Runs the experiment called `name` ("all" runs everything). Returns
@@ -93,6 +94,7 @@ pub fn run(name: &str, cfg: &ExpConfig) -> bool {
         "compaction" => compaction(cfg),
         "writehead" => writehead(cfg),
         "pathmix" => pathmix(cfg),
+        "refine" => refine(cfg),
         _ => return false,
     }
     true
@@ -1193,6 +1195,214 @@ pub fn pathmix_with_rows(cfg: &ExpConfig, rows: usize) {
     cfg.save(&t, "pathmix");
 }
 
+/// SWAR vs scalar false-positive refinement: the residual cost of
+/// Algorithm 3 measured in isolation. For each column shape
+/// (clustered / uniform random / low-cardinality, across lane widths)
+/// and each predicate selectivity class (narrow / mid / wide), the
+/// imprint's candidate set is computed once and then refined repeatedly
+/// under both kernels; every refinement is asserted byte-identical to its
+/// scalar twin *and* to the brute-force oracle, and the per-class median
+/// speedup is reported. At full scale the run asserts the checked-line-
+/// heavy bucket — narrow predicates over the uniform-random and
+/// low-cardinality columns, where imprints prune little and nearly every
+/// candidate line needs the value check — at a ≥1.5× median speedup.
+pub fn refine(cfg: &ExpConfig) {
+    refine_with_rows(cfg, cfg.rows);
+}
+
+/// [`refine`] with an explicit row count (used small in smoke tests; the
+/// speedup claim arms at ≥ 200Ki rows, below which candidate sets are too
+/// small for stable timing).
+pub fn refine_with_rows(cfg: &ExpConfig, rows: usize) {
+    use imprints::simd::RefineKernel;
+    use imprints::{query, ImprintStats};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Instant;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    /// One benchmarked column with its three selectivity-class predicates,
+    /// type-erased so all lane widths share the measurement loop.
+    struct Case {
+        column: &'static str,
+        /// `true` = part of the checked-line-heavy workload the speedup
+        /// claim is asserted on (imprints prune little, most candidate
+        /// lines take the value check).
+        heavy: bool,
+        run: Box<dyn Fn(&'static str, usize) -> RefineRow>,
+    }
+
+    struct RefineRow {
+        class: &'static str,
+        candidate_values: u64,
+        matches: u64,
+        scalar_us: f64,
+        swar_us: f64,
+    }
+
+    const CLASSES: [&str; 3] = ["narrow", "mid", "wide"];
+
+    /// Builds the measurement closure for one typed column: class `c`
+    /// (0/1/2) refines the imprint candidate set of the matching predicate
+    /// `rounds + 1` times per kernel (first pass warm-up), returning
+    /// median times. Panics if any refinement deviates from the oracle or
+    /// the sibling kernel.
+    fn typed_case<T: colstore::Scalar>(
+        values: Vec<T>,
+        preds: [colstore::RangePredicate<T>; 3],
+        rounds: usize,
+    ) -> Box<dyn Fn(&'static str, usize) -> RefineRow> {
+        let col: Column<T> = Column::from(values);
+        let idx = ColumnImprints::build(&col);
+        Box::new(move |class: &'static str, c: usize| {
+            let pred = &preds[c];
+            let oracle: Vec<u64> = col
+                .values()
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| pred.matches(v))
+                .map(|(i, _)| i as u64)
+                .collect();
+            let (cands, _) = query::candidate_id_ranges(&idx, pred);
+            let candidate_values: u64 = cands.runs().map(|r| r.end - r.start).sum();
+            let mut scalar_samples = Vec::with_capacity(rounds);
+            let mut swar_samples = Vec::with_capacity(rounds);
+            for round in 0..=rounds {
+                let mut st = ImprintStats::default();
+                let t0 = Instant::now();
+                let ids_s =
+                    query::refine_with_kernel(&col, pred, &cands, &mut st, RefineKernel::Scalar);
+                let t_s = t0.elapsed().as_secs_f64() * 1e6;
+                let mut st = ImprintStats::default();
+                let t0 = Instant::now();
+                let ids_v =
+                    query::refine_with_kernel(&col, pred, &cands, &mut st, RefineKernel::Swar);
+                let t_v = t0.elapsed().as_secs_f64() * 1e6;
+                assert_eq!(
+                    ids_s.as_slice(),
+                    oracle.as_slice(),
+                    "scalar refine deviated from the oracle ({class})"
+                );
+                assert_eq!(ids_s, ids_v, "SWAR refine deviated from the scalar kernel ({class})");
+                if round > 0 {
+                    scalar_samples.push(t_s);
+                    swar_samples.push(t_v);
+                }
+            }
+            RefineRow {
+                class,
+                candidate_values,
+                matches: oracle.len() as u64,
+                scalar_us: median(&mut scalar_samples),
+                swar_us: median(&mut swar_samples),
+            }
+        })
+    }
+
+    // Predicate spans per class: ~1% / ~10% / ~50% of the value domain.
+    let spans = |domain: i64| -> [(i64, i64); 3] {
+        let mid = domain / 2;
+        [
+            (mid, mid + domain / 100),
+            (mid - domain / 20, mid + domain / 20),
+            (domain / 4, 3 * domain / 4),
+        ]
+    };
+
+    let rounds = cfg.rounds.max(3);
+    let domain = 1_000_000i64;
+    let i32_preds = |s: [(i64, i64); 3]| {
+        s.map(|(lo, hi)| colstore::RangePredicate::between(lo as i32, hi as i32))
+    };
+    let clustered: Vec<i32> = (0..rows).map(|i| (i as i64 * domain / rows as i64) as i32).collect();
+    let random_i32: Vec<i32> = (0..rows).map(|_| rng.gen_range(0..domain) as i32).collect();
+    let random_f64: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..domain as f64)).collect();
+    // Low cardinality: 8 distinct values, uniformly shuffled — every
+    // cacheline holds every value, so zero lines skip and the whole
+    // column is candidate lines (the checked-line-heavy extreme).
+    let lowcard: Vec<u8> = (0..rows).map(|_| rng.gen_range(0u32..8) as u8).collect();
+
+    let cases = [
+        Case {
+            column: "clustered i32",
+            heavy: false,
+            run: typed_case(clustered, i32_preds(spans(domain)), rounds),
+        },
+        Case {
+            column: "random i32",
+            heavy: true,
+            run: typed_case(random_i32, i32_preds(spans(domain)), rounds),
+        },
+        Case {
+            column: "lowcard u8",
+            heavy: true,
+            run: typed_case(
+                lowcard,
+                [
+                    colstore::RangePredicate::equals(3u8),
+                    colstore::RangePredicate::between(2u8, 3),
+                    colstore::RangePredicate::between(2u8, 5),
+                ],
+                rounds,
+            ),
+        },
+        Case {
+            column: "random f64",
+            heavy: true,
+            run: typed_case(
+                random_f64,
+                spans(domain)
+                    .map(|(lo, hi)| colstore::RangePredicate::between(lo as f64, hi as f64)),
+                rounds,
+            ),
+        },
+    ];
+
+    println!(
+        "[refine] {rows} rows/column, {rounds} measured rounds per kernel, \
+         candidates fixed per (column, class)"
+    );
+    let mut t = Table::new(
+        "Refinement kernel: scalar loop vs u64-word SWAR over imprint candidates",
+        &["column", "class", "cand values", "matches", "scalar µs", "swar µs", "speedup"],
+    );
+    let mut heavy_narrow_speedups: Vec<f64> = Vec::new();
+    for case in &cases {
+        for (c, class) in CLASSES.into_iter().enumerate() {
+            let row = (case.run)(class, c);
+            let speedup = row.scalar_us / row.swar_us.max(1e-9);
+            if case.heavy && c == 0 {
+                heavy_narrow_speedups.push(speedup);
+            }
+            t.row(vec![
+                case.column.to_string(),
+                row.class.to_string(),
+                row.candidate_values.to_string(),
+                row.matches.to_string(),
+                format!("{:.1}", row.scalar_us),
+                format!("{:.1}", row.swar_us),
+                format!("{speedup:.2}"),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "[refine] every refinement byte-identical to the scalar kernel and the \
+         brute-force oracle"
+    );
+    if rows >= 200_000 {
+        let mut s = heavy_narrow_speedups.clone();
+        let med = median(&mut s);
+        assert!(
+            med >= 1.5,
+            "SWAR must be ≥1.5× the scalar kernel on the checked-line-heavy narrow \
+             workload (median {med:.2} from {heavy_narrow_speedups:?})"
+        );
+    }
+    cfg.save(&t, "refine");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1255,6 +1465,16 @@ mod tests {
         // correctness check; the winner/latency claims arm at ≥200Ki rows.
         let cfg = tiny_cfg();
         pathmix_with_rows(&cfg, 24_000);
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn refine_runs_small_and_verifies_results() {
+        // The experiment asserts every refinement byte-identical to the
+        // scalar kernel and the brute-force oracle, so completing is the
+        // correctness check; the ≥1.5× speedup claim arms at ≥200Ki rows.
+        let cfg = tiny_cfg();
+        refine_with_rows(&cfg, 20_000);
         let _ = std::fs::remove_dir_all(&cfg.out_dir);
     }
 

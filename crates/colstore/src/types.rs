@@ -110,6 +110,10 @@ impl fmt::Display for ColumnType {
 pub trait Scalar: Copy + PartialOrd + Send + Sync + fmt::Debug + fmt::Display + 'static {
     /// The runtime tag for this type.
     const TYPE: ColumnType;
+    /// Width of one value in bits — the SWAR lane width. `64 / LANE_BITS`
+    /// values of this type fit one `u64` word of the vectorized refinement
+    /// kernel (`imprints::simd`).
+    const LANE_BITS: u32;
     /// Smallest value of the domain under the *total* order. For floats
     /// this is negative NaN (the IEEE-754 `totalOrder` minimum), so that
     /// every representable value, NaNs included, satisfies
@@ -130,6 +134,18 @@ pub trait Scalar: Copy + PartialOrd + Send + Sync + fmt::Debug + fmt::Display + 
 
     /// Inverse of [`Scalar::to_bits64`]; truncates to the native width.
     fn from_bits64(bits: u64) -> Self;
+
+    /// The value as an **order-preserving unsigned key** in the low
+    /// [`Scalar::LANE_BITS`] bits:
+    /// `a.total_cmp(b) == a.sort_key().cmp(&b.sort_key())` for every pair,
+    /// and the map is a bijection onto `0..2^LANE_BITS`, so the key-space
+    /// successor/predecessor of a key is exactly the total-order
+    /// successor/predecessor of its value. Unsigned integers map
+    /// identically, signed integers flip their sign bit, floats use the
+    /// IEEE-754 `totalOrder` rank (sign-magnitude unfolded), NaNs
+    /// included. This is what lets the SWAR refinement kernel reduce every
+    /// [`crate::RangePredicate`] to one inclusive unsigned key range.
+    fn sort_key(self) -> u64;
 
     /// Converts to `f64` for statistics/reporting (may lose precision for
     /// 64-bit integers; never used on the query path).
@@ -155,9 +171,10 @@ pub trait Scalar: Copy + PartialOrd + Send + Sync + fmt::Debug + fmt::Display + 
 }
 
 macro_rules! impl_scalar_int {
-    ($($t:ty => $tag:ident / $val:ident),* $(,)?) => {$(
+    ($($t:ty => $u:ty => $tag:ident / $val:ident),* $(,)?) => {$(
         impl Scalar for $t {
             const TYPE: ColumnType = ColumnType::$tag;
+            const LANE_BITS: u32 = <$t>::BITS;
             const MIN_VALUE: Self = <$t>::MIN;
             const MAX_VALUE: Self = <$t>::MAX;
 
@@ -171,6 +188,14 @@ macro_rules! impl_scalar_int {
                 // Cast through the unsigned type of the same width so the
                 // bit pattern (not the numeric value) is preserved.
                 self as u64
+            }
+
+            #[inline]
+            fn sort_key(self) -> u64 {
+                // Reinterpret as the same-width unsigned type, xor'd with
+                // MIN's bit pattern: identity for unsigned types (MIN is
+                // 0), the classic sign-bit flip for signed ones.
+                ((self as $u) ^ (<$t>::MIN as $u)) as u64
             }
 
             #[inline]
@@ -200,18 +225,19 @@ macro_rules! impl_scalar_int {
 }
 
 impl_scalar_int!(
-    i8 => I8 / I8,
-    u8 => U8 / U8,
-    i16 => I16 / I16,
-    u16 => U16 / U16,
-    i32 => I32 / I32,
-    u32 => U32 / U32,
-    i64 => I64 / I64,
-    u64 => U64 / U64,
+    i8 => u8 => I8 / I8,
+    u8 => u8 => U8 / U8,
+    i16 => u16 => I16 / I16,
+    u16 => u16 => U16 / U16,
+    i32 => u32 => I32 / I32,
+    u32 => u32 => U32 / U32,
+    i64 => u64 => I64 / I64,
+    u64 => u64 => U64 / U64,
 );
 
 impl Scalar for f32 {
     const TYPE: ColumnType = ColumnType::F32;
+    const LANE_BITS: u32 = 32;
     // Negative / positive NaN with full payload: the extremes of the
     // IEEE-754 totalOrder relation implemented by `f32::total_cmp`.
     const MIN_VALUE: Self = f32::from_bits(0xFFFF_FFFF);
@@ -225,6 +251,14 @@ impl Scalar for f32 {
     #[inline]
     fn to_bits64(self) -> u64 {
         self.to_bits() as u64
+    }
+
+    #[inline]
+    fn sort_key(self) -> u64 {
+        // The totalOrder rank: negatives (sign bit set, magnitude sorts
+        // backwards) flip all bits, non-negatives flip just the sign bit.
+        let b = self.to_bits();
+        (if b & (1 << 31) != 0 { !b } else { b ^ (1 << 31) }) as u64
     }
 
     #[inline]
@@ -253,6 +287,7 @@ impl Scalar for f32 {
 
 impl Scalar for f64 {
     const TYPE: ColumnType = ColumnType::F64;
+    const LANE_BITS: u32 = 64;
     // Negative / positive NaN with full payload: the extremes of the
     // IEEE-754 totalOrder relation implemented by `f64::total_cmp`.
     const MIN_VALUE: Self = f64::from_bits(0xFFFF_FFFF_FFFF_FFFF);
@@ -266,6 +301,16 @@ impl Scalar for f64 {
     #[inline]
     fn to_bits64(self) -> u64 {
         self.to_bits()
+    }
+
+    #[inline]
+    fn sort_key(self) -> u64 {
+        let b = self.to_bits();
+        if b & (1 << 63) != 0 {
+            !b
+        } else {
+            b ^ (1 << 63)
+        }
     }
 
     #[inline]
@@ -437,6 +482,39 @@ mod tests {
         assert!(0i32.le_total(&i32::MAX_VALUE));
         assert!(f64::MIN_VALUE.lt_total(&-1e308));
         assert!(1e308f64.lt_total(&f64::MAX_VALUE));
+    }
+
+    /// `sort_key` must mirror `total_cmp` exactly and span the full
+    /// `0..2^LANE_BITS` key space — the contract the SWAR kernel's
+    /// key-range reduction rests on.
+    #[test]
+    fn sort_key_orders_like_total_cmp() {
+        fn check<T: Scalar>(values: &[T]) {
+            for a in values {
+                for b in values {
+                    assert_eq!(
+                        a.total_cmp(b),
+                        a.sort_key().cmp(&b.sort_key()),
+                        "sort_key broke the order of {a:?} vs {b:?}"
+                    );
+                }
+            }
+            let max_key = if T::LANE_BITS == 64 { u64::MAX } else { (1 << T::LANE_BITS) - 1 };
+            assert_eq!(T::MIN_VALUE.sort_key(), 0, "domain minimum must map to key 0");
+            assert_eq!(T::MAX_VALUE.sort_key(), max_key, "domain maximum must map to the top key");
+        }
+        check(&[i8::MIN, -1, 0, 1, i8::MAX]);
+        check(&[0u8, 1, 127, 128, u8::MAX]);
+        check(&[i16::MIN, -1, 0, 1, i16::MAX]);
+        check(&[0u16, 1, u16::MAX]);
+        check(&[i32::MIN, -100, -1, 0, 1, 100, i32::MAX]);
+        check(&[0u32, 1, u32::MAX]);
+        check(&[i64::MIN, -1, 0, 1, i64::MAX]);
+        check(&[0u64, 1, u64::MAX]);
+        let neg_nan32 = f32::from_bits(f32::NAN.to_bits() | (1 << 31));
+        check(&[neg_nan32, f32::NEG_INFINITY, -1.5, -0.0, 0.0, 1.5, f32::INFINITY, f32::NAN]);
+        let neg_nan64 = f64::from_bits(f64::NAN.to_bits() | (1 << 63));
+        check(&[neg_nan64, f64::NEG_INFINITY, -1.5, -0.0, 0.0, 1.5, f64::INFINITY, f64::NAN]);
     }
 
     #[test]

@@ -59,6 +59,7 @@
 //! | [`index`] | §2 | the [`ColumnImprints`] structure |
 //! | [`masks`] | §3 | query `mask` / `innermask` derivation |
 //! | [`query`] | §3, Alg. 3 | range evaluation, late materialization, stats |
+//! | [`simd`] | §3 residual cost | SWAR false-positive refinement kernels |
 //! | [`update`] | §4 | appends, delta merging, saturation & rebuild |
 //! | [`entropy`] | §6.1 | the column entropy metric `E` |
 //! | [`print`](mod@print) | Fig. 3 | `x`/`.` imprint rendering |
@@ -82,6 +83,7 @@ pub mod query;
 pub mod relation_index;
 pub mod sampling;
 pub mod search;
+pub mod simd;
 pub mod storage;
 pub mod update;
 
@@ -93,6 +95,7 @@ pub use index::ColumnImprints;
 pub use masks::QueryMasks;
 pub use multilevel::MultiLevelImprints;
 pub use query::ImprintStats;
+pub use simd::{PredicateKernel, RefineKernel};
 pub use update::OverlayImprints;
 
 // Re-export the substrate types that appear in this crate's public API so

@@ -16,11 +16,21 @@
 //! late-materialization path of §3: [`candidates`] returns the qualifying
 //! cachelines as a [`CachelineSet`] (to be merge-joined across attributes)
 //! and [`refine`] applies the false-positive check afterwards.
+//!
+//! The false-positive check itself — case 3's per-value compare — routes
+//! through the [`crate::simd`] refinement kernels: the predicate is
+//! compiled once per evaluation into a [`PredicateKernel`] and each
+//! fetched cacheline is weeded either by the `u64`-word SWAR kernel or by
+//! the scalar oracle loop, per the ambient [`RefineKernel`] selection (or
+//! the explicit `*_with_kernel` entry points). The `value_comparisons`
+//! statistic counts values the kernel actually examined, identically
+//! under both kernels — a predicate that can match nothing examines none.
 
 use colstore::{AccessStats, CachelineSet, Column, IdList, RangePredicate, Scalar};
 
 use crate::index::ColumnImprints;
 use crate::masks;
+use crate::simd::{PredicateKernel, RefineKernel};
 
 /// Evaluation statistics: the generic [`AccessStats`] plus imprint-specific
 /// breakdowns.
@@ -46,22 +56,19 @@ fn emit_ids(res: &mut Vec<u64>, range: std::ops::Range<u64>) {
     res.extend(range);
 }
 
+/// The false-positive weeding step of Algorithm 3, routed through the
+/// compiled refinement kernel (see [`crate::simd`]): appends matching ids
+/// of `values[range]` and bumps `comparisons` by the values the kernel
+/// actually examined (zero when the predicate can match nothing).
 #[inline]
 fn check_values<T: Scalar>(
     res: &mut Vec<u64>,
     values: &[T],
-    pred: &RangePredicate<T>,
+    kernel: &PredicateKernel<T>,
     range: std::ops::Range<u64>,
     comparisons: &mut u64,
 ) {
-    *comparisons += range.end - range.start;
-    for id in range {
-        // Bounds are guaranteed by the index geometry; indexing keeps the
-        // check observable in debug builds.
-        if pred.matches(&values[id as usize]) {
-            res.push(id);
-        }
-    }
+    kernel.append_matches(values, range, res, comparisons);
 }
 
 /// Evaluates `pred` over `col` through the index: Algorithm 3, returning
@@ -75,8 +82,19 @@ pub fn evaluate<T: Scalar>(
     col: &Column<T>,
     pred: &RangePredicate<T>,
 ) -> (IdList, ImprintStats) {
+    evaluate_with_kernel(idx, col, pred, crate::simd::ambient_kernel())
+}
+
+/// [`evaluate`] under an explicit refinement kernel — the differential
+/// harness races the SWAR kernel against the scalar oracle through this.
+pub fn evaluate_with_kernel<T: Scalar>(
+    idx: &ColumnImprints<T>,
+    col: &Column<T>,
+    pred: &RangePredicate<T>,
+    kernel: RefineKernel,
+) -> (IdList, ImprintStats) {
     let masks = masks::make_masks(idx.binning(), pred);
-    evaluate_with_masks(idx, col, pred, masks)
+    evaluate_with_masks(idx, col, &PredicateKernel::with_kernel(pred, kernel), masks)
 }
 
 /// [`evaluate`] with the `innermask` fast path disabled: every matching
@@ -90,13 +108,13 @@ pub fn evaluate_no_innermask<T: Scalar>(
 ) -> (IdList, ImprintStats) {
     let mut masks = masks::make_masks(idx.binning(), pred);
     masks.innermask = 0;
-    evaluate_with_masks(idx, col, pred, masks)
+    evaluate_with_masks(idx, col, &PredicateKernel::new(pred), masks)
 }
 
 fn evaluate_with_masks<T: Scalar>(
     idx: &ColumnImprints<T>,
     col: &Column<T>,
-    pred: &RangePredicate<T>,
+    kernel: &PredicateKernel<T>,
     masks: crate::masks::QueryMasks,
 ) -> (IdList, ImprintStats) {
     assert_eq!(col.len(), idx.rows(), "index does not cover this column");
@@ -133,7 +151,7 @@ fn evaluate_with_masks<T: Scalar>(
                         check_values(
                             &mut res,
                             values,
-                            pred,
+                            kernel,
                             ids,
                             &mut stats.access.value_comparisons,
                         );
@@ -157,7 +175,13 @@ fn evaluate_with_masks<T: Scalar>(
                 } else {
                     stats.lines_checked += cnt;
                     stats.access.lines_fetched += cnt;
-                    check_values(&mut res, values, pred, ids, &mut stats.access.value_comparisons);
+                    check_values(
+                        &mut res,
+                        values,
+                        kernel,
+                        ids,
+                        &mut stats.access.value_comparisons,
+                    );
                 }
             } else {
                 stats.access.lines_skipped += cnt;
@@ -178,7 +202,7 @@ fn evaluate_with_masks<T: Scalar>(
             } else {
                 stats.lines_checked += 1;
                 stats.access.lines_fetched += 1;
-                check_values(&mut res, values, pred, ids, &mut stats.access.value_comparisons);
+                check_values(&mut res, values, kernel, ids, &mut stats.access.value_comparisons);
             }
         } else {
             stats.access.lines_skipped += 1;
@@ -194,6 +218,16 @@ pub fn count<T: Scalar>(
     col: &Column<T>,
     pred: &RangePredicate<T>,
 ) -> (u64, ImprintStats) {
+    count_with_kernel(idx, col, pred, crate::simd::ambient_kernel())
+}
+
+/// [`count`] under an explicit refinement kernel (differential testing).
+pub fn count_with_kernel<T: Scalar>(
+    idx: &ColumnImprints<T>,
+    col: &Column<T>,
+    pred: &RangePredicate<T>,
+    kernel: RefineKernel,
+) -> (u64, ImprintStats) {
     assert_eq!(col.len(), idx.rows(), "index does not cover this column");
     let mut stats = ImprintStats::default();
     let masks = masks::make_masks(idx.binning(), pred);
@@ -201,6 +235,7 @@ pub fn count<T: Scalar>(
         stats.access.lines_skipped = idx.line_count();
         return (0, stats);
     }
+    let kernel = PredicateKernel::with_kernel(pred, kernel);
     let values = col.values();
     let vpb = idx.values_per_block() as u64;
     let rows = idx.rows() as u64;
@@ -221,9 +256,7 @@ pub fn count<T: Scalar>(
         } else {
             stats.lines_checked += run.line_count;
             stats.access.lines_fetched += run.line_count;
-            stats.access.value_comparisons += end - start;
-            total += values[start as usize..end as usize].iter().filter(|v| pred.matches(v)).count()
-                as u64;
+            total += kernel.count_matches(values, start..end, &mut stats.access.value_comparisons);
         }
     }
     (total, stats)
@@ -283,10 +316,24 @@ pub fn refine<T: Scalar>(
     id_candidates: &CachelineSet,
     stats: &mut ImprintStats,
 ) -> IdList {
+    refine_with_kernel(col, pred, id_candidates, stats, crate::simd::ambient_kernel())
+}
+
+/// [`refine`] under an explicit refinement kernel — what the `refine`
+/// bench experiment times scalar-vs-SWAR and the differential harness
+/// cross-checks.
+pub fn refine_with_kernel<T: Scalar>(
+    col: &Column<T>,
+    pred: &RangePredicate<T>,
+    id_candidates: &CachelineSet,
+    stats: &mut ImprintStats,
+    kernel: RefineKernel,
+) -> IdList {
+    let kernel = PredicateKernel::with_kernel(pred, kernel);
     let values = col.values();
     let mut res = Vec::new();
     for r in id_candidates.runs() {
-        check_values(&mut res, values, pred, r, &mut stats.access.value_comparisons);
+        check_values(&mut res, values, &kernel, r, &mut stats.access.value_comparisons);
     }
     IdList::from_sorted(res)
 }
@@ -307,12 +354,14 @@ pub fn conjunction2<A: Scalar, B: Scalar>(
     let joint = ca.intersect(&cb);
     let a_ids = refine(col_a, pred_a, &joint, &mut stats);
     // Refine B only on ids that survived A (the increasing-selectivity
-    // expectation of §3).
+    // expectation of §3). Survivors are scattered ids, so the per-value
+    // kernel check applies, not the chunked one.
     let values_b = col_b.values();
+    let kernel_b = PredicateKernel::new(pred_b);
     let mut out = Vec::with_capacity(a_ids.len());
     for id in a_ids.iter() {
         stats.access.value_comparisons += 1;
-        if pred_b.matches(&values_b[id as usize]) {
+        if kernel_b.matches(&values_b[id as usize]) {
             out.push(id);
         }
     }
@@ -532,6 +581,62 @@ mod tests {
         assert_eq!(fast, slow, "ablation must not change answers");
         assert!(s_slow.access.value_comparisons > s_fast.access.value_comparisons * 10);
         assert_eq!(s_slow.lines_full, 0);
+    }
+
+    /// Satellite regression: `check_values` used to bump `comparisons` by
+    /// the full range even when the kernel early-outs without examining a
+    /// value — an empty predicate refining a candidate set must report
+    /// zero comparisons (phantom comparisons with zero matches read as a
+    /// 100% false-positive rate upstream and trigger spurious rebuilds).
+    #[test]
+    fn refine_with_empty_predicate_reports_zero_comparisons() {
+        let col: Column<i32> = (0..4096).collect();
+        let mut cands = CachelineSet::new();
+        cands.push_run(0, 4096);
+        for kernel in [RefineKernel::Scalar, RefineKernel::Swar] {
+            let pred = RangePredicate::between(10, 5);
+            let mut stats = ImprintStats::default();
+            let ids = refine_with_kernel(&col, &pred, &cands, &mut stats, kernel);
+            assert!(ids.is_empty());
+            assert_eq!(
+                stats.access.value_comparisons, 0,
+                "{kernel:?}: an empty predicate examines no values"
+            );
+            // A non-empty predicate over the same candidates is billed in
+            // full — the counter reflects values actually compared.
+            let pred = RangePredicate::between(5, 10);
+            let mut stats = ImprintStats::default();
+            let ids = refine_with_kernel(&col, &pred, &cands, &mut stats, kernel);
+            assert_eq!(ids.len(), 6);
+            assert_eq!(stats.access.value_comparisons, 4096);
+        }
+    }
+
+    /// Both refinement kernels must agree byte-for-byte — ids *and*
+    /// statistics — on every entry point (the module-level differential
+    /// harness in `tests/kernel_differential.rs` proptests this broadly;
+    /// this is the fast in-crate smoke version).
+    #[test]
+    fn swar_and_scalar_kernels_agree_end_to_end() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        // 30013 rows: not a multiple of any values_per_block.
+        let col: Column<i64> = (0..30_013).map(|_| rng.gen_range(-1000..1000)).collect();
+        let idx = ColumnImprints::build(&col);
+        for _ in 0..20 {
+            let a = rng.gen_range(-1100..1100);
+            let b = rng.gen_range(-1100..1100);
+            let pred = RangePredicate::between(a.min(b), a.max(b));
+            let (ids_s, st_s) = evaluate_with_kernel(&idx, &col, &pred, RefineKernel::Scalar);
+            let (ids_v, st_v) = evaluate_with_kernel(&idx, &col, &pred, RefineKernel::Swar);
+            assert_eq!(ids_s, ids_v, "{pred}");
+            assert_eq!(st_s, st_v, "stats must not depend on the kernel: {pred}");
+            let (n_s, cst_s) = count_with_kernel(&idx, &col, &pred, RefineKernel::Scalar);
+            let (n_v, cst_v) = count_with_kernel(&idx, &col, &pred, RefineKernel::Swar);
+            assert_eq!((n_s, cst_s), (n_v, cst_v), "{pred}");
+            assert_eq!(n_s as usize, ids_s.len(), "{pred}");
+        }
     }
 
     #[test]

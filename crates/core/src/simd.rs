@@ -1,0 +1,649 @@
+//! Vectorized false-positive refinement: SWAR predicate kernels.
+//!
+//! Algorithm 3 spends its residual cost weeding false positives out of
+//! candidate cachelines — the `check_values` loop of [`crate::query`], and
+//! its siblings in the zonemap/scan baselines and the engine's write-head
+//! path. Once imprint pruning is cheap, that refinement loop is where a
+//! secondary index wins or loses (the BitWeaving/Hermit/LSI observation),
+//! so this module evaluates a [`RangePredicate`] over a whole cacheline of
+//! values at once with **portable `u64`-word SWAR** — no nightly features,
+//! no target intrinsics — and keeps the classic one-value-at-a-time loop
+//! as a selectable oracle.
+//!
+//! ## How the SWAR kernel works
+//!
+//! 1. **Key reduction.** Every value maps to an order-preserving unsigned
+//!    key of its own width ([`Scalar::sort_key`]): identity for unsigned
+//!    integers, a sign-bit flip for signed ones, the IEEE-754 `totalOrder`
+//!    rank for floats. Because the map is a monotone *bijection* onto
+//!    `0..2^w`, any predicate — inclusive/exclusive/unbounded on either
+//!    side — reduces to one **inclusive** key interval `[lo, hi]`
+//!    (exclusive bounds step to the key-space neighbour; an impossible
+//!    step means the predicate matches nothing and the kernel answers
+//!    without touching data).
+//! 2. **Word layout.** `64 / w` keys pack into one `u64` word, in lane
+//!    order (value *i* of a chunk sits in lane *i*, lowest bits first):
+//!    8 × `u8`/`i8`, 4 × 16-bit, 2 × 32-bit, 1 × 64-bit lanes.
+//! 3. **Lane-parallel compare.** A carry-isolated subtraction computes
+//!    per-lane unsigned `<` in one pass over the word (the Hacker's
+//!    Delight borrow reconstruction): `matches = !(k < lo) & !(hi < k)`,
+//!    evaluated for all lanes of a word simultaneously and entirely
+//!    branch-free.
+//! 4. **Bitmask results.** Per 64-value chunk the kernel produces a `u64`
+//!    bitmask (bit *i* = value *i* matches). Materialization iterates set
+//!    bits (cheap when matches are sparse — exactly the false-positive-
+//!    heavy regime); counting popcounts the mask and never branches.
+//!
+//! ## Kernel selection
+//!
+//! [`RefineKernel`] picks the kernel: `Auto` (currently the SWAR kernel),
+//! `Scalar` (the original loop, kept as the **differential oracle** — the
+//! two kernels must return byte-identical ids and identical statistics,
+//! which `tests/kernel_differential.rs` proptests across all scalar
+//! types, partial-tail geometries and all four access paths), or `Swar`.
+//! Scoped configuration (the engine's per-table
+//! `EngineConfig::refine_kernel`) resolves through [`effective_kernel`]
+//! and is threaded explicitly; bare entry points without a kernel
+//! argument fall back to the [`ambient_kernel`] process default
+//! ([`set_ambient_kernel`]). In both cases the `IMPRINTS_REFINE_KERNEL`
+//! environment variable (`auto`/`scalar`/`swar`) overrides, which is how
+//! CI forces the scalar fallback through the whole test suite so it can
+//! never rot unexercised. Explicit `*_with_kernel` entry points bypass
+//! everything for differential tests and benchmarks.
+
+use std::ops::Range;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use colstore::{Bound, RangePredicate, Scalar};
+
+/// Which kernel weeds false positives out of fetched cachelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineKernel {
+    /// Resolve automatically. Currently the SWAR kernel: it is portable
+    /// `u64` arithmetic and won or tied the scalar loop on every measured
+    /// type × workload (see the `refine` bench experiment); the variant
+    /// exists so the resolution policy can grow (e.g. per-type choices)
+    /// without an API change.
+    #[default]
+    Auto,
+    /// The branchy one-value-at-a-time loop — the differential oracle.
+    Scalar,
+    /// The `u64`-word SWAR kernel.
+    Swar,
+}
+
+impl RefineKernel {
+    /// Whether this selection resolves to the SWAR kernel.
+    fn use_swar(self) -> bool {
+        !matches!(self, RefineKernel::Scalar)
+    }
+
+    /// Short name (`auto`/`scalar`/`swar`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RefineKernel::Auto => "auto",
+            RefineKernel::Scalar => "scalar",
+            RefineKernel::Swar => "swar",
+        }
+    }
+}
+
+impl FromStr for RefineKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(RefineKernel::Auto),
+            "scalar" => Ok(RefineKernel::Scalar),
+            "swar" | "simd" => Ok(RefineKernel::Swar),
+            other => Err(format!("unknown refine kernel {other:?} (auto|scalar|swar)")),
+        }
+    }
+}
+
+impl std::fmt::Display for RefineKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Environment variable overriding the ambient kernel selection.
+pub const KERNEL_ENV_VAR: &str = "IMPRINTS_REFINE_KERNEL";
+
+/// Ambient selection (0 = Auto, 1 = Scalar, 2 = Swar), process-wide.
+static AMBIENT: AtomicU8 = AtomicU8::new(0);
+
+/// The env override, parsed once. A malformed value is reported to stderr
+/// once and ignored rather than panicking inside arbitrary query paths.
+fn env_kernel() -> Option<RefineKernel> {
+    static ENV: OnceLock<Option<RefineKernel>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let raw = std::env::var(KERNEL_ENV_VAR).ok()?;
+        match raw.parse() {
+            Ok(k) => Some(k),
+            Err(e) => {
+                eprintln!("[imprints] ignoring {KERNEL_ENV_VAR}: {e}");
+                None
+            }
+        }
+    })
+}
+
+/// Sets the process-wide ambient kernel (what `EngineConfig::refine_kernel`
+/// applies at table creation). The [`KERNEL_ENV_VAR`] environment variable,
+/// when set to a valid value, takes precedence over this.
+pub fn set_ambient_kernel(kernel: RefineKernel) {
+    AMBIENT.store(kernel as u8, Ordering::Relaxed);
+}
+
+/// The currently effective kernel selection: the env override if present,
+/// else the last [`set_ambient_kernel`] value (default [`RefineKernel::Auto`]).
+pub fn ambient_kernel() -> RefineKernel {
+    if let Some(k) = env_kernel() {
+        return k;
+    }
+    match AMBIENT.load(Ordering::Relaxed) {
+        1 => RefineKernel::Scalar,
+        2 => RefineKernel::Swar,
+        _ => RefineKernel::Auto,
+    }
+}
+
+/// Resolves a *configured* selection (e.g. a per-table
+/// `EngineConfig::refine_kernel`) against the environment: the
+/// [`KERNEL_ENV_VAR`] override wins when set to a valid value, otherwise
+/// the configuration applies as-is. This is how scoped configuration
+/// coexists with the CI-wide forcing knob without any process-global
+/// state.
+pub fn effective_kernel(configured: RefineKernel) -> RefineKernel {
+    env_kernel().unwrap_or(configured)
+}
+
+/// A [`RangePredicate`] compiled for repeated evaluation over cachelines:
+/// the key-range reduction and kernel choice happen **once** per query,
+/// not once per line. Both kernels share the compiled empty-range
+/// early-out, so the `value_comparisons` statistic counts *values actually
+/// compared* identically under either kernel — a predicate that can match
+/// nothing examines no data and reports zero comparisons.
+#[derive(Debug, Clone, Copy)]
+pub struct PredicateKernel<T: Scalar> {
+    pred: RangePredicate<T>,
+    /// The inclusive sort-key interval; `None` = matches nothing.
+    keys: Option<(u64, u64)>,
+    swar: bool,
+}
+
+impl<T: Scalar> PredicateKernel<T> {
+    /// Compiles `pred` under the ambient kernel selection.
+    pub fn new(pred: &RangePredicate<T>) -> Self {
+        Self::with_kernel(pred, ambient_kernel())
+    }
+
+    /// Compiles `pred` under an explicit kernel (differential testing).
+    pub fn with_kernel(pred: &RangePredicate<T>, kernel: RefineKernel) -> Self {
+        PredicateKernel { pred: *pred, keys: key_bounds(pred), swar: kernel.use_swar() }
+    }
+
+    /// Whether the predicate can match no value at all.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_none()
+    }
+
+    /// Whether one value matches — the single-survivor check used by
+    /// conjunction refinement, WAH edge bins and the open write head. The
+    /// SWAR flavour compares sort keys (two branchless unsigned compares);
+    /// the scalar flavour is the original short-circuit `matches`.
+    #[inline]
+    pub fn matches(&self, v: &T) -> bool {
+        let Some((lo, hi)) = self.keys else { return false };
+        if self.swar {
+            let k = v.sort_key();
+            lo <= k && k <= hi
+        } else {
+            self.pred.matches(v)
+        }
+    }
+
+    /// Match bitmask of one chunk of up to 64 values: bit `i` set iff
+    /// `chunk[i]` matches. Exposed for the per-lane boundary tests.
+    ///
+    /// # Panics
+    /// Panics if `chunk.len() > 64`.
+    pub fn match_mask(&self, chunk: &[T]) -> u64 {
+        assert!(chunk.len() <= 64, "a chunk is at most 64 values");
+        let Some((lo, hi)) = self.keys else { return 0 };
+        if self.swar {
+            swar_match_mask(chunk, lo, hi)
+        } else {
+            let mut mask = 0u64;
+            for (i, v) in chunk.iter().enumerate() {
+                mask |= (self.pred.matches(v) as u64) << i;
+            }
+            mask
+        }
+    }
+
+    /// Appends the ids of matching values in `values[ids]` to `out`
+    /// (ascending), bumping `comparisons` by the number of values actually
+    /// examined — the `check_values` workhorse of every refinement path.
+    ///
+    /// # Panics
+    /// Panics if `ids` is out of bounds for `values`.
+    pub fn append_matches(
+        &self,
+        values: &[T],
+        ids: Range<u64>,
+        out: &mut Vec<u64>,
+        comparisons: &mut u64,
+    ) {
+        let Some((lo, hi)) = self.keys else { return };
+        let (start, end) = (ids.start as usize, ids.end as usize);
+        *comparisons += (end - start) as u64;
+        if !self.swar {
+            for (i, v) in values[start..end].iter().enumerate() {
+                if self.pred.matches(v) {
+                    out.push(ids.start + i as u64);
+                }
+            }
+            return;
+        }
+        for (c, chunk) in values[start..end].chunks(64).enumerate() {
+            let mut mask = swar_match_mask(chunk, lo, hi);
+            let base = ids.start + c as u64 * 64;
+            while mask != 0 {
+                out.push(base + mask.trailing_zeros() as u64);
+                mask &= mask - 1;
+            }
+        }
+    }
+
+    /// Counts matching values in `values[ids]` without materializing ids,
+    /// with the same comparison accounting as
+    /// [`PredicateKernel::append_matches`].
+    ///
+    /// # Panics
+    /// Panics if `ids` is out of bounds for `values`.
+    pub fn count_matches(&self, values: &[T], ids: Range<u64>, comparisons: &mut u64) -> u64 {
+        let Some((lo, hi)) = self.keys else { return 0 };
+        let (start, end) = (ids.start as usize, ids.end as usize);
+        *comparisons += (end - start) as u64;
+        let slice = &values[start..end];
+        if !self.swar {
+            return slice.iter().filter(|v| self.pred.matches(v)).count() as u64;
+        }
+        slice.chunks(64).map(|chunk| swar_match_mask(chunk, lo, hi).count_ones() as u64).sum()
+    }
+}
+
+/// Reduces `pred` to an inclusive sort-key interval; `None` when no value
+/// can match. Exact because [`Scalar::sort_key`] is a monotone bijection
+/// onto the full `0..2^LANE_BITS` key space: stepping a key is stepping
+/// the value in total order.
+fn key_bounds<T: Scalar>(pred: &RangePredicate<T>) -> Option<(u64, u64)> {
+    let max = max_key::<T>();
+    let lo = match pred.low() {
+        Bound::Unbounded => 0,
+        Bound::Inclusive(l) => l.sort_key(),
+        Bound::Exclusive(l) => {
+            let k = l.sort_key();
+            if k == max {
+                return None; // nothing above the total-order maximum
+            }
+            k + 1
+        }
+    };
+    let hi = match pred.high() {
+        Bound::Unbounded => max,
+        Bound::Inclusive(h) => h.sort_key(),
+        Bound::Exclusive(h) => {
+            let k = h.sort_key();
+            if k == 0 {
+                return None; // nothing below the total-order minimum
+            }
+            k - 1
+        }
+    };
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Largest sort key of `T` (`2^LANE_BITS - 1`).
+#[inline]
+fn max_key<T: Scalar>() -> u64 {
+    if T::LANE_BITS == 64 {
+        u64::MAX
+    } else {
+        (1u64 << T::LANE_BITS) - 1
+    }
+}
+
+/// The per-lane most-significant-bit mask for a lane width.
+#[inline]
+fn msb_mask(lane_bits: u32) -> u64 {
+    match lane_bits {
+        8 => 0x8080_8080_8080_8080,
+        16 => 0x8000_8000_8000_8000,
+        32 => 0x8000_0000_8000_0000,
+        64 => 1 << 63,
+        _ => unreachable!("scalar widths are 8/16/32/64 bits"),
+    }
+}
+
+/// The per-lane least-significant-bit mask (the broadcast multiplier).
+#[inline]
+fn lsb_mask(lane_bits: u32) -> u64 {
+    match lane_bits {
+        8 => 0x0101_0101_0101_0101,
+        16 => 0x0001_0001_0001_0001,
+        32 => 0x0000_0001_0000_0001,
+        64 => 1,
+        _ => unreachable!("scalar widths are 8/16/32/64 bits"),
+    }
+}
+
+/// Replicates a `lane_bits`-wide key into every lane of a word.
+#[inline]
+fn broadcast(key: u64, lane_bits: u32) -> u64 {
+    key.wrapping_mul(lsb_mask(lane_bits))
+}
+
+/// Per-lane unsigned `x < y`, reported in each lane's MSB position.
+///
+/// `d` computes `(x_low | lane_msb) - y_low` per lane; setting the minuend
+/// MSB and clearing the subtrahend MSB keeps every lane's difference in
+/// `1..2^w`, so no borrow ever crosses a lane boundary. Its lane MSB is
+/// then exactly `x_low >= y_low`, and the full comparison recombines the
+/// real MSBs: `x < y ⟺ (¬xh ∧ yh) ∨ ((xh ≡ yh) ∧ ¬(x_low ≥ y_low))`.
+#[inline]
+fn swar_lt(x: u64, y: u64, h: u64) -> u64 {
+    let d = ((x & !h) | h).wrapping_sub(y & !h);
+    ((!x & y) | (!(x ^ y) & !d)) & h
+}
+
+/// Compacts per-lane MSB flags into the low `64 / lane_bits` bits. The
+/// multipliers route each lane's flag to a distinct high bit (no two
+/// partial products collide, so no carries corrupt the gather).
+#[inline]
+fn movemask(m: u64, lane_bits: u32) -> u64 {
+    match lane_bits {
+        8 => ((m >> 7).wrapping_mul(0x0102_0408_1020_4080)) >> 56,
+        16 => ((m >> 15).wrapping_mul(0x1000_2000_4000_8000)) >> 60,
+        32 => ((m >> 31) & 1) | ((m >> 62) & 2),
+        64 => m >> 63,
+        _ => unreachable!("scalar widths are 8/16/32/64 bits"),
+    }
+}
+
+/// Packs up to `64 / LANE_BITS` sort keys into one word, value `i` in
+/// lane `i` (lowest bits first).
+#[inline]
+fn pack_word<T: Scalar>(values: &[T]) -> u64 {
+    let mut word = 0u64;
+    for (i, v) in values.iter().enumerate() {
+        word |= v.sort_key() << (i as u32 * T::LANE_BITS % 64);
+    }
+    word
+}
+
+/// The SWAR chunk kernel: the match bitmask of up to 64 values against an
+/// inclusive key interval.
+fn swar_match_mask<T: Scalar>(chunk: &[T], lo: u64, hi: u64) -> u64 {
+    let bits = T::LANE_BITS;
+    let lanes = (64 / bits) as usize;
+    let h = msb_mask(bits);
+    let lo_b = broadcast(lo, bits);
+    let hi_b = broadcast(hi, bits);
+    let mut mask = 0u64;
+    let mut lane_base = 0u32;
+    let mut words = chunk.chunks_exact(lanes);
+    for word_values in &mut words {
+        let k = pack_word(word_values);
+        // A lane misses iff k < lo or hi < k; flipping the miss MSBs under
+        // `h` yields the hit MSBs.
+        let hits = (swar_lt(k, lo_b, h) | swar_lt(hi_b, k, h)) ^ h;
+        mask |= movemask(hits, bits) << lane_base;
+        lane_base += lanes as u32;
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        // Unused high lanes hold key 0; masking to `tail.len()` bits
+        // discards whatever they matched.
+        let k = pack_word(tail);
+        let hits = (swar_lt(k, lo_b, h) | swar_lt(hi_b, k, h)) ^ h;
+        mask |= (movemask(hits, bits) & ((1u64 << tail.len()) - 1)) << lane_base;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both<T: Scalar>(pred: &RangePredicate<T>) -> [PredicateKernel<T>; 2] {
+        [
+            PredicateKernel::with_kernel(pred, RefineKernel::Scalar),
+            PredicateKernel::with_kernel(pred, RefineKernel::Swar),
+        ]
+    }
+
+    /// Per-lane boundary sweep: a 64-value chunk holding the probe value
+    /// at every lane position in turn, checked against the brute-force
+    /// oracle under both kernels. `filler` is a value outside the
+    /// predicate whenever one exists, so lane cross-talk would be visible.
+    fn assert_lane_exact<T: Scalar>(pred: &RangePredicate<T>, probe: T, filler: T) {
+        for kernel in both(pred) {
+            for lane in 0..64 {
+                let mut chunk = vec![filler; 64];
+                chunk[lane] = probe;
+                let mask = kernel.match_mask(&chunk);
+                for (i, v) in chunk.iter().enumerate() {
+                    assert_eq!(
+                        mask >> i & 1 == 1,
+                        pred.matches(v),
+                        "lane {i} of probe-at-{lane} (probe {probe:?}, {pred})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_at_type_extremes_per_lane() {
+        // T::MIN / T::MAX as predicate bounds, probed at the extremes.
+        assert_lane_exact(&RangePredicate::between(u8::MIN, u8::MAX), u8::MAX, 7);
+        assert_lane_exact(&RangePredicate::at_least(i8::MAX), i8::MAX, 0);
+        assert_lane_exact(&RangePredicate::at_most(i8::MIN), i8::MIN, 0);
+        assert_lane_exact(&RangePredicate::between(i16::MIN, i16::MIN), i16::MIN, 0);
+        assert_lane_exact(&RangePredicate::at_least(u16::MAX), u16::MAX, 0);
+        assert_lane_exact(&RangePredicate::between(i32::MIN, i32::MIN + 1), i32::MIN, 5);
+        assert_lane_exact(&RangePredicate::at_least(i64::MAX - 1), i64::MAX, -3);
+        assert_lane_exact(&RangePredicate::at_most(u64::MIN), u64::MIN, 9);
+        // Exclusive bounds at the extremes can match nothing at all.
+        let none = RangePredicate::with_bounds(Bound::Exclusive(u8::MAX), Bound::Unbounded);
+        for k in both(&none) {
+            assert!(k.is_empty());
+            assert_eq!(k.match_mask(&[0u8, 128, 255]), 0);
+        }
+        let none = RangePredicate::with_bounds(Bound::Unbounded, Bound::Exclusive(i32::MIN));
+        for k in both(&none) {
+            assert!(k.is_empty());
+        }
+    }
+
+    #[test]
+    fn inclusive_exclusive_edges_per_lane() {
+        for probe in [9i32, 10, 11, 19, 20, 21] {
+            assert_lane_exact(&RangePredicate::between(10, 20), probe, -100);
+            assert_lane_exact(&RangePredicate::half_open(10, 20), probe, -100);
+            assert_lane_exact(
+                &RangePredicate::with_bounds(Bound::Exclusive(10), Bound::Exclusive(20)),
+                probe,
+                -100,
+            );
+        }
+        for probe in [4u16, 5, 6] {
+            assert_lane_exact(&RangePredicate::greater_than(5), probe, 0);
+            assert_lane_exact(&RangePredicate::less_than(5), probe, u16::MAX);
+        }
+    }
+
+    #[test]
+    fn point_predicate_per_lane() {
+        assert_lane_exact(&RangePredicate::equals(42u8), 42, 41);
+        assert_lane_exact(&RangePredicate::equals(-7i16), -7, -8);
+        assert_lane_exact(&RangePredicate::equals(0i32), 0, 1);
+        assert_lane_exact(&RangePredicate::equals(i64::MIN), i64::MIN, i64::MIN + 1);
+        assert_lane_exact(&RangePredicate::equals(2.5f32), 2.5, 2.4999);
+        assert_lane_exact(&RangePredicate::equals(-0.0f64), -0.0, 0.0);
+    }
+
+    #[test]
+    fn float_ordering_per_lane_nan_free() {
+        // NaN-free float ordering, negative zero and subnormals included.
+        for probe in [-1.5f32, -0.0, 0.0, f32::MIN_POSITIVE / 2.0, 1.5] {
+            assert_lane_exact(&RangePredicate::between(-1.0, 1.0), probe, 99.0);
+            assert_lane_exact(&RangePredicate::less_than(0.0), probe, 99.0);
+        }
+        for probe in [f64::NEG_INFINITY, -2.0, 0.0, 2.0, f64::INFINITY] {
+            assert_lane_exact(&RangePredicate::at_least(-2.0), probe, f64::NEG_INFINITY);
+            assert_lane_exact(&RangePredicate::at_most(2.0), probe, f64::INFINITY);
+        }
+        // NaNs follow the documented totalOrder semantics under SWAR too.
+        let up = RangePredicate::at_least(0.0f64);
+        let capped = RangePredicate::at_most(f64::INFINITY);
+        for k in both(&up) {
+            assert!(k.matches(&f64::NAN));
+        }
+        for k in both(&capped) {
+            assert!(!k.matches(&f64::NAN));
+        }
+    }
+
+    #[test]
+    fn partial_chunks_mask_unused_lanes() {
+        // Chunk lengths that are not multiples of the lane count: unused
+        // lanes hold key 0, which *would* match this predicate.
+        let pred = RangePredicate::at_most(100u8);
+        for kernel in both(&pred) {
+            for len in [1usize, 3, 7, 9, 15, 17, 63] {
+                let chunk = vec![5u8; len];
+                let mask = kernel.match_mask(&chunk);
+                assert_eq!(mask, (1u64 << len) - 1, "len {len}");
+            }
+        }
+        let pred = RangePredicate::at_most(-1i32);
+        for kernel in both(&pred) {
+            let mask = kernel.match_mask(&[-5i32, 3, -5]);
+            assert_eq!(mask, 0b101);
+        }
+    }
+
+    #[test]
+    fn append_and_count_agree_with_oracle_across_kernels() {
+        let values: Vec<i32> = (0..1000).map(|i| (i * 37) % 500 - 250).collect();
+        for pred in [
+            RangePredicate::between(-100, 100),
+            RangePredicate::half_open(0, 1),
+            RangePredicate::all(),
+            RangePredicate::between(10, 5),
+            RangePredicate::equals(-250),
+        ] {
+            let oracle: Vec<u64> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| pred.matches(v))
+                .map(|(i, _)| i as u64)
+                .collect();
+            let mut results = Vec::new();
+            for kernel in both(&pred) {
+                let mut out = Vec::new();
+                let mut cmp = 0u64;
+                kernel.append_matches(&values, 0..values.len() as u64, &mut out, &mut cmp);
+                assert_eq!(out, oracle, "{pred}");
+                let mut ccmp = 0u64;
+                let n = kernel.count_matches(&values, 0..values.len() as u64, &mut ccmp);
+                assert_eq!(n as usize, oracle.len(), "{pred}");
+                assert_eq!(cmp, ccmp, "{pred}");
+                results.push((out, cmp));
+            }
+            assert_eq!(results[0], results[1], "kernels diverged on {pred}");
+        }
+    }
+
+    /// The satellite comparison-accounting contract: an empty predicate
+    /// examines no values under *either* kernel, so downstream cost
+    /// observers (`AccessStats`, the planner's fp-rate) see zero work —
+    /// not a full range's worth of phantom comparisons.
+    #[test]
+    fn empty_predicates_examine_nothing() {
+        let values: Vec<i64> = (0..512).collect();
+        for pred in [
+            RangePredicate::between(10, 5),
+            RangePredicate::half_open(7, 7),
+            RangePredicate::with_bounds(Bound::Exclusive(i64::MAX), Bound::Unbounded),
+        ] {
+            for kernel in both(&pred) {
+                assert!(kernel.is_empty(), "{pred}");
+                let mut out = Vec::new();
+                let mut cmp = 0u64;
+                kernel.append_matches(&values, 0..512, &mut out, &mut cmp);
+                assert!(out.is_empty());
+                assert_eq!(cmp, 0, "early-out must not be billed as comparisons: {pred}");
+                let n = kernel.count_matches(&values, 100..300, &mut cmp);
+                assert_eq!((n, cmp), (0, 0), "{pred}");
+                assert!(!kernel.matches(&11));
+            }
+        }
+    }
+
+    #[test]
+    fn subrange_ids_are_absolute() {
+        let values: Vec<u8> = (0..200u16).map(|i| (i % 50) as u8).collect();
+        let pred = RangePredicate::between(10u8, 12);
+        for kernel in both(&pred) {
+            let mut out = Vec::new();
+            let mut cmp = 0u64;
+            kernel.append_matches(&values, 60..140, &mut out, &mut cmp);
+            assert_eq!(cmp, 80);
+            let expect: Vec<u64> =
+                (60..140u64).filter(|&i| (10..=12).contains(&values[i as usize])).collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn kernel_selection_parsing_and_env_name() {
+        assert_eq!("auto".parse(), Ok(RefineKernel::Auto));
+        assert_eq!("Scalar".parse(), Ok(RefineKernel::Scalar));
+        assert_eq!("SWAR".parse(), Ok(RefineKernel::Swar));
+        assert!("mmx".parse::<RefineKernel>().is_err());
+        assert_eq!(RefineKernel::Swar.to_string(), "swar");
+        assert_eq!(KERNEL_ENV_VAR, "IMPRINTS_REFINE_KERNEL");
+        // Auto resolves to SWAR; Scalar is the only scalar-loop selection.
+        assert!(RefineKernel::Auto.use_swar());
+        assert!(!RefineKernel::Scalar.use_swar());
+    }
+
+    /// Exhaustive 8-bit cross-check of the SWAR compare primitives: every
+    /// (x, y) byte pair in one packed word against the scalar oracle.
+    #[test]
+    fn swar_lt_exhaustive_u8() {
+        let h = msb_mask(8);
+        for x in 0u64..=255 {
+            for y_base in (0u64..=255).step_by(8) {
+                // One word holding x in every lane vs eight consecutive y.
+                let xs = broadcast(x, 8);
+                let mut ys = 0u64;
+                for lane in 0..8 {
+                    ys |= (y_base + lane as u64).min(255) << (8 * lane);
+                }
+                let lt = movemask(swar_lt(xs, ys, h), 8);
+                for lane in 0..8 {
+                    let y = (y_base + lane as u64).min(255);
+                    assert_eq!(lt >> lane & 1 == 1, x < y, "x={x} y={y}");
+                }
+            }
+        }
+    }
+}

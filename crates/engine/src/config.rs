@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use imprints::simd::RefineKernel;
+
 /// Tuning knobs for tables, sealing and query execution.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -37,6 +39,19 @@ pub struct EngineConfig {
     /// [`Catalog::storage_stats`](crate::Catalog::storage_stats) and
     /// `index_bytes`.
     pub wah_budget_bytes: usize,
+    /// Which false-positive refinement kernel weeds fetched cachelines on
+    /// every access path (imprints check lines, zonemap overlap zones,
+    /// scans, WAH edge bins, tail-imprint head lines, conjunction
+    /// survivors): `Auto` (currently SWAR), `Scalar` (the classic loop,
+    /// kept as the differential oracle), or `Swar`. The selection scopes
+    /// to the tables created with this configuration — it is resolved via
+    /// [`imprints::simd::effective_kernel`] and threaded into every value
+    /// check, so tables with different selections coexist in one process.
+    /// The `IMPRINTS_REFINE_KERNEL` environment variable
+    /// (`auto`/`scalar`/`swar`) overrides every configuration — which is
+    /// how CI forces the scalar fallback through the whole suite. Either
+    /// kernel returns byte-identical results; only speed differs.
+    pub refine_kernel: RefineKernel,
     /// Selectivity buckets of every segment column's
     /// [`PathChooser`](crate::paths::PathChooser)
     /// (1..=[`NUM_BUCKETS`](crate::paths::NUM_BUCKETS)). Each bucket
@@ -58,6 +73,7 @@ impl Default for EngineConfig {
             build_threads: 1,
             tail_index_min_rows: 4096,
             wah_budget_bytes: 0,
+            refine_kernel: RefineKernel::Auto,
             path_buckets: crate::paths::NUM_BUCKETS,
             maintenance: MaintenanceConfig::default(),
         }

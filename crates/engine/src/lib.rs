@@ -74,6 +74,7 @@ pub use catalog::{Catalog, StorageStats};
 pub use config::{EngineConfig, MaintenanceConfig};
 pub use executor::WorkerPool;
 pub use imprints::relation_index::ValueRange;
+pub use imprints::simd::RefineKernel;
 pub use paths::{PathChooser, PathKind, MAX_PATHS, NUM_BUCKETS};
 pub use planner::{
     maintenance_tick, path_report, BucketPathReport, ColumnPathReport, CompactionAction,

@@ -25,6 +25,14 @@
 //! re-measured per class. All state is atomic: choosers live inside
 //! shared, immutable segments and are updated concurrently by many
 //! readers.
+//!
+//! The observed costs are end-to-end wall clock, so they include each
+//! path's false-positive refinement work — which every path routes
+//! through the [`imprints::simd`] kernel selected by
+//! [`EngineConfig::refine_kernel`](crate::EngineConfig::refine_kernel).
+//! Switching kernels shifts the per-line check cost of every path and the
+//! chooser simply re-learns from the new observations; no cost-model
+//! constant encodes the kernel.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -204,10 +212,34 @@ impl PathChooser {
         class * self.buckets / NUM_BUCKETS
     }
 
-    /// Picks the path for the next query of `bucket`.
+    /// Picks the path for the next query of `bucket`, advancing the
+    /// bucket's query cadence.
     pub fn choose(&self, bucket: usize) -> PathKind {
         let b = &self.state[bucket.min(self.buckets - 1)];
         let n = b.queries.fetch_add(1, Ordering::Relaxed);
+        self.pick(bucket, n)
+    }
+
+    /// Re-picks a path for the *same* query after the first choice turned
+    /// out unavailable mid-dispatch (the lazily built WAH path was just
+    /// rejected and disabled): the selection logic of [`PathChooser::choose`]
+    /// at the query's already-consumed cadence position, **without**
+    /// advancing the counter again — one user query counts once in
+    /// [`PathChooser::queries`] and the exploration cadence.
+    pub fn rechoose(&self, bucket: usize) -> PathKind {
+        let b = &self.state[bucket.min(self.buckets - 1)];
+        // The failed choose() already incremented; reuse its position.
+        // A concurrent interleaving can skew `n` by a few — harmless, it
+        // only shifts which path a bootstrap/probe re-pick lands on.
+        let n = b.queries.load(Ordering::Relaxed).wrapping_sub(1);
+        self.pick(bucket, n)
+    }
+
+    /// The selection logic shared by [`PathChooser::choose`] and
+    /// [`PathChooser::rechoose`]: bootstrap sweep, periodic rotating
+    /// probe, else cheapest EWMA among the enabled paths.
+    fn pick(&self, bucket: usize, n: u64) -> PathKind {
+        let b = &self.state[bucket.min(self.buckets - 1)];
         let enabled = self.enabled.load(Ordering::Relaxed);
         let mut live = [PathKind::Imprints; MAX_PATHS];
         let mut k = 0;
@@ -542,6 +574,30 @@ mod tests {
         // A sane cost recorded afterwards still moves the estimate.
         ch.record(0, PathKind::Scan, 100);
         assert!(ch.estimates_for(0)[PathKind::Scan.slot()].unwrap() < COST_CAP);
+    }
+
+    /// Review regression: a mid-dispatch re-pick (chosen path disabled by
+    /// the failed lazy WAH build) must not advance the cadence — one user
+    /// query counts once in `queries()` and the exploration schedule.
+    #[test]
+    fn rechoose_does_not_advance_cadence() {
+        let ch = PathChooser::new(&PathKind::ALL, 1);
+        let first = ch.choose(0);
+        assert_eq!(ch.bucket_queries(0), 1);
+        ch.disable(PathKind::Wah);
+        let again = ch.rechoose(0);
+        assert_eq!(ch.bucket_queries(0), 1, "rechoose must not count a second query");
+        assert_ne!(again, PathKind::Wah, "rechoose must avoid the just-disabled path");
+        let _ = (first, again);
+        // Steady state: rechoose picks among enabled paths only.
+        for _ in 0..8 {
+            let p = ch.choose(0);
+            ch.record(0, p, 1_000);
+        }
+        for _ in 0..8 {
+            assert_ne!(ch.rechoose(0), PathKind::Wah);
+        }
+        assert_eq!(ch.queries(), 9);
     }
 
     #[test]

@@ -25,6 +25,8 @@ use imprints::query;
 use imprints::relation_index::ValueRange;
 use imprints::ColumnImprints;
 
+use imprints::simd::{self, PredicateKernel, RefineKernel};
+
 use crate::config::EngineConfig;
 use crate::paths::{PathChooser, PathKind};
 
@@ -121,6 +123,11 @@ pub struct SegCol<T: Scalar> {
     drift: f64,
     /// Times the planner re-binned this column.
     rebuilds: u32,
+    /// The refinement kernel this column's value checks run under —
+    /// [`EngineConfig::refine_kernel`] resolved against the env override
+    /// at seal time, so kernel choice scopes to the table that configured
+    /// it instead of leaking process-wide.
+    kernel: RefineKernel,
     chooser: PathChooser,
     obs: ColumnObservations,
 }
@@ -155,6 +162,7 @@ impl<T: Scalar> SegCol<T> {
             wah: WahSlot::new(cfg.wah_budget_bytes),
             drift,
             rebuilds: 0,
+            kernel: simd::effective_kernel(cfg.refine_kernel),
             chooser: chooser_for(cfg),
             obs: ColumnObservations::default(),
         }
@@ -175,6 +183,7 @@ impl<T: Scalar> SegCol<T> {
             wah: self.wah.fresh(),
             drift: 0.0,
             rebuilds: self.rebuilds + 1,
+            kernel: self.kernel,
             chooser: self.chooser.fresh_like(),
             obs: ColumnObservations::default(),
         }
@@ -224,13 +233,15 @@ impl<T: Scalar> SegCol<T> {
         let mut path = self.chooser.choose(bucket);
         if path == PathKind::Wah && self.wah_index().is_none() {
             // The lazy build just blew the budget: WAH is now disabled in
-            // the chooser; route this query through a surviving path.
-            path = self.chooser.choose(bucket);
+            // the chooser; route this query through a surviving path
+            // without advancing the cadence again — one query, one count.
+            path = self.chooser.rechoose(bucket);
         }
         let t0 = Instant::now();
         let (ids, stats) = match path {
             PathKind::Imprints => {
-                let (ids, istats) = query::evaluate(&self.imprints, &self.data, pred);
+                let (ids, istats) =
+                    query::evaluate_with_kernel(&self.imprints, &self.data, pred, self.kernel);
                 // Ids not emitted via a full line each passed the value
                 // check; `ids_via_full_lines` is exact even when a partial
                 // tail cacheline was emitted wholesale, so this no longer
@@ -240,13 +251,13 @@ impl<T: Scalar> SegCol<T> {
                 self.obs.matches.fetch_add(via_checks, Ordering::Relaxed);
                 (ids, istats.access)
             }
-            PathKind::ZoneMap => self.zonemap.evaluate_with_stats(&self.data, pred),
+            PathKind::ZoneMap => self.zonemap.evaluate_with_kernel(&self.data, pred, self.kernel),
             PathKind::Scan => <SeqScan as BuildableIndex<T>>::build_index(&self.data)
-                .evaluate_with_stats(&self.data, pred),
+                .evaluate_with_kernel(&self.data, pred, self.kernel),
             PathKind::Wah => self
                 .wah_index()
                 .expect("wah availability resolved before dispatch")
-                .evaluate_with_stats(&self.data, pred),
+                .evaluate_with_kernel(&self.data, pred, self.kernel),
         };
         self.chooser.record(bucket, path, t0.elapsed().as_nanos() as u64);
         self.obs.queries.fetch_add(1, Ordering::Relaxed);
@@ -263,24 +274,25 @@ impl<T: Scalar> SegCol<T> {
         let bucket = self.bucket_of(pred);
         let mut path = self.chooser.choose(bucket);
         if path == PathKind::Wah && self.wah_index().is_none() {
-            path = self.chooser.choose(bucket);
+            path = self.chooser.rechoose(bucket);
         }
         let t0 = Instant::now();
         let (n, stats) = match path {
             PathKind::Imprints => {
-                let (n, istats) = query::count(&self.imprints, &self.data, pred);
+                let (n, istats) =
+                    query::count_with_kernel(&self.imprints, &self.data, pred, self.kernel);
                 let via_checks = n.saturating_sub(istats.ids_via_full_lines);
                 self.obs.comparisons.fetch_add(istats.access.value_comparisons, Ordering::Relaxed);
                 self.obs.matches.fetch_add(via_checks, Ordering::Relaxed);
                 (n, istats.access)
             }
-            PathKind::ZoneMap => self.zonemap.count_with_stats(&self.data, pred),
+            PathKind::ZoneMap => self.zonemap.count_with_kernel(&self.data, pred, self.kernel),
             PathKind::Scan => <SeqScan as BuildableIndex<T>>::build_index(&self.data)
-                .count_with_stats(&self.data, pred),
+                .count_with_kernel(&self.data, pred, self.kernel),
             PathKind::Wah => self
                 .wah_index()
                 .expect("wah availability resolved before dispatch")
-                .count_with_stats(&self.data, pred),
+                .count_with_kernel(&self.data, pred, self.kernel),
         };
         self.chooser.record(bucket, path, t0.elapsed().as_nanos() as u64);
         self.obs.queries.fetch_add(1, Ordering::Relaxed);
@@ -565,14 +577,18 @@ impl AnySegCol {
     }
 
     /// A per-row matcher for refinement, counting its comparisons and
-    /// matches into the column's observations.
+    /// matches into the column's observations. Conjunction survivors are
+    /// scattered ids, so the refinement kernel's per-value check applies
+    /// (a branchless sort-key compare under SWAR, the classic short-circuit
+    /// compare under the scalar oracle).
     fn matcher(&self, range: &ValueRange) -> Box<dyn Fn(u64) -> bool + Send + Sync + '_> {
         seg_dispatch!(self, s => {
             let pred = range.to_predicate().expect("predicate validated against schema");
+            let kernel = PredicateKernel::with_kernel(&pred, s.kernel);
             let values = s.data.values();
             let obs = &s.obs;
             Box::new(move |id: u64| {
-                let hit = pred.matches(&values[id as usize]);
+                let hit = kernel.matches(&values[id as usize]);
                 obs.comparisons.fetch_add(1, Ordering::Relaxed);
                 if hit {
                     obs.matches.fetch_add(1, Ordering::Relaxed);
@@ -751,6 +767,7 @@ impl AnySegCol {
                     wah: $s.wah.clone_state(),
                     drift: $s.drift,
                     rebuilds: $s.rebuilds,
+                    kernel: $s.kernel,
                     chooser: $s.chooser.carry_over(),
                     obs: $s.obs.carry_over(),
                 })
@@ -873,6 +890,9 @@ mod tests {
         assert_eq!(col.wah_built(), Some(false), "the over-budget build must be rejected");
         assert_eq!(col.wah_bytes(), 0);
         assert!(!col.chooser().is_enabled(PathKind::Wah));
+        // Review regression: the rejected-WAH query re-picks its path via
+        // rechoose(), so 64 user queries count exactly 64 in the cadence.
+        assert_eq!(col.chooser().queries(), 64, "a wah rejection must not double-count its query");
         // The three survivors finished their bootstrap regardless.
         let est = col.chooser().estimates();
         assert!(est[..3].iter().all(Option::is_some));
@@ -1060,6 +1080,30 @@ mod tests {
             assert_eq!(n as usize, ids.len());
             assert_eq!(es, cs, "bootstrap call {call}: count and evaluate stats diverged");
         }
+    }
+
+    /// Satellite regression: an impossible predicate examines no values on
+    /// *any* chooser path — the scan arm used to bill a full segment of
+    /// `value_comparisons` (and the zonemap arm a zone's worth per
+    /// overlapping zone), feeding phantom costs to everything that reads
+    /// the query stats. Three queries walk the deterministic bootstrap
+    /// (imprints, zonemap, scan), so every classic path is checked.
+    #[test]
+    fn empty_range_reports_zero_comparisons_on_every_path() {
+        let seg = seal_i64((0..2048).collect());
+        let range = ValueRange::between(Value::I64(10), Value::I64(5));
+        for call in 0..3 {
+            let (ids, stats) = seg.evaluate(&[(0, range)]);
+            assert!(ids.is_empty());
+            assert_eq!(
+                stats.value_comparisons, 0,
+                "bootstrap call {call} billed comparisons for an impossible predicate"
+            );
+            assert_eq!(stats.lines_fetched, 0, "bootstrap call {call}");
+        }
+        let obs = seg.columns()[0].observations();
+        assert_eq!(obs.comparisons.load(Ordering::Relaxed), 0);
+        assert_eq!(obs.fp_rate(1), None, "no comparisons means no fp-rate signal");
     }
 
     #[test]

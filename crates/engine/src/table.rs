@@ -114,7 +114,12 @@ pub struct Table {
 }
 
 impl Table {
-    /// Creates an empty table with `schema`.
+    /// Creates an empty table with `schema`. The configuration's
+    /// [`refine_kernel`](EngineConfig::refine_kernel) scopes to this
+    /// table: it is resolved against the `IMPRINTS_REFINE_KERNEL`
+    /// environment override (which wins when set) and threaded into every
+    /// sealed-segment, write-head and conjunction value check — creating
+    /// another table with a different selection does not affect this one.
     pub fn new(name: &str, schema: &[(&str, ColumnType)], cfg: EngineConfig) -> Result<Table> {
         cfg.validate();
         if schema.is_empty() {
@@ -398,8 +403,15 @@ impl Table {
         // (sealed list, open rows) pair.
         let epoch = self.epoch();
         drop(sealed_guard);
-        let open_eval = eval_open(&open.bufs, open.tails.as_deref(), rpreds);
+        let kernel = self.refine_kernel();
+        let open_eval = eval_open(&open.bufs, open.tails.as_deref(), rpreds, kernel);
         PinnedPrefix { sealed, open_base: open.base, open: open_eval, epoch }
+    }
+
+    /// This table's refinement kernel: the configured selection resolved
+    /// against the `IMPRINTS_REFINE_KERNEL` environment override.
+    fn refine_kernel(&self) -> imprints::simd::RefineKernel {
+        imprints::simd::effective_kernel(self.cfg.refine_kernel)
     }
 
     /// Seeds the per-query statistics from a pinned prefix (the fields
@@ -539,7 +551,14 @@ impl Table {
         let open_bufs = open.bufs.clone();
         let open_base = open.base;
         drop(open);
-        TableSnapshot { schema: self.schema.clone(), sealed, open_base, open_bufs, epoch }
+        TableSnapshot {
+            schema: self.schema.clone(),
+            sealed,
+            open_base,
+            open_bufs,
+            epoch,
+            kernel: self.refine_kernel(),
+        }
     }
 }
 
@@ -602,6 +621,7 @@ fn eval_open(
     bufs: &[AnyColumn],
     tails: Option<&[AnyTailIndex]>,
     rpreds: &[(usize, ValueRange)],
+    kernel: imprints::simd::RefineKernel,
 ) -> OpenEval {
     let rows = bufs.first().map_or(0, AnyColumn::len);
     if rows == 0 {
@@ -625,15 +645,16 @@ fn eval_open(
                     rows,
                     "tail imprint out of sync with the open buffer"
                 );
-                let (ids, stats) = tail.evaluate(&bufs[*col], range);
+                let (ids, stats) = tail.evaluate(&bufs[*col], range, kernel);
                 out.access.merge(&stats);
                 out.tail_indexed = true;
                 ids.into_vec()
             }
             _ => {
                 let current = survivors.as_deref();
-                out.access.value_comparisons += current.map_or(rows, <[u64]>::len) as u64;
-                filter_open_column(&bufs[*col], range, current, rows)
+                let (ids, compared) = filter_open_column(&bufs[*col], range, current, rows, kernel);
+                out.access.value_comparisons += compared;
+                ids
             }
         };
         if next.is_empty() {
@@ -668,23 +689,43 @@ fn index_open_tail(open: &mut OpenSegment, from: usize, min_rows: usize) {
     }
 }
 
-/// One column's filter pass over the open segment: scans `candidates` (or
-/// all `rows`) and keeps matching local ids.
+/// One column's filter pass over the open segment, routed through the
+/// table's refinement kernel ([`imprints::simd`]): a full-head pass takes
+/// the chunked cacheline kernel, a survivors pass checks the (scattered)
+/// candidate ids one by one. Returns the matching local ids and the number
+/// of values actually compared — zero when the predicate can match
+/// nothing, so the head's `value_comparisons` stay honest.
 fn filter_open_column(
     buf: &AnyColumn,
     range: &ValueRange,
     candidates: Option<&[u64]>,
     rows: usize,
-) -> Vec<u64> {
+    kernel: imprints::simd::RefineKernel,
+) -> (Vec<u64>, u64) {
     macro_rules! arm {
         ($c:expr) => {{
             let pred = range.to_predicate().expect("predicate validated against schema");
+            let kernel = imprints::simd::PredicateKernel::with_kernel(&pred, kernel);
             let values = $c.values();
             match candidates {
                 Some(ids) => {
-                    ids.iter().copied().filter(|&id| pred.matches(&values[id as usize])).collect()
+                    if kernel.is_empty() {
+                        (Vec::new(), 0)
+                    } else {
+                        let kept = ids
+                            .iter()
+                            .copied()
+                            .filter(|&id| kernel.matches(&values[id as usize]))
+                            .collect();
+                        (kept, ids.len() as u64)
+                    }
                 }
-                None => (0..rows as u64).filter(|&id| pred.matches(&values[id as usize])).collect(),
+                None => {
+                    let mut out = Vec::new();
+                    let mut compared = 0u64;
+                    kernel.append_matches(values, 0..rows as u64, &mut out, &mut compared);
+                    (out, compared)
+                }
             }
         }};
     }
@@ -710,6 +751,7 @@ pub struct TableSnapshot {
     open_base: u64,
     open_bufs: Vec<AnyColumn>,
     epoch: u64,
+    kernel: imprints::simd::RefineKernel,
 }
 
 impl TableSnapshot {
@@ -729,7 +771,7 @@ impl TableSnapshot {
         let mut merged = IdList::concat_segments(
             self.sealed.iter().map(|seg| (seg.base(), seg.evaluate(&rpreds).0)),
         );
-        let open = eval_open(&self.open_bufs, None, &rpreds);
+        let open = eval_open(&self.open_bufs, None, &rpreds, self.kernel);
         merged.extend_offset(&open.hits, self.open_base);
         Ok(merged)
     }

@@ -161,11 +161,19 @@ impl AnyTailIndex {
     }
 
     /// Evaluates `range` over the write head through the imprint
-    /// (Algorithm 3), returning matching buffer-local row ids.
-    pub fn evaluate(&self, buf: &AnyColumn, range: &ValueRange) -> (IdList, AccessStats) {
+    /// (Algorithm 3), returning matching buffer-local row ids. Checked
+    /// head cachelines are weeded by the table's refinement kernel
+    /// ([`imprints::simd`]) exactly like sealed-segment lines, so the
+    /// tail path's false-positive cost rides the same SWAR/scalar switch.
+    pub fn evaluate(
+        &self,
+        buf: &AnyColumn,
+        range: &ValueRange,
+        kernel: imprints::simd::RefineKernel,
+    ) -> (IdList, AccessStats) {
         tail_pair!(self, buf, (i, c) => {
             let pred = range.to_predicate().expect("predicate validated against schema");
-            let (ids, stats) = query::evaluate(i, c, &pred);
+            let (ids, stats) = query::evaluate_with_kernel(i, c, &pred, kernel);
             (ids, stats.access)
         })
     }
@@ -204,7 +212,7 @@ mod tests {
         }
         for (lo, hi) in [(0, 50), (100, 899), (890, 2000), (-5, -1)] {
             let range = ValueRange::between(Value::I64(lo), Value::I64(hi));
-            let (ids, _) = tail.evaluate(&buf, &range);
+            let (ids, _) = tail.evaluate(&buf, &range, imprints::simd::RefineKernel::Auto);
             assert_eq!(ids.as_slice(), oracle(&values, lo, hi).as_slice(), "[{lo}, {hi}]");
         }
     }
@@ -225,7 +233,7 @@ mod tests {
         assert!(!tail.needs_rebuild());
         let all: Vec<i64> = base.iter().chain(&shifted).copied().collect();
         let range = ValueRange::between(Value::I64(1_000_100), Value::I64(1_000_200));
-        let (ids, stats) = tail.evaluate(&buf, &range);
+        let (ids, stats) = tail.evaluate(&buf, &range, imprints::simd::RefineKernel::Auto);
         assert_eq!(ids.as_slice(), oracle(&all, 1_000_100, 1_000_200).as_slice());
         assert!(stats.lines_skipped > 0, "rebuilt borders must let the head skip lines");
     }
@@ -236,7 +244,7 @@ mod tests {
         let buf = AnyColumn::I64(values.iter().copied().collect());
         let tail = AnyTailIndex::build(&buf);
         let range = ValueRange::between(Value::I64(100), Value::I64(200));
-        let (ids, stats) = tail.evaluate(&buf, &range);
+        let (ids, stats) = tail.evaluate(&buf, &range, imprints::simd::RefineKernel::Auto);
         assert_eq!(ids.as_slice(), oracle(&values, 100, 200).as_slice());
         assert!(
             stats.value_comparisons < values.len() as u64 / 10,

@@ -1,0 +1,235 @@
+//! Differential harness for the false-positive refinement kernels.
+//!
+//! The SWAR kernel (`imprints::simd`) and the scalar oracle loop must be
+//! observationally identical: byte-identical id lists, identical counts
+//! and identical access statistics, on every access path that weeds
+//! candidates — imprints (evaluate, count, and the late-materialization
+//! `candidates` + `refine` pair), zonemap, sequential scan, and the WAH
+//! bitmap's edge bins — across all scalar widths (8/32/64-bit lanes,
+//! floats included), arbitrary bound shapes (unbounded / inclusive /
+//! exclusive / point / impossible) and partial-tail geometries (column
+//! lengths that are not a multiple of `values_per_block`). Everything is
+//! additionally pinned to the brute-force scalar oracle, so a bug shared
+//! by both kernels cannot hide either.
+
+use baselines::{SeqScan, WahBitmap, ZoneMap};
+use colstore::{Bound, Column, RangePredicate, Scalar};
+use imprints::simd::RefineKernel;
+use imprints::{query, ColumnImprints};
+use proptest::prelude::*;
+
+/// Brute-force oracle: the definition of a correct answer.
+fn oracle<T: Scalar>(col: &Column<T>, pred: &RangePredicate<T>) -> Vec<u64> {
+    col.values()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| pred.matches(v))
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+/// Runs one (column, predicate) pair through every access path under both
+/// kernels and cross-checks ids, counts and statistics.
+fn assert_kernels_identical<T: Scalar>(values: Vec<T>, pred: &RangePredicate<T>) {
+    const S: RefineKernel = RefineKernel::Scalar;
+    const V: RefineKernel = RefineKernel::Swar;
+    let col: Column<T> = Column::from(values);
+    let expect = oracle(&col, pred);
+    let idx = ColumnImprints::build(&col);
+
+    // Imprints: materializing evaluation.
+    let (ids_s, st_s) = query::evaluate_with_kernel(&idx, &col, pred, S);
+    let (ids_v, st_v) = query::evaluate_with_kernel(&idx, &col, pred, V);
+    assert_eq!(ids_s.as_slice(), expect.as_slice(), "imprints/scalar vs oracle: {pred}");
+    assert_eq!(ids_s, ids_v, "imprints kernels diverged: {pred}");
+    assert_eq!(st_s, st_v, "imprints stats diverged: {pred}");
+
+    // Imprints: count kernel.
+    let (n_s, cst_s) = query::count_with_kernel(&idx, &col, pred, S);
+    let (n_v, cst_v) = query::count_with_kernel(&idx, &col, pred, V);
+    assert_eq!(n_s as usize, expect.len(), "imprints count vs oracle: {pred}");
+    assert_eq!((n_s, cst_s), (n_v, cst_v), "imprints count kernels diverged: {pred}");
+
+    // Imprints: late materialization (candidates + refine).
+    let (cands, mut rst_s) = query::candidate_id_ranges(&idx, pred);
+    let mut rst_v = rst_s;
+    let ref_s = query::refine_with_kernel(&col, pred, &cands, &mut rst_s, S);
+    let ref_v = query::refine_with_kernel(&col, pred, &cands, &mut rst_v, V);
+    assert_eq!(ref_s.as_slice(), expect.as_slice(), "refine/scalar vs oracle: {pred}");
+    assert_eq!(ref_s, ref_v, "refine kernels diverged: {pred}");
+    assert_eq!(rst_s, rst_v, "refine stats diverged: {pred}");
+
+    // Zonemap.
+    let zm = ZoneMap::build(&col);
+    let (zs, zst_s) = zm.evaluate_with_kernel(&col, pred, S);
+    let (zv, zst_v) = zm.evaluate_with_kernel(&col, pred, V);
+    assert_eq!(zs.as_slice(), expect.as_slice(), "zonemap/scalar vs oracle: {pred}");
+    assert_eq!((zs, zst_s), (zv, zst_v), "zonemap kernels diverged: {pred}");
+    let (zn_s, zcst_s) = zm.count_with_kernel(&col, pred, S);
+    let (zn_v, zcst_v) = zm.count_with_kernel(&col, pred, V);
+    assert_eq!(zn_s as usize, expect.len(), "zonemap count vs oracle: {pred}");
+    assert_eq!((zn_s, zcst_s), (zn_v, zcst_v), "zonemap count kernels diverged: {pred}");
+
+    // Sequential scan.
+    let scan = SeqScan::new(&col);
+    let (ss, sst_s) = scan.evaluate_with_kernel(&col, pred, S);
+    let (sv, sst_v) = scan.evaluate_with_kernel(&col, pred, V);
+    assert_eq!(ss.as_slice(), expect.as_slice(), "scan/scalar vs oracle: {pred}");
+    assert_eq!((ss, sst_s), (sv, sst_v), "scan kernels diverged: {pred}");
+    let (sn_s, scst_s) = scan.count_with_kernel(&col, pred, S);
+    let (sn_v, scst_v) = scan.count_with_kernel(&col, pred, V);
+    assert_eq!(sn_s as usize, expect.len(), "scan count vs oracle: {pred}");
+    assert_eq!((sn_s, scst_s), (sn_v, scst_v), "scan count kernels diverged: {pred}");
+
+    // WAH bitmap, sharing the imprint's binning as the engine does.
+    let wah = WahBitmap::build_with_binning(&col, idx.binning().clone());
+    let (ws, wst_s) = wah.evaluate_with_kernel(&col, pred, S);
+    let (wv, wst_v) = wah.evaluate_with_kernel(&col, pred, V);
+    assert_eq!(ws.as_slice(), expect.as_slice(), "wah/scalar vs oracle: {pred}");
+    assert_eq!((ws, wst_s), (wv, wst_v), "wah kernels diverged: {pred}");
+    let (wn_s, wcst_s) = wah.count_with_kernel(&col, pred, S);
+    let (wn_v, wcst_v) = wah.count_with_kernel(&col, pred, V);
+    assert_eq!(wn_s as usize, expect.len(), "wah count vs oracle: {pred}");
+    assert_eq!((wn_s, wcst_s), (wn_v, wcst_v), "wah count kernels diverged: {pred}");
+}
+
+/// Appends `extra` until the length is not a multiple of this type's
+/// values-per-cacheline grid, forcing a partial tail line.
+fn force_partial_tail<T: Scalar>(mut values: Vec<T>, extra: T) -> Vec<T> {
+    let vpb = colstore::values_per_cacheline::<T>();
+    while values.is_empty() || values.len().is_multiple_of(vpb) {
+        values.push(extra);
+    }
+    values
+}
+
+/// An arbitrary predicate over a numeric domain: every bound shape,
+/// point queries and impossible ranges included.
+macro_rules! arb_pred {
+    ($name:ident, $t:ty, $range:expr) => {
+        fn $name() -> impl Strategy<Value = RangePredicate<$t>> {
+            let bound = prop_oneof![
+                1 => Just(Bound::Unbounded),
+                4 => ($range).prop_map(Bound::Inclusive),
+                4 => ($range).prop_map(Bound::Exclusive),
+            ];
+            (bound.clone(), bound, $range).prop_map(|(lo, hi, point)| {
+                // One in a few predicates collapses to a point query.
+                if point as i64 % 5 == 0 {
+                    RangePredicate::equals(point)
+                } else {
+                    RangePredicate::with_bounds(lo, hi)
+                }
+            })
+        }
+    };
+}
+
+arb_pred!(arb_pred_u8, u8, any::<u8>());
+arb_pred!(arb_pred_i32, i32, -2000i32..2000);
+arb_pred!(arb_pred_i64, i64, -2_000_000i64..2_000_000);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// u8: 64 values per cacheline, 8 SWAR lanes per word — the densest
+    /// lane packing, over a domain the predicate bounds cover entirely
+    /// (so `T::MIN`/`T::MAX` edges occur naturally).
+    #[test]
+    fn u8_paths_agree(
+        values in prop::collection::vec(any::<u8>(), 0..2000),
+        extra in any::<u8>(),
+        pred in arb_pred_u8(),
+    ) {
+        assert_kernels_identical(force_partial_tail(values, extra), &pred);
+    }
+
+    /// i32: 16 values per line, 2 lanes per word, signed key flip.
+    #[test]
+    fn i32_paths_agree(
+        values in prop::collection::vec(-1500i32..1500, 0..2000),
+        extra in -1500i32..1500,
+        pred in arb_pred_i32(),
+    ) {
+        assert_kernels_identical(force_partial_tail(values, extra), &pred);
+    }
+
+    /// i64: one lane per word — the SWAR degenerate case must still be
+    /// byte-identical.
+    #[test]
+    fn i64_paths_agree(
+        values in prop::collection::vec(-1_500_000i64..1_500_000, 0..1500),
+        extra in -1_500_000i64..1_500_000,
+        pred in arb_pred_i64(),
+    ) {
+        assert_kernels_identical(force_partial_tail(values, extra), &pred);
+    }
+
+    /// f64: totalOrder keys with NaNs and infinities in the data.
+    #[test]
+    fn f64_paths_agree(
+        values in prop::collection::vec(
+            prop_oneof![
+                12 => -1e6f64..1e6,
+                1 => Just(f64::NAN),
+                1 => Just(f64::INFINITY),
+                1 => Just(f64::NEG_INFINITY),
+                1 => Just(-0.0f64),
+            ],
+            0..1500,
+        ),
+        lo in -1.2e6f64..1.2e6,
+        width in -1e4f64..8e5,
+    ) {
+        // Negative widths yield impossible ranges; both kernels must
+        // agree on those too.
+        let pred = RangePredicate::between(lo, lo + width);
+        assert_kernels_identical(force_partial_tail(values, 0.25), &pred);
+    }
+
+    /// One-sided float predicates exercise the unbounded key edges
+    /// (key 0 / key MAX) against NaN-bearing data.
+    #[test]
+    fn f64_one_sided_agree(
+        values in prop::collection::vec(
+            prop_oneof![8 => -1e6f64..1e6, 1 => Just(f64::NAN)],
+            1..800,
+        ),
+        cut in -1e6f64..1e6,
+        upper in any::<bool>(),
+    ) {
+        let pred = if upper { RangePredicate::at_most(cut) } else { RangePredicate::greater_than(cut) };
+        assert_kernels_identical(force_partial_tail(values, -0.5), &pred);
+    }
+}
+
+/// Deterministic spot checks at the type extremes, where proptest's
+/// uniform draws rarely land.
+#[test]
+fn extreme_bound_spot_checks() {
+    let u8s: Vec<u8> = (0..997).map(|i| (i % 256) as u8).collect();
+    for pred in [
+        RangePredicate::between(0u8, 0),
+        RangePredicate::between(255u8, 255),
+        RangePredicate::with_bounds(Bound::Exclusive(255u8), Bound::Unbounded),
+        RangePredicate::with_bounds(Bound::Unbounded, Bound::Exclusive(0u8)),
+        RangePredicate::all(),
+    ] {
+        assert_kernels_identical(u8s.clone(), &pred);
+    }
+    let i64s: Vec<i64> = (0..500)
+        .map(|i| match i % 5 {
+            0 => i64::MIN,
+            1 => i64::MAX,
+            _ => (i as i64 - 250) * 1_000_003,
+        })
+        .collect();
+    for pred in [
+        RangePredicate::at_most(i64::MIN),
+        RangePredicate::at_least(i64::MAX),
+        RangePredicate::between(i64::MIN, i64::MIN + 1),
+        RangePredicate::half_open(i64::MAX - 1, i64::MAX),
+    ] {
+        assert_kernels_identical(i64s.clone(), &pred);
+    }
+}
