@@ -53,7 +53,7 @@ impl ExpConfig {
 }
 
 /// All experiment names accepted by [`run`].
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "table1",
     "fig3",
     "fig4",
@@ -69,6 +69,7 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "writehead",
     "pathmix",
     "refine",
+    "qps",
 ];
 
 /// Runs the experiment called `name` ("all" runs everything). Returns
@@ -95,6 +96,7 @@ pub fn run(name: &str, cfg: &ExpConfig) -> bool {
         "writehead" => writehead(cfg),
         "pathmix" => pathmix(cfg),
         "refine" => refine(cfg),
+        "qps" => qps(cfg),
         _ => return false,
     }
     true
@@ -1403,6 +1405,228 @@ pub fn refine_with_rows(cfg: &ExpConfig, rows: usize) {
     cfg.save(&t, "refine");
 }
 
+/// Serving QPS under open-loop network load: clients send on a fixed
+/// schedule regardless of completions (so queueing shows up as latency or
+/// sheds, not as a slowed-down load generator), sweeping the client count
+/// into the thousands against the real TCP front-end. Reports p50/p99/p999
+/// of completed requests and the shed rate, for the batched shared-morsel
+/// dispatcher vs request-at-a-time dispatch on the same connection mix.
+pub fn qps(cfg: &ExpConfig) {
+    qps_with_rows(cfg, cfg.rows);
+}
+
+/// [`qps`] with an explicit row count (used small in tests/CI smoke).
+pub fn qps_with_rows(cfg: &ExpConfig, rows: usize) {
+    use colstore::relation::AnyColumn;
+    use colstore::ColumnType;
+    use imprints_engine::{Engine, EngineConfig};
+    use imprints_server::{Reply, Server, ServerConfig};
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    // The full sweep arms at serving scale; the smoke keeps CI honest.
+    let full = rows >= 200_000;
+    let client_sweep: &[usize] = if full { &[64, 512, 2048] } else { &[2, 4] };
+    let per_client_rate = if full { 25.0f64 } else { 50.0 };
+    let requests_per_client = if full { 100usize } else { 12 };
+
+    println!("[qps] generating {rows} clustered rows…");
+    let domain = 1i64 << 20;
+    let values = entropy_sweep::entropy_dial(rows, domain, 0.05, cfg.seed);
+    let engine =
+        Arc::new(Engine::new(EngineConfig { segment_rows: 1 << 16, ..Default::default() }));
+    let table = engine.create_table("qps", &[("v", ColumnType::I64)]).unwrap();
+    for chunk in values.chunks(1 << 20) {
+        table.append_batch(vec![AnyColumn::I64(chunk.iter().copied().collect())]).unwrap();
+    }
+    println!(
+        "[qps] {} rows in {} segments; open-loop {per_client_rate:.0} req/s per client, \
+         {requests_per_client} requests each",
+        table.row_count(),
+        table.sealed_segment_count()
+    );
+
+    struct Outcome {
+        offered: usize,
+        ok: usize,
+        shed: usize,
+        elapsed: f64,
+        latencies_us: Vec<u64>,
+    }
+
+    // One sweep point: `clients` connections, each with a sender thread
+    // pacing tagged requests on the open-loop schedule and a receiver
+    // thread matching replies back to their send instants.
+    let run_point = |server_cfg: ServerConfig, clients: usize| -> Outcome {
+        let server = Server::start(Arc::clone(&engine), server_cfg).expect("start server");
+        let addr = server.local_addr();
+        // Connect in staggered waves — thousands of simultaneous SYNs
+        // overflow the listener's accept backlog and the kernel resets the
+        // excess — then release every sender at once off a barrier so the
+        // measured open-loop phase starts aligned.
+        let ready = Arc::new(std::sync::Barrier::new(clients));
+        let t0 = Instant::now();
+        let results: Vec<(Vec<u64>, usize)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let ready = Arc::clone(&ready);
+                    s.spawn(move || {
+                        use std::io::{BufRead, BufReader, Write};
+                        std::thread::sleep(Duration::from_millis((c as u64 / 64) * 5));
+                        let stream = std::net::TcpStream::connect(addr).expect("connect");
+                        ready.wait();
+                        stream.set_nodelay(true).expect("nodelay");
+                        stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+                        let mut write_half = stream.try_clone().expect("socket clone");
+                        let sent: Arc<Mutex<Vec<Instant>>> =
+                            Arc::new(Mutex::new(Vec::with_capacity(requests_per_client)));
+                        let (mut lats, mut shed) = (Vec::new(), 0usize);
+                        // Sender paces the open-loop schedule; this thread
+                        // consumes replies concurrently, so a measured
+                        // latency is send→response, not send→whenever the
+                        // load generator got around to reading.
+                        std::thread::scope(|inner| {
+                            let sent_tx = Arc::clone(&sent);
+                            inner.spawn(move || {
+                                let start = Instant::now();
+                                for k in 0..requests_per_client {
+                                    let target =
+                                        start + Duration::from_secs_f64(k as f64 / per_client_rate);
+                                    let now = Instant::now();
+                                    if now < target {
+                                        std::thread::sleep(target - now);
+                                    }
+                                    // ~0.1% count + pinpoint query mix over
+                                    // the clustered domain.
+                                    let lo = ((c * 7919 + k * 104729) as i64) % domain;
+                                    let body = if k % 2 == 0 {
+                                        format!("COUNT qps v={lo}..{}", lo + domain / 5000)
+                                    } else {
+                                        format!("QUERY qps v={lo}..{}", lo + 16)
+                                    };
+                                    let line = format!("#t{k} {body}\n");
+                                    sent_tx.lock().unwrap().push(Instant::now());
+                                    if write_half.write_all(line.as_bytes()).is_err() {
+                                        break;
+                                    }
+                                }
+                            });
+                            let mut reader = BufReader::new(stream);
+                            let mut line = String::new();
+                            for _ in 0..requests_per_client {
+                                line.clear();
+                                match reader.read_line(&mut line) {
+                                    Ok(0) => panic!("client {c} lost a reply: connection closed"),
+                                    Err(e) => panic!("client {c} lost a reply: {e}"),
+                                    Ok(_) => {}
+                                }
+                                let (tag, reply) = imprints_server::parse_reply(line.trim_end())
+                                    .expect("parse reply");
+                                let tag = tag.expect("tagged reply");
+                                let k: usize = tag[1..].parse().expect("sequential tag");
+                                match reply {
+                                    Reply::Busy => shed += 1,
+                                    Reply::Err(e) => panic!("server error: {e}"),
+                                    _ok => {
+                                        let dt = sent.lock().unwrap()[k].elapsed();
+                                        lats.push(dt.as_micros() as u64);
+                                    }
+                                }
+                            }
+                        });
+                        (lats, shed)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        drop(server);
+        let mut latencies_us: Vec<u64> = Vec::new();
+        let mut shed = 0usize;
+        for (lats, s) in results {
+            latencies_us.extend(lats);
+            shed += s;
+        }
+        latencies_us.sort_unstable();
+        Outcome {
+            offered: clients * requests_per_client,
+            ok: latencies_us.len(),
+            shed,
+            elapsed,
+            latencies_us,
+        }
+    };
+
+    let pctl = |sorted: &[u64], q: f64| -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    };
+
+    let mut t = Table::new(
+        "Serving QPS: open-loop clients vs the line-protocol server",
+        &[
+            "dispatch",
+            "clients",
+            "offered",
+            "completed",
+            "shed",
+            "shed %",
+            "QPS",
+            "p50 µs",
+            "p99 µs",
+            "p999 µs",
+        ],
+    );
+    let mut goodput: Vec<(&str, usize, usize)> = Vec::new();
+    for &clients in client_sweep {
+        for (mode, batch_max, tick_us) in [("batched", 128usize, 500u64), ("one-at-a-time", 1, 0)] {
+            let scfg = ServerConfig {
+                queue_depth: 1024,
+                batch_max,
+                batch_tick: Duration::from_micros(tick_us),
+                ..ServerConfig::from_engine(engine.config())
+            };
+            let o = run_point(scfg, clients);
+            assert_eq!(o.ok + o.shed, o.offered, "every request must be answered");
+            goodput.push((mode, clients, o.ok));
+            t.row(vec![
+                mode.to_string(),
+                clients.to_string(),
+                o.offered.to_string(),
+                o.ok.to_string(),
+                o.shed.to_string(),
+                format!("{:.1}", 100.0 * o.shed as f64 / o.offered as f64),
+                format!("{:.0}", o.ok as f64 / o.elapsed),
+                pctl(&o.latencies_us, 0.50).to_string(),
+                pctl(&o.latencies_us, 0.99).to_string(),
+                pctl(&o.latencies_us, 0.999).to_string(),
+            ]);
+        }
+    }
+    t.print();
+    if full {
+        let top = client_sweep[client_sweep.len() - 1];
+        let ok_of = |mode: &str| {
+            goodput.iter().find(|(m, c, _)| *m == mode && *c == top).map(|(_, _, ok)| *ok).unwrap()
+        };
+        let (batched, single) = (ok_of("batched"), ok_of("one-at-a-time"));
+        println!(
+            "[qps] at {top} clients: batched dispatch completed {batched} vs {single} \
+             request-at-a-time ({:.2}×)",
+            batched as f64 / single.max(1) as f64
+        );
+        assert!(
+            batched >= single,
+            "shared-morsel batching must not lose to request-at-a-time dispatch \
+             ({batched} vs {single} completed at {top} clients)"
+        );
+    }
+    cfg.save(&t, "qps");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1465,6 +1689,16 @@ mod tests {
         // correctness check; the winner/latency claims arm at ≥200Ki rows.
         let cfg = tiny_cfg();
         pathmix_with_rows(&cfg, 24_000);
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn qps_runs_small_and_answers_everything() {
+        // The experiment asserts completed + shed == offered on every
+        // sweep point — nothing hangs, nothing is silently dropped. The
+        // batched-beats-single goodput claim arms at ≥200Ki rows.
+        let cfg = tiny_cfg();
+        qps_with_rows(&cfg, 20_000);
         let _ = std::fs::remove_dir_all(&cfg.out_dir);
     }
 

@@ -62,6 +62,11 @@ pub struct EngineConfig {
     pub path_buckets: usize,
     /// Background maintenance thresholds.
     pub maintenance: MaintenanceConfig,
+    /// Serving-layer knobs consumed by the network front-end
+    /// (`imprints-server`): admission-queue depth and batching tick. Kept
+    /// on the engine configuration so a deployment tunes its engine and
+    /// its service surface in one place.
+    pub service: ServiceConfig,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +81,7 @@ impl Default for EngineConfig {
             refine_kernel: RefineKernel::Auto,
             path_buckets: crate::paths::NUM_BUCKETS,
             maintenance: MaintenanceConfig::default(),
+            service: ServiceConfig::default(),
         }
     }
 }
@@ -99,6 +105,49 @@ impl EngineConfig {
             "path_buckets must be in 1..={}",
             crate::paths::NUM_BUCKETS
         );
+        self.service.validate();
+    }
+}
+
+/// Admission-control and batching knobs of the serving layer. The engine
+/// itself only provides the batched evaluation entry point
+/// ([`Table::query_batch`](crate::Table::query_batch)); these values are
+/// read by the network front-end sitting on top of it.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum requests queued for dispatch across all clients. An offer
+    /// past this depth is *shed*: the client gets an immediate `BUSY`
+    /// reply instead of unbounded queueing — overload degrades into
+    /// explicit rejections, never into hangs or memory growth.
+    pub queue_depth: usize,
+    /// Maximum requests dispatched as one batch. Requests admitted in the
+    /// same tick are grouped by table and evaluated as one shared morsel
+    /// pass ([`Table::query_batch`](crate::Table::query_batch)): one
+    /// segment sweep answers up to this many predicates.
+    pub batch_max: usize,
+    /// How long the dispatcher lingers after the first admitted request,
+    /// in microseconds, letting concurrent arrivals join its batch. `0`
+    /// dispatches immediately with whatever is queued — the
+    /// request-at-a-time baseline when paired with `batch_max = 1`.
+    pub batch_tick_micros: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { queue_depth: 1024, batch_max: 128, batch_tick_micros: 200 }
+    }
+}
+
+impl ServiceConfig {
+    /// The batching tick as a [`std::time::Duration`].
+    pub fn batch_tick(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.batch_tick_micros)
+    }
+
+    /// Panics if the configuration is structurally invalid.
+    pub fn validate(&self) {
+        assert!(self.queue_depth > 0, "queue_depth must be positive");
+        assert!(self.batch_max > 0, "batch_max must be positive");
     }
 }
 

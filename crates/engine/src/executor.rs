@@ -176,6 +176,44 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_scatters_with_panics_do_not_wedge_the_queue() {
+        // Several requests share the pool while some of their tasks panic:
+        // each scatter must come back full-length with `None` exactly in
+        // its panicked slots — a panic in one request never stalls or
+        // corrupts a neighbor — and the pool must stay usable afterwards.
+        let pool = Arc::new(WorkerPool::new(3));
+        let handles: Vec<_> = (0..6u64)
+            .map(|req| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let out = pool.scatter((0..32u64).map(move |i| {
+                        move || {
+                            if req % 2 == 0 && i % 8 == req / 2 {
+                                panic!("task {i} of request {req} exploded");
+                            }
+                            req * 1000 + i
+                        }
+                    }));
+                    (req, out)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (req, out) = h.join().unwrap();
+            assert_eq!(out.len(), 32);
+            for (i, slot) in out.iter().enumerate() {
+                if req % 2 == 0 && (i as u64) % 8 == req / 2 {
+                    assert_eq!(*slot, None, "request {req} slot {i} must report the panic");
+                } else {
+                    assert_eq!(*slot, Some(req * 1000 + i as u64));
+                }
+            }
+        }
+        let again = pool.scatter((0..16).map(|i| move || i));
+        assert!(again.iter().all(Option::is_some), "pool must survive concurrent panics");
+    }
+
+    #[test]
     fn fire_and_forget_jobs_run() {
         let pool = WorkerPool::new(3);
         let counter = Arc::new(AtomicUsize::new(0));

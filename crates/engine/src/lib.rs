@@ -71,7 +71,7 @@ use std::time::Duration;
 use colstore::{ColumnType, IdList, Result};
 
 pub use catalog::{Catalog, StorageStats};
-pub use config::{EngineConfig, MaintenanceConfig};
+pub use config::{EngineConfig, MaintenanceConfig, ServiceConfig};
 pub use executor::WorkerPool;
 pub use imprints::relation_index::ValueRange;
 pub use imprints::simd::RefineKernel;
@@ -80,8 +80,8 @@ pub use planner::{
     maintenance_tick, path_report, BucketPathReport, ColumnPathReport, CompactionAction,
     MaintenanceAction, MaintenanceDaemon, MaintenanceReport, RebuildReason,
 };
-pub use segment::SealedSegment;
-pub use table::{ColumnDef, QueryStats, Table, TableSnapshot};
+pub use segment::{SealedSegment, SegBatchAnswer, SegBatchQuery};
+pub use table::{BatchAnswer, BatchQuery, ColumnDef, QueryStats, Table, TableSnapshot};
 pub use tail::AnyTailIndex;
 
 /// The assembled engine: catalog + worker pool + optional maintenance

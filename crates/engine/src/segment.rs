@@ -599,6 +599,26 @@ impl AnySegCol {
     }
 }
 
+/// One request of a shared segment sweep (see
+/// [`SealedSegment::evaluate_batch`]): resolved predicates plus whether the
+/// caller wants ids or only a count.
+#[derive(Debug, Clone, Copy)]
+pub struct SegBatchQuery<'a> {
+    /// Resolved `(column index, range)` conjunction.
+    pub preds: &'a [(usize, ValueRange)],
+    /// `true` counts matches instead of materializing ids.
+    pub count_only: bool,
+}
+
+/// The per-segment answer of one [`SegBatchQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegBatchAnswer {
+    /// Segment-local matching row ids (a materializing query).
+    Ids(IdList),
+    /// Matching row count (a count-only query).
+    Count(u64),
+}
+
 /// An immutable, indexed run of `rows` consecutive table rows starting at
 /// global row id `base`.
 #[derive(Debug)]
@@ -733,6 +753,32 @@ impl SealedSegment {
         }
         stats.value_comparisons += comparisons;
         (IdList::from_sorted(out), stats)
+    }
+
+    /// Evaluates many independent queries in **one shared sweep over this
+    /// segment** — the serving layer's batched dispatch unit. The win is
+    /// locality and dispatch amortization: the segment's columns, imprints
+    /// and bin dictionaries are touched once and stay cache-hot while
+    /// every queued predicate is answered against them, instead of each
+    /// query paying its own cold walk of the sealed list; on the worker
+    /// pool this is also one task per segment per *batch* rather than per
+    /// query. Each query still routes through the adaptive path chooser
+    /// (and records its observations) exactly as if issued alone, so
+    /// batching never changes answers or planner signals — only the order
+    /// work is scheduled in.
+    pub fn evaluate_batch(&self, queries: &[SegBatchQuery]) -> Vec<(SegBatchAnswer, AccessStats)> {
+        queries
+            .iter()
+            .map(|q| {
+                if q.count_only {
+                    let (n, stats) = self.count(q.preds);
+                    (SegBatchAnswer::Count(n), stats)
+                } else {
+                    let (ids, stats) = self.evaluate(q.preds);
+                    (SegBatchAnswer::Ids(ids), stats)
+                }
+            })
+            .collect()
     }
 
     /// Counts matching rows without materializing ids. A single predicate

@@ -47,6 +47,10 @@ pub struct ColumnDef {
 
 type SegmentList = Arc<Vec<Arc<SealedSegment>>>;
 
+/// One sealed segment's share of a batch sweep: its base row id plus one
+/// (answer, stats) pair per query slot.
+type SegSweep = (u64, Vec<(crate::segment::SegBatchAnswer, AccessStats)>);
+
 struct OpenSegment {
     base: u64,
     bufs: Vec<AnyColumn>,
@@ -100,6 +104,37 @@ pub struct QueryStats {
     pub visible_rows: u64,
     /// The table epoch the query executed against.
     pub epoch: u64,
+}
+
+/// One request of a [`Table::query_batch`] call: a conjunction of named
+/// column predicates, materializing ids or counting.
+#[derive(Debug, Clone)]
+pub struct BatchQuery {
+    /// Conjunctive `(column name, range)` predicates; empty selects all.
+    pub preds: Vec<(String, ValueRange)>,
+    /// `true` counts matching rows instead of materializing ids.
+    pub count_only: bool,
+}
+
+impl BatchQuery {
+    /// A materializing query over `preds`.
+    pub fn ids(preds: Vec<(String, ValueRange)>) -> BatchQuery {
+        BatchQuery { preds, count_only: false }
+    }
+
+    /// A count-only query over `preds`.
+    pub fn count(preds: Vec<(String, ValueRange)>) -> BatchQuery {
+        BatchQuery { preds, count_only: true }
+    }
+}
+
+/// The answer of one [`BatchQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchAnswer {
+    /// Global matching row ids (a materializing query).
+    Ids(IdList),
+    /// Matching row count (a count-only query).
+    Count(u64),
 }
 
 /// A sharded, concurrently readable and appendable relation.
@@ -522,6 +557,163 @@ impl Table {
     /// Counts matching rows without materializing ids.
     pub fn count(&self, preds: &[(&str, ValueRange)], pool: Option<&WorkerPool>) -> Result<u64> {
         Ok(self.count_with_stats(preds, pool)?.0)
+    }
+
+    /// Evaluates many independent queries against **one pinned snapshot**
+    /// — the serving layer's shared-morsel batch dispatch.
+    ///
+    /// All queries observe the same consistent prefix (one epoch, one
+    /// sealed list, one open-head read), and the sealed segments are swept
+    /// **once per batch**: each segment is one task answering every
+    /// query's predicates while its data and indexes are cache-hot
+    /// ([`SealedSegment::evaluate_batch`]), instead of one cold sealed-list
+    /// walk per query. Answers are byte-identical to issuing each query
+    /// through [`Table::query_with_stats`] / [`Table::count_with_stats`]
+    /// against an unchanging table.
+    ///
+    /// Per-query predicate resolution errors come back in that query's
+    /// slot; the remaining queries still evaluate. The snapshot stays valid
+    /// even if the table is concurrently dropped from its catalog — the
+    /// pinned `Arc`s keep every segment alive until the batch finishes.
+    pub fn query_batch(
+        &self,
+        queries: &[BatchQuery],
+        pool: Option<&WorkerPool>,
+    ) -> Vec<Result<(BatchAnswer, QueryStats)>> {
+        use crate::segment::{SegBatchAnswer, SegBatchQuery};
+
+        // Resolve every query first; failures keep their slot and never
+        // reach the data pass.
+        let mut resolved: Vec<Result<Vec<(usize, ValueRange)>>> = queries
+            .iter()
+            .map(|q| {
+                let preds: Vec<(&str, ValueRange)> =
+                    q.preds.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+                self.resolve(&preds)
+            })
+            .collect();
+        let valid: Vec<usize> = (0..resolved.len()).filter(|&i| resolved[i].is_ok()).collect();
+
+        // Pin ONE consistent prefix for the whole batch: a single open
+        // read (every query's head evaluation happens under it) and a
+        // single frozen sealed list.
+        let open = self.open.read().expect("open lock");
+        let sealed_guard = self.sealed.read().expect("sealed lock");
+        let sealed = sealed_guard.clone();
+        let epoch = self.epoch();
+        drop(sealed_guard);
+        let kernel = self.refine_kernel();
+        let open_base = open.base;
+        let opens: Vec<OpenEval> = valid
+            .iter()
+            .map(|&i| {
+                let rp = resolved[i].as_ref().expect("valid index");
+                eval_open(&open.bufs, open.tails.as_deref(), rp, kernel)
+            })
+            .collect();
+        drop(open);
+
+        // One shared sweep per sealed segment, answering every valid query.
+        let rpreds: Arc<Vec<Vec<(usize, ValueRange)>>> = Arc::new(
+            valid.iter().map(|&i| resolved[i].as_ref().expect("valid index").clone()).collect(),
+        );
+        let flags: Arc<Vec<bool>> =
+            Arc::new(valid.iter().map(|&i| queries[i].count_only).collect());
+        let sweep = |seg: &SealedSegment| {
+            let qs: Vec<SegBatchQuery> = rpreds
+                .iter()
+                .zip(flags.iter())
+                .map(|(preds, &count_only)| SegBatchQuery { preds, count_only })
+                .collect();
+            seg.evaluate_batch(&qs)
+        };
+        let per_segment: Vec<Option<SegSweep>> = match pool {
+            Some(pool) if sealed.len() > 1 && !valid.is_empty() => {
+                pool.scatter(sealed.iter().map(|seg| {
+                    let seg = Arc::clone(seg);
+                    let rpreds = Arc::clone(&rpreds);
+                    let flags = Arc::clone(&flags);
+                    move || {
+                        let qs: Vec<SegBatchQuery> = rpreds
+                            .iter()
+                            .zip(flags.iter())
+                            .map(|(preds, &count_only)| SegBatchQuery { preds, count_only })
+                            .collect();
+                        (seg.base(), seg.evaluate_batch(&qs))
+                    }
+                }))
+            }
+            _ => sealed.iter().map(|seg| Some((seg.base(), sweep(seg)))).collect(),
+        };
+        let panicked = per_segment.iter().any(Option::is_none);
+
+        // Assemble per-query answers in segment order.
+        let mut answers: Vec<Option<(BatchAnswer, QueryStats)>> = valid
+            .iter()
+            .zip(&opens)
+            .map(|(_, open_eval)| {
+                let stats = QueryStats {
+                    tail_access: open_eval.access,
+                    tail_indexed: open_eval.tail_indexed,
+                    open_rows: open_eval.rows,
+                    sealed_segments: sealed.len(),
+                    visible_rows: open_base + open_eval.rows as u64,
+                    epoch,
+                    ..Default::default()
+                };
+                Some((BatchAnswer::Count(0), stats))
+            })
+            .collect();
+        let mut id_parts: Vec<IdList> = valid.iter().map(|_| IdList::new()).collect();
+        if !panicked {
+            for entry in per_segment.into_iter().flatten() {
+                let (base, seg_answers) = entry;
+                debug_assert_eq!(seg_answers.len(), valid.len());
+                for (slot, (answer, stats)) in seg_answers.into_iter().enumerate() {
+                    let (acc, st) = answers[slot].as_mut().expect("slot populated above");
+                    st.access.merge(&stats);
+                    match answer {
+                        SegBatchAnswer::Ids(ids) => id_parts[slot].extend_offset(&ids, base),
+                        SegBatchAnswer::Count(n) => {
+                            if let BatchAnswer::Count(total) = acc {
+                                *total += n;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<Result<(BatchAnswer, QueryStats)>> = Vec::with_capacity(queries.len());
+        let mut slot = 0usize;
+        for (i, res) in resolved.iter_mut().enumerate() {
+            match std::mem::replace(res, Ok(Vec::new())) {
+                Err(e) => out.push(Err(e)),
+                Ok(_) => {
+                    if panicked {
+                        out.push(Err(Error::Mismatch("segment evaluation task panicked".into())));
+                        slot += 1;
+                        continue;
+                    }
+                    let (mut answer, stats) = answers[slot].take().expect("assembled above");
+                    let open_eval = &opens[slot];
+                    match &mut answer {
+                        BatchAnswer::Count(total) if queries[i].count_only => {
+                            *total += open_eval.hits.len() as u64;
+                        }
+                        _ => {
+                            let mut ids = std::mem::take(&mut id_parts[slot]);
+                            ids.extend_offset(&open_eval.hits, open_base);
+                            answer = BatchAnswer::Ids(ids);
+                        }
+                    }
+                    self.stats.queries.fetch_add(1, Ordering::Relaxed);
+                    out.push(Ok((answer, stats)));
+                    slot += 1;
+                }
+            }
+        }
+        out
     }
 
     /// Reconstructs the tuple at global row `id` (late materialization).
@@ -1032,6 +1224,84 @@ mod tests {
         assert!(cs.open_rows > 0, "the open head must be part of the count");
         // The sealed count path reports its access work too.
         assert!(cs.access.index_probes > 0 || cs.access.value_comparisons > 0);
+    }
+
+    /// `query_batch` must answer byte-identically to issuing each query
+    /// alone — same ids, same counts, same epoch/visibility accounting —
+    /// for mixed materializing/count batches with the head populated.
+    #[test]
+    fn query_batch_matches_individual_queries() {
+        let t = Table::new("t", &[("a", ColumnType::I64), ("b", ColumnType::I64)], tail_cfg(64))
+            .unwrap();
+        let a: Vec<i64> = (0..3000).map(|i| (i * 37) % 700).collect();
+        let b: Vec<i64> = (0..3000).map(|i| i % 13).collect();
+        t.append_batch(vec![
+            AnyColumn::I64(a.iter().copied().collect()),
+            AnyColumn::I64(b.iter().copied().collect()),
+        ])
+        .unwrap();
+        let ranges = [
+            vec![("a".to_string(), ValueRange::between(Value::I64(10), Value::I64(80)))],
+            vec![("a".to_string(), ValueRange::at_least(Value::I64(650)))],
+            vec![
+                ("a".to_string(), ValueRange::between(Value::I64(0), Value::I64(300))),
+                ("b".to_string(), ValueRange::equals(Value::I64(4))),
+            ],
+            vec![],
+        ];
+        let mut batch = Vec::new();
+        for (i, preds) in ranges.iter().enumerate() {
+            batch.push(BatchQuery { preds: clone_preds(preds), count_only: i % 2 == 1 });
+        }
+        let pool = WorkerPool::new(2);
+        for pool in [None, Some(&pool)] {
+            let out = t.query_batch(&batch, pool);
+            assert_eq!(out.len(), batch.len());
+            for (q, res) in batch.iter().zip(out) {
+                let preds: Vec<(&str, ValueRange)> =
+                    q.preds.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+                let (answer, stats) = res.unwrap();
+                if q.count_only {
+                    let (n, st) = t.count_with_stats(&preds, None).unwrap();
+                    assert_eq!(answer, BatchAnswer::Count(n));
+                    assert_eq!(stats.epoch, st.epoch);
+                    assert_eq!(stats.visible_rows, st.visible_rows);
+                } else {
+                    let (ids, st) = t.query_with_stats(&preds, None).unwrap();
+                    assert_eq!(answer, BatchAnswer::Ids(ids));
+                    assert_eq!(stats.epoch, st.epoch);
+                    assert_eq!(stats.visible_rows, st.visible_rows);
+                    assert_eq!(stats.open_rows, st.open_rows);
+                    assert_eq!(stats.tail_indexed, st.tail_indexed);
+                }
+            }
+        }
+    }
+
+    fn clone_preds(preds: &[(String, ValueRange)]) -> Vec<(String, ValueRange)> {
+        preds.to_vec()
+    }
+
+    /// A batch with an unresolvable query errors only that slot; the rest
+    /// evaluate against the shared pinned snapshot.
+    #[test]
+    fn query_batch_isolates_resolution_errors() {
+        let t = Table::new("t", &[("v", ColumnType::I64)], small_cfg()).unwrap();
+        t.append_batch(vec![ints(0..600)]).unwrap();
+        let batch = vec![
+            BatchQuery::ids(vec![("v".into(), ValueRange::at_least(Value::I64(590)))]),
+            BatchQuery::ids(vec![("nope".into(), ValueRange::equals(Value::I64(1)))]),
+            BatchQuery::count(vec![("v".into(), ValueRange::equals(Value::I32(1)))]),
+            BatchQuery::count(vec![("v".into(), ValueRange::at_most(Value::I64(9)))]),
+        ];
+        let out = t.query_batch(&batch, None);
+        assert_eq!(
+            out[0].as_ref().unwrap().0,
+            BatchAnswer::Ids(IdList::from_sorted((590..600).collect()))
+        );
+        assert!(out[1].is_err(), "unknown column must error its own slot");
+        assert!(out[2].is_err(), "type-mismatched bound must error its own slot");
+        assert_eq!(out[3].as_ref().unwrap().0, BatchAnswer::Count(10));
     }
 
     #[test]

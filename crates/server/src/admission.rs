@@ -1,0 +1,223 @@
+//! Bounded, per-client-fair admission queue.
+//!
+//! Connections *offer* requests; the dispatcher *drains* them in batches.
+//! The queue enforces two policies the raw socket buffers cannot:
+//!
+//! * **Shed on overload** — the total queued count is bounded by
+//!   [`ServiceConfig::queue_depth`](imprints_engine::ServiceConfig). An
+//!   offer past the bound fails immediately and the connection replies
+//!   `BUSY`; overload degrades into explicit rejections, never into hangs
+//!   or unbounded memory growth.
+//! * **Per-client fairness** — each client gets its own FIFO and the
+//!   drain round-robins across clients, so one connection pipelining
+//!   thousands of requests cannot starve a neighbor that sent one.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A bounded multi-producer queue with round-robin drain. `T` is the
+/// queued request type; clients are identified by an opaque `u64`.
+pub struct Admission<T> {
+    depth: usize,
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+struct Inner<T> {
+    /// Per-client FIFOs; a client is present iff its FIFO is non-empty.
+    queues: HashMap<u64, VecDeque<T>>,
+    /// Round-robin order over the clients present in `queues`.
+    rr: VecDeque<u64>,
+    /// Total queued items across all clients.
+    len: usize,
+    closed: bool,
+}
+
+impl<T> Admission<T> {
+    /// An empty queue bounded at `depth` total queued items.
+    pub fn new(depth: usize) -> Admission<T> {
+        assert!(depth > 0, "queue depth must be positive");
+        Admission {
+            depth,
+            inner: Mutex::new(Inner {
+                queues: HashMap::new(),
+                rr: VecDeque::new(),
+                len: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Offers one item on behalf of `client`. Returns `false` — and counts
+    /// a shed — when the queue is full or closed; the caller must reply
+    /// `BUSY` and drop the item. Never blocks.
+    pub fn offer(&self, client: u64, item: T) -> bool {
+        let mut inner = self.inner.lock().expect("admission lock");
+        if inner.closed || inner.len >= self.depth {
+            drop(inner);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let q = inner.queues.entry(client).or_default();
+        let was_empty = q.is_empty();
+        q.push_back(item);
+        if was_empty {
+            inner.rr.push_back(client);
+        }
+        inner.len += 1;
+        drop(inner);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Blocks until at least one item is queued, then lingers up to `tick`
+    /// (or until `max` items are available) letting concurrent arrivals
+    /// join the batch, and drains up to `max` items round-robin across
+    /// clients. Returns an empty vec only when the queue is closed and
+    /// empty — the dispatcher's signal to exit.
+    pub fn drain(&self, max: usize, tick: Duration) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("admission lock");
+        while inner.len == 0 {
+            if inner.closed {
+                return Vec::new();
+            }
+            inner = self.cv.wait(inner).expect("admission lock");
+        }
+        if !tick.is_zero() {
+            let deadline = Instant::now() + tick;
+            while inner.len < max && !inner.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) =
+                    self.cv.wait_timeout(inner, deadline - now).expect("admission lock");
+                inner = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        Self::pop_round_robin(&mut inner, max)
+    }
+
+    /// Closes the queue and returns everything still queued (round-robin
+    /// order), so the caller can reply `BUSY` to each. Later offers fail;
+    /// a blocked [`drain`](Self::drain) wakes and returns empty once the
+    /// queue is empty.
+    pub fn close(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("admission lock");
+        inner.closed = true;
+        let leftover = Self::pop_round_robin(&mut inner, usize::MAX);
+        drop(inner);
+        self.cv.notify_all();
+        leftover
+    }
+
+    /// Whether [`close`](Self::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("admission lock").closed
+    }
+
+    /// Currently queued items.
+    pub fn queued(&self) -> usize {
+        self.inner.lock().expect("admission lock").len
+    }
+
+    /// Items admitted over the queue's lifetime.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Items shed (offers rejected) over the queue's lifetime.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    fn pop_round_robin(inner: &mut Inner<T>, max: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(max.min(inner.len));
+        while out.len() < max && inner.len > 0 {
+            let client = inner.rr.pop_front().expect("rr tracks non-empty queues");
+            let q = inner.queues.get_mut(&client).expect("rr tracks non-empty queues");
+            out.push(q.pop_front().expect("rr tracks non-empty queues"));
+            inner.len -= 1;
+            if q.is_empty() {
+                inner.queues.remove(&client);
+            } else {
+                inner.rr.push_back(client);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn sheds_past_depth_and_counts() {
+        let q = Admission::new(3);
+        assert!(q.offer(1, "a"));
+        assert!(q.offer(1, "b"));
+        assert!(q.offer(2, "c"));
+        assert!(!q.offer(3, "d"), "fourth offer must shed");
+        assert_eq!((q.admitted(), q.shed(), q.queued()), (3, 1, 3));
+        // Draining frees capacity again.
+        assert_eq!(q.drain(8, Duration::ZERO).len(), 3);
+        assert!(q.offer(3, "d"));
+    }
+
+    #[test]
+    fn drain_is_round_robin_fair_across_clients() {
+        let q = Admission::new(64);
+        for i in 0..10 {
+            assert!(q.offer(1, format!("hog-{i}")));
+        }
+        assert!(q.offer(2, "small-0".to_string()));
+        assert!(q.offer(2, "small-1".to_string()));
+        let batch = q.drain(4, Duration::ZERO);
+        // Client 2's two requests ride in the first four slots despite the
+        // 10-deep pipeline from client 1.
+        assert_eq!(batch, vec!["hog-0", "small-0", "hog-1", "small-1"]);
+        assert_eq!(q.queued(), 8);
+    }
+
+    #[test]
+    fn drain_lingers_for_the_tick_to_batch_arrivals() {
+        let q = Arc::new(Admission::new(64));
+        let q2 = Arc::clone(&q);
+        let late = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            q2.offer(2, "late")
+        });
+        assert!(q.offer(1, "early"));
+        let batch = q.drain(8, Duration::from_millis(200));
+        late.join().unwrap();
+        assert_eq!(batch.len(), 2, "the lingering drain must pick up the late arrival");
+    }
+
+    #[test]
+    fn close_returns_leftovers_and_wakes_drainers() {
+        let q = Arc::new(Admission::<u32>::new(8));
+        let q2 = Arc::clone(&q);
+        let waiter = thread::spawn(move || q2.drain(4, Duration::from_millis(20)));
+        thread::sleep(Duration::from_millis(10));
+        assert!(q.offer(1, 7));
+        assert_eq!(waiter.join().unwrap(), vec![7]);
+        assert!(q.offer(1, 8));
+        assert_eq!(q.close(), vec![8]);
+        assert!(!q.offer(1, 9), "offers after close must shed");
+        assert!(q.drain(4, Duration::from_secs(10)).is_empty(), "drain after close returns empty");
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-connection reader: parses request lines, answers cheap verbs
+//! inline, and offers QUERY/COUNT to the admission queue.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use crate::protocol::{self, RawPred, Request};
+use crate::server::{Shared, Ticket};
+
+/// The write half of one client connection. Shared between the reader
+/// thread (inline replies) and the dispatcher (batched replies); the mutex
+/// keeps response lines from interleaving.
+pub(crate) struct Conn {
+    pub id: u64,
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    pub fn new(id: u64, writer: TcpStream) -> Conn {
+        Conn { id, writer: Mutex::new(writer) }
+    }
+
+    /// Sends one response line. Write errors are swallowed: a client that
+    /// vanished mid-flight only affects itself, and its reader thread will
+    /// see the hangup and clean up.
+    pub fn send(&self, line: &str) {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        let mut w = self.writer.lock().expect("conn writer");
+        let _ = w.write_all(buf.as_bytes());
+    }
+}
+
+/// Reader loop of one connection: one request per line until EOF/error.
+pub(crate) fn serve(shared: Arc<Shared>, conn: Arc<Conn>, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (tag, body) = protocol::split_tag(trimmed);
+        if shared.stopping() {
+            // Draining: nothing new is admitted, but every request still
+            // gets an explicit answer instead of silence.
+            conn.send(&protocol::fmt_busy(tag));
+            continue;
+        }
+        match protocol::parse_request(body) {
+            Err(msg) => conn.send(&protocol::fmt_err(tag, &msg)),
+            Ok(Request::Ping) => conn.send(&protocol::fmt_ok_list(tag, &[])),
+            Ok(Request::Tables) => {
+                conn.send(&protocol::fmt_ok_list(tag, &shared.engine.catalog().table_names()))
+            }
+            Ok(Request::Stats(table)) => conn.send(&stats_line(&shared, tag, table.as_deref())),
+            Ok(Request::Query { table, preds }) => {
+                enqueue(&shared, &conn, tag, table, preds, false)
+            }
+            Ok(Request::Count { table, preds }) => enqueue(&shared, &conn, tag, table, preds, true),
+        }
+    }
+    shared.forget_conn(conn.id);
+}
+
+/// Offers a QUERY/COUNT to admission; a full (or closed) queue sheds the
+/// request with an immediate `BUSY` — never a hang.
+fn enqueue(
+    shared: &Arc<Shared>,
+    conn: &Arc<Conn>,
+    tag: Option<&str>,
+    table: String,
+    preds: Vec<RawPred>,
+    count_only: bool,
+) {
+    let ticket =
+        Ticket { conn: Arc::clone(conn), tag: tag.map(str::to_string), table, preds, count_only };
+    if !shared.admission.offer(conn.id, ticket) {
+        conn.send(&protocol::fmt_busy(tag));
+    }
+}
+
+fn stats_line(shared: &Shared, tag: Option<&str>, table: Option<&str>) -> String {
+    match table {
+        Some(name) => match shared.engine.catalog().table(name) {
+            Err(e) => protocol::fmt_err(tag, &e.to_string()),
+            Ok(t) => {
+                let s = t.stats();
+                let items = [
+                    format!("rows={}", t.row_count()),
+                    format!("queries={}", s.queries.load(Ordering::Relaxed)),
+                    format!("rows_appended={}", s.rows_appended.load(Ordering::Relaxed)),
+                    format!("segments_sealed={}", s.segments_sealed.load(Ordering::Relaxed)),
+                    format!("rebuilds={}", s.rebuilds.load(Ordering::Relaxed)),
+                    format!("compactions={}", s.compactions.load(Ordering::Relaxed)),
+                ];
+                protocol::fmt_ok_list(tag, &items)
+            }
+        },
+        None => {
+            let storage = shared.engine.catalog().storage_stats();
+            let st = shared.stats();
+            let items = [
+                format!("tables={}", storage.tables),
+                format!("rows={}", storage.rows),
+                format!("sealed_segments={}", storage.sealed_segments),
+                format!("index_bytes={}", storage.index_bytes),
+                format!("connections={}", st.connections),
+                format!("requests={}", st.requests),
+                format!("admitted={}", st.admitted),
+                format!("shed={}", st.shed),
+                format!("queued={}", st.queued),
+                format!("batches={}", st.batches),
+                format!("batched_requests={}", st.batched_requests),
+            ];
+            protocol::fmt_ok_list(tag, &items)
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! The wire protocol: newline-delimited text, one request per line.
+//!
+//! Grammar (tokens separated by ASCII whitespace):
+//!
+//! ```text
+//! request   := [tag] verb
+//! tag       := '#' token            -- echoed verbatim on the response line
+//! verb      := "QUERY" table pred*  -- matching row ids
+//!            | "COUNT" table pred*  -- matching row count
+//!            | "TABLES"             -- registered table names
+//!            | "STATS" [table]      -- server or per-table counters
+//!            | "PING"               -- liveness probe
+//! pred      := col "=" value        -- equality
+//!            | col "<=" value       -- at most
+//!            | col ">=" value       -- at least
+//!            | col "=" lo ".." hi   -- inclusive range
+//! ```
+//!
+//! All bounds are inclusive, mirroring the engine's
+//! [`ValueRange`](imprints_engine::ValueRange); strict comparisons are not
+//! expressible on the wire because the index cannot answer them exactly.
+//! Verbs are case-insensitive; column names and tags are case-sensitive.
+//!
+//! Responses are a single line each, prefixed with the request tag when one
+//! was given:
+//!
+//! ```text
+//! [tag] "OK" payload…      -- QUERY: count then ids; COUNT: count;
+//!                          -- TABLES: names; STATS: key=value pairs
+//! [tag] "ERR" message…     -- malformed request or evaluation error
+//! [tag] "BUSY"             -- shed by admission control; retry later
+//! ```
+//!
+//! Because every response carries its request tag, clients may pipeline:
+//! responses to *admitted* requests come back in dispatch order, which under
+//! batching is not necessarily arrival order.
+
+use colstore::{ColumnType, Value};
+use imprints_engine::ValueRange;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `QUERY table pred*` — materialize matching row ids.
+    Query {
+        /// Target table name.
+        table: String,
+        /// Conjunctive predicates (possibly empty: select all).
+        preds: Vec<RawPred>,
+    },
+    /// `COUNT table pred*` — count matching rows.
+    Count {
+        /// Target table name.
+        table: String,
+        /// Conjunctive predicates (possibly empty: count all).
+        preds: Vec<RawPred>,
+    },
+    /// `TABLES` — list registered tables.
+    Tables,
+    /// `STATS [table]` — server-wide or per-table counters.
+    Stats(Option<String>),
+    /// `PING` — liveness probe.
+    Ping,
+}
+
+/// A predicate as written on the wire: column name plus optional inclusive
+/// string bounds. Bounds are typed against the table schema at dispatch
+/// time (the parser does not know the schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawPred {
+    /// Column name.
+    pub column: String,
+    /// Inclusive lower bound, if any.
+    pub low: Option<String>,
+    /// Inclusive upper bound, if any.
+    pub high: Option<String>,
+}
+
+impl RawPred {
+    /// Types the string bounds against `ty`, producing the engine range.
+    pub fn to_range(&self, ty: ColumnType) -> Result<ValueRange, String> {
+        let parse = |s: &String| parse_value(ty, s);
+        let low = self.low.as_ref().map(parse).transpose()?;
+        let high = self.high.as_ref().map(parse).transpose()?;
+        Ok(ValueRange { low, high })
+    }
+}
+
+/// Parses one wire value of type `ty`.
+pub fn parse_value(ty: ColumnType, s: &str) -> Result<Value, String> {
+    fn err<E: std::fmt::Display>(ty: ColumnType, s: &str, e: E) -> String {
+        format!("bad {ty:?} value {s:?}: {e}")
+    }
+    match ty {
+        ColumnType::I8 => s.parse().map(Value::I8).map_err(|e| err(ty, s, e)),
+        ColumnType::U8 => s.parse().map(Value::U8).map_err(|e| err(ty, s, e)),
+        ColumnType::I16 => s.parse().map(Value::I16).map_err(|e| err(ty, s, e)),
+        ColumnType::U16 => s.parse().map(Value::U16).map_err(|e| err(ty, s, e)),
+        ColumnType::I32 => s.parse().map(Value::I32).map_err(|e| err(ty, s, e)),
+        ColumnType::U32 => s.parse().map(Value::U32).map_err(|e| err(ty, s, e)),
+        ColumnType::I64 => s.parse().map(Value::I64).map_err(|e| err(ty, s, e)),
+        ColumnType::U64 => s.parse().map(Value::U64).map_err(|e| err(ty, s, e)),
+        ColumnType::F32 => s.parse().map(Value::F32).map_err(|e| err(ty, s, e)),
+        ColumnType::F64 => s.parse().map(Value::F64).map_err(|e| err(ty, s, e)),
+    }
+}
+
+/// Splits a request line into its optional tag and the rest.
+pub fn split_tag(line: &str) -> (Option<&str>, &str) {
+    let trimmed = line.trim_start();
+    match trimmed.split_once(char::is_whitespace) {
+        Some((first, rest)) if first.len() > 1 && first.starts_with('#') => {
+            (Some(&first[1..]), rest)
+        }
+        _ => (None, trimmed),
+    }
+}
+
+/// Parses one request line (tag already stripped by [`split_tag`]).
+pub fn parse_request(body: &str) -> Result<Request, String> {
+    let mut tokens = body.split_whitespace();
+    let verb = tokens.next().ok_or_else(|| "empty request".to_string())?;
+    match verb.to_ascii_uppercase().as_str() {
+        "QUERY" | "COUNT" => {
+            let table = tokens.next().ok_or_else(|| format!("{verb}: missing table name"))?;
+            let preds = tokens.map(parse_pred).collect::<Result<Vec<_>, _>>()?;
+            if verb.eq_ignore_ascii_case("QUERY") {
+                Ok(Request::Query { table: table.to_string(), preds })
+            } else {
+                Ok(Request::Count { table: table.to_string(), preds })
+            }
+        }
+        "TABLES" => match tokens.next() {
+            None => Ok(Request::Tables),
+            Some(t) => Err(format!("TABLES takes no arguments, got {t:?}")),
+        },
+        "STATS" => {
+            let table = tokens.next().map(str::to_string);
+            match tokens.next() {
+                None => Ok(Request::Stats(table)),
+                Some(t) => Err(format!("STATS takes at most one table, got {t:?}")),
+            }
+        }
+        "PING" => match tokens.next() {
+            None => Ok(Request::Ping),
+            Some(t) => Err(format!("PING takes no arguments, got {t:?}")),
+        },
+        _ => Err(format!("unknown verb {verb:?} (expected QUERY/COUNT/TABLES/STATS/PING)")),
+    }
+}
+
+/// Parses one `col<op>value` predicate token.
+fn parse_pred(token: &str) -> Result<RawPred, String> {
+    let (column, op, value) = if let Some(i) = token.find("<=") {
+        (&token[..i], "<=", &token[i + 2..])
+    } else if let Some(i) = token.find(">=") {
+        (&token[..i], ">=", &token[i + 2..])
+    } else if let Some(i) = token.find('=') {
+        (&token[..i], "=", &token[i + 1..])
+    } else {
+        return Err(format!("predicate {token:?} has no operator (use = / <= / >= / =lo..hi)"));
+    };
+    if column.is_empty() {
+        return Err(format!("predicate {token:?} has an empty column name"));
+    }
+    if value.is_empty() {
+        return Err(format!("predicate {token:?} has an empty value"));
+    }
+    match op {
+        "<=" => Ok(RawPred { column: column.into(), low: None, high: Some(value.into()) }),
+        ">=" => Ok(RawPred { column: column.into(), low: Some(value.into()), high: None }),
+        _ => match value.split_once("..") {
+            Some((lo, hi)) => {
+                if lo.is_empty() || hi.is_empty() {
+                    return Err(format!("range predicate {token:?} needs both bounds"));
+                }
+                Ok(RawPred { column: column.into(), low: Some(lo.into()), high: Some(hi.into()) })
+            }
+            None => Ok(RawPred {
+                column: column.into(),
+                low: Some(value.into()),
+                high: Some(value.into()),
+            }),
+        },
+    }
+}
+
+fn with_tag(tag: Option<&str>, body: String) -> String {
+    match tag {
+        Some(t) => format!("#{t} {body}"),
+        None => body,
+    }
+}
+
+/// Formats a QUERY success: `OK <count> <id>…`.
+pub fn fmt_ok_ids(tag: Option<&str>, ids: &[u64]) -> String {
+    let mut body = format!("OK {}", ids.len());
+    for id in ids {
+        body.push(' ');
+        body.push_str(&id.to_string());
+    }
+    with_tag(tag, body)
+}
+
+/// Formats a COUNT success: `OK <count>`.
+pub fn fmt_ok_count(tag: Option<&str>, count: u64) -> String {
+    with_tag(tag, format!("OK {count}"))
+}
+
+/// Formats a list success (TABLES, STATS): `OK <item>…`.
+pub fn fmt_ok_list(tag: Option<&str>, items: &[String]) -> String {
+    let mut body = String::from("OK");
+    for item in items {
+        body.push(' ');
+        body.push_str(item);
+    }
+    with_tag(tag, body)
+}
+
+/// Formats an error reply.
+pub fn fmt_err(tag: Option<&str>, msg: &str) -> String {
+    // Errors must stay one line; collapse any embedded newlines.
+    with_tag(tag, format!("ERR {}", msg.replace(['\n', '\r'], " ")))
+}
+
+/// Formats a shed reply.
+pub fn fmt_busy(tag: Option<&str>) -> String {
+    with_tag(tag, "BUSY".to_string())
+}
+
+/// One parsed response line (client side).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `OK` with its whitespace-separated payload fields.
+    Ok(Vec<String>),
+    /// `BUSY` — the request was shed by admission control.
+    Busy,
+    /// `ERR` with its message.
+    Err(String),
+}
+
+impl Reply {
+    /// Decodes a QUERY payload: the ids after the leading count. `None`
+    /// for `BUSY`/`ERR` or a payload that is not `count ids…`.
+    pub fn ids(&self) -> Option<Vec<u64>> {
+        match self {
+            Reply::Ok(fields) if !fields.is_empty() => {
+                let n: usize = fields[0].parse().ok()?;
+                if fields.len() != n + 1 {
+                    return None;
+                }
+                fields[1..].iter().map(|f| f.parse().ok()).collect()
+            }
+            _ => None,
+        }
+    }
+
+    /// Decodes a COUNT payload. `None` for `BUSY`/`ERR` or a payload that
+    /// is not a single integer.
+    pub fn count(&self) -> Option<u64> {
+        match self {
+            Reply::Ok(fields) if fields.len() == 1 => fields[0].parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one response line into its tag and reply.
+pub fn parse_reply(line: &str) -> Result<(Option<String>, Reply), String> {
+    let (tag, body) = split_tag(line);
+    let tag = tag.map(str::to_string);
+    let (status, rest) = match body.split_once(char::is_whitespace) {
+        Some((s, r)) => (s, r.trim()),
+        None => (body.trim(), ""),
+    };
+    match status {
+        "OK" => Ok((tag, Reply::Ok(rest.split_whitespace().map(str::to_string).collect()))),
+        "BUSY" => Ok((tag, Reply::Busy)),
+        "ERR" => Ok((tag, Reply::Err(rest.to_string()))),
+        _ => Err(format!("malformed response line {line:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tagged_query_with_all_predicate_forms() {
+        let (tag, body) = split_tag("#q1 QUERY readings sensor=3 value<=10 ts>=5 v=1..9");
+        assert_eq!(tag, Some("q1"));
+        let req = parse_request(body).unwrap();
+        match req {
+            Request::Query { table, preds } => {
+                assert_eq!(table, "readings");
+                assert_eq!(
+                    preds[0],
+                    RawPred {
+                        column: "sensor".into(),
+                        low: Some("3".into()),
+                        high: Some("3".into())
+                    }
+                );
+                assert_eq!(
+                    preds[1],
+                    RawPred { column: "value".into(), low: None, high: Some("10".into()) }
+                );
+                assert_eq!(
+                    preds[2],
+                    RawPred { column: "ts".into(), low: Some("5".into()), high: None }
+                );
+                assert_eq!(
+                    preds[3],
+                    RawPred { column: "v".into(), low: Some("1".into()), high: Some("9".into()) }
+                );
+            }
+            other => panic!("expected Query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FLY readings").is_err());
+        assert!(parse_request("QUERY").is_err());
+        assert!(parse_request("COUNT t sensor").is_err());
+        assert!(parse_request("COUNT t =3").is_err());
+        assert!(parse_request("COUNT t sensor=").is_err());
+        assert!(parse_request("COUNT t sensor=1..").is_err());
+        assert!(parse_request("TABLES extra").is_err());
+    }
+
+    #[test]
+    fn untyped_bounds_type_against_schema() {
+        let p = RawPred { column: "v".into(), low: Some("2".into()), high: Some("7".into()) };
+        let r = p.to_range(ColumnType::U16).unwrap();
+        assert_eq!(r, ValueRange { low: Some(Value::U16(2)), high: Some(Value::U16(7)) });
+        assert!(p.to_range(ColumnType::I8).is_ok());
+        let bad = RawPred { column: "v".into(), low: Some("300".into()), high: None };
+        assert!(bad.to_range(ColumnType::U8).is_err());
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let line = fmt_ok_ids(Some("a"), &[3, 5, 8]);
+        assert_eq!(line, "#a OK 3 3 5 8");
+        let (tag, reply) = parse_reply(&line).unwrap();
+        assert_eq!(tag.as_deref(), Some("a"));
+        assert_eq!(reply, Reply::Ok(vec!["3".into(), "3".into(), "5".into(), "8".into()]));
+        assert_eq!(parse_reply(&fmt_busy(None)).unwrap(), (None, Reply::Busy));
+        let (_, e) = parse_reply(&fmt_err(None, "no such\ntable")).unwrap();
+        assert_eq!(e, Reply::Err("no such table".into()));
+    }
+}

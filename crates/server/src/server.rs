@@ -1,0 +1,280 @@
+//! Server assembly: listener, accept loop, shared state and the graceful
+//! shutdown sequence.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use imprints_engine::{Engine, EngineConfig};
+
+use crate::admission::Admission;
+use crate::batcher;
+use crate::conn::{self, Conn};
+use crate::protocol::{fmt_busy, RawPred};
+
+/// Server tuning. The admission/batching knobs default from
+/// [`ServiceConfig`](imprints_engine::ServiceConfig), so a deployment
+/// normally builds this with [`ServerConfig::from_engine`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. Port `0` picks an ephemeral port; read it back with
+    /// [`Server::local_addr`].
+    pub addr: String,
+    /// Admission queue depth (see
+    /// [`ServiceConfig::queue_depth`](imprints_engine::ServiceConfig::queue_depth)).
+    pub queue_depth: usize,
+    /// Maximum requests per dispatched batch (see
+    /// [`ServiceConfig::batch_max`](imprints_engine::ServiceConfig::batch_max)).
+    pub batch_max: usize,
+    /// Batching tick: how long the dispatcher lingers after the first
+    /// admitted request so concurrent arrivals share its morsel pass.
+    pub batch_tick: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::from_engine(&EngineConfig::default())
+    }
+}
+
+impl ServerConfig {
+    /// Loopback config on an ephemeral port, taking the admission and
+    /// batching knobs from `cfg.service`.
+    pub fn from_engine(cfg: &EngineConfig) -> ServerConfig {
+        let s = &cfg.service;
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_depth: s.queue_depth,
+            batch_max: s.batch_max,
+            batch_tick: s.batch_tick(),
+        }
+    }
+}
+
+/// A snapshot of the server's counters (also served as `STATS` on the
+/// wire).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Request lines received (including inline verbs and shed requests).
+    pub requests: u64,
+    /// QUERY/COUNT requests admitted to the dispatch queue.
+    pub admitted: u64,
+    /// QUERY/COUNT requests shed with `BUSY`.
+    pub shed: u64,
+    /// Requests queued right now.
+    pub queued: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Requests dispatched inside those batches.
+    pub batched_requests: u64,
+}
+
+/// One queued QUERY/COUNT request, bound to its connection's write half.
+pub(crate) struct Ticket {
+    pub conn: Arc<Conn>,
+    pub tag: Option<String>,
+    pub table: String,
+    pub preds: Vec<RawPred>,
+    pub count_only: bool,
+}
+
+impl Ticket {
+    /// Answers the ticket with `BUSY` (shed after admission, at drain).
+    pub fn reject(self) {
+        let line = fmt_busy(self.tag.as_deref());
+        self.conn.send(&line);
+    }
+}
+
+/// Cumulative server counters (lock-free; read by `STATS`).
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub connections: AtomicU64,
+    pub requests: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_requests: AtomicU64,
+}
+
+/// State shared by the accept loop, connection readers and the dispatcher.
+pub(crate) struct Shared {
+    pub engine: Arc<Engine>,
+    pub cfg: ServerConfig,
+    pub admission: Admission<Ticket>,
+    pub counters: Counters,
+    stopping: AtomicBool,
+    /// Socket clones of live connections, used to hang them up at
+    /// shutdown; readers deregister themselves on natural disconnect.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    pub fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    pub fn forget_conn(&self, id: u64) {
+        self.conns.lock().expect("conn registry").remove(&id);
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            admitted: self.admission.admitted(),
+            shed: self.admission.shed(),
+            queued: self.admission.queued() as u64,
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batched_requests: self.counters.batched_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The running server: accept thread + per-connection readers + one
+/// batching dispatcher in front of the engine's worker pool.
+///
+/// Dropping the server runs the full graceful [`shutdown`](Server::shutdown).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+    dispatcher: Option<thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    down: bool,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts serving `engine`.
+    pub fn start(engine: Arc<Engine>, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            admission: Admission::new(cfg.queue_depth),
+            engine,
+            cfg,
+            counters: Counters::default(),
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(1),
+        });
+        let dispatcher = {
+            let s = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("imprints-dispatch".to_string())
+                .spawn(move || batcher::run(&s))?
+        };
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let s = Arc::clone(&shared);
+            let threads = Arc::clone(&conn_threads);
+            thread::Builder::new()
+                .name("imprints-accept".to_string())
+                .spawn(move || accept_loop(listener, s, threads))?
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            conn_threads,
+            down: false,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Graceful drain, in order:
+    ///
+    /// 1. stop accepting connections;
+    /// 2. close the admission queue — everything still queued is answered
+    ///    `BUSY`, requests arriving during the drain are answered `BUSY`
+    ///    by their readers, and the dispatcher finishes its in-flight
+    ///    batch before exiting (a half-dispatched batch is never aborted);
+    /// 3. hang up the remaining connections and join their readers;
+    /// 4. only then stop the engine's maintenance daemon.
+    ///
+    /// Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Poke the listener awake so the accept loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for ticket in self.shared.admission.close() {
+            ticket.reject();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        for (_, sock) in self.shared.conns.lock().expect("conn registry").drain() {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> = self.conn_threads.lock().expect("conn threads").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.engine.stop_maintenance();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.stopping() {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_nodelay(true);
+        let (writer, registered) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(w), Ok(r)) => (w, r),
+            _ => continue,
+        };
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        shared.conns.lock().expect("conn registry").insert(id, registered);
+        let conn = Arc::new(Conn::new(id, writer));
+        let s = Arc::clone(&shared);
+        if let Ok(handle) = thread::Builder::new()
+            .name(format!("imprints-conn-{id}"))
+            .spawn(move || conn::serve(s, conn, stream))
+        {
+            threads.lock().expect("conn threads").push(handle);
+        }
+    }
+}

@@ -1,10 +1,14 @@
-//! A miniature query-serving service on the imprints engine.
+//! A miniature query-serving service on the imprints engine — now over
+//! the wire.
 //!
-//! Simulates a sensor-ingestion workload: one appender streams readings
-//! into a three-column relation (with the value distribution drifting over
-//! time), several clients issue conjunctive range queries concurrently,
-//! and the maintenance daemon re-bins drifted segment indexes in the
-//! background. Prints a live summary at the end.
+//! Boots the real TCP front-end (`imprints-server`) on a loopback port,
+//! streams sensor readings into a three-column relation (with the value
+//! distribution drifting over time, and the maintenance daemon re-binning
+//! drifted segment indexes in the background), and drives it with several
+//! *network* clients speaking the line protocol — tagged pipelined
+//! QUERY/COUNT requests, admission control and batched shared-morsel
+//! dispatch included. Prints a live summary at the end, sourced from the
+//! server's own `STATS` verb, then drains the server gracefully.
 //!
 //! ```text
 //! cargo run --release --example engine_service
@@ -15,12 +19,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use column_imprints::colstore::relation::AnyColumn;
-use column_imprints::colstore::{ColumnType, Value};
-use column_imprints::engine::{Engine, EngineConfig, ValueRange};
+use column_imprints::colstore::ColumnType;
+use column_imprints::engine::{Engine, EngineConfig};
+use column_imprints::server::{request_line, Client, Reply, Server, ServerConfig};
 
 const CLIENTS: usize = 4;
 const TOTAL_ROWS: usize = 2_000_000;
 const BATCH: usize = 20_000;
+/// Tagged requests each client keeps in flight on its pipeline.
+const WINDOW: usize = 8;
 
 fn main() {
     let engine =
@@ -33,9 +40,15 @@ fn main() {
         .unwrap();
     engine.start_maintenance(Duration::from_millis(20));
 
+    let mut server = Server::start(Arc::clone(&engine), ServerConfig::from_engine(engine.config()))
+        .expect("bind loopback server");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
     let done = Arc::new(AtomicBool::new(false));
     let served = Arc::new(AtomicU64::new(0));
     let hits = Arc::new(AtomicU64::new(0));
+    let busy = Arc::new(AtomicU64::new(0));
     let t0 = Instant::now();
 
     std::thread::scope(|s| {
@@ -65,37 +78,51 @@ fn main() {
             });
         }
 
-        // Query clients: recent-window conjunctions, served while ingest
-        // and maintenance run.
+        // Query clients: thin network clients pipelining recent-window
+        // conjunctions over loopback while ingest and maintenance run.
+        // Same-tick requests from different clients share morsel passes in
+        // the server's batching dispatcher.
         for c in 0..CLIENTS {
-            let engine = Arc::clone(&engine);
             let table = Arc::clone(&table);
             let done = Arc::clone(&done);
             let served = Arc::clone(&served);
             let hits = Arc::clone(&hits);
+            let busy = Arc::clone(&busy);
             s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
                 let mut q = 0u64;
+                let mut inflight = 0usize;
                 loop {
                     let finished = done.load(Ordering::Acquire);
-                    let now = table.row_count() as i64;
-                    let lo = (now - 300_000).max(0) + (q as i64 * 131) % 100_000;
-                    let sensor = ((q as usize * 13 + c) % 64) as u16;
-                    let ids = engine
-                        .query(
+                    // Keep the pipeline full until the workload is done,
+                    // then let it drain so every tag gets its reply.
+                    while inflight < WINDOW && !(finished && q >= 50) {
+                        let now = table.row_count() as i64;
+                        let lo = (now - 300_000).max(0) + (q as i64 * 131) % 100_000;
+                        let sensor = ((q * 13 + c as u64) % 64) as u16;
+                        let line = request_line(
+                            "QUERY",
                             "readings",
-                            &[
-                                (
-                                    "ts",
-                                    ValueRange::between(Value::I64(lo), Value::I64(lo + 200_000)),
-                                ),
-                                ("sensor", ValueRange::equals(Value::U16(sensor))),
-                            ],
-                        )
-                        .unwrap();
-                    served.fetch_add(1, Ordering::Relaxed);
-                    hits.fetch_add(ids.len() as u64, Ordering::Relaxed);
-                    q += 1;
-                    if finished && q >= 50 {
+                            &[&format!("ts={lo}..{}", lo + 200_000), &format!("sensor={sensor}")],
+                        );
+                        client.send(&format!("#q{q} {line}")).expect("send");
+                        inflight += 1;
+                        q += 1;
+                    }
+                    let (_tag, reply) = client.recv_reply().expect("reply");
+                    inflight -= 1;
+                    match reply {
+                        Reply::Busy => {
+                            busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Reply::Err(e) => panic!("server error: {e}"),
+                        ok => {
+                            let ids = ok.ids().expect("QUERY payload");
+                            served.fetch_add(1, Ordering::Relaxed);
+                            hits.fetch_add(ids.len() as u64, Ordering::Relaxed);
+                        }
+                    }
+                    if finished && q >= 50 && inflight == 0 {
                         break;
                     }
                 }
@@ -104,25 +131,38 @@ fn main() {
     });
 
     let secs = t0.elapsed().as_secs_f64();
-    engine.stop_maintenance();
+    // One more client reads the summary off the wire before the drain.
+    let mut admin = Client::connect(addr).expect("connect admin");
+    let server_stats = match admin.roundtrip("STATS").expect("stats") {
+        Reply::Ok(fields) => fields.join(" "),
+        other => panic!("STATS failed: {other:?}"),
+    };
+    let tables = match admin.roundtrip("TABLES").expect("tables") {
+        Reply::Ok(fields) => fields.join(", "),
+        other => panic!("TABLES failed: {other:?}"),
+    };
+    server.shutdown();
     let report = engine.maintenance_tick();
     let stats = table.stats();
     println!("── engine_service summary ──────────────────────────────");
+    println!("tables             : {tables}");
     println!("rows ingested      : {}", table.row_count());
     println!("sealed segments    : {}", table.sealed_segment_count());
     println!("index overhead     : {} KiB", table.index_bytes() / 1024);
     println!(
-        "queries served     : {} ({:.0}/s across {CLIENTS} clients)",
+        "queries served     : {} ({:.0}/s across {CLIENTS} wire clients)",
         served.load(Ordering::Relaxed),
         served.load(Ordering::Relaxed) as f64 / secs
     );
     println!("rows matched       : {}", hits.load(Ordering::Relaxed));
+    println!("shed (BUSY)        : {}", busy.load(Ordering::Relaxed));
+    println!("server STATS       : {server_stats}");
     println!(
         "background rebuilds: {} (final sweep examined {} segment-columns)",
         stats.rebuilds.load(Ordering::Relaxed),
         report.examined
     );
-    // Late materialization: reconstruct a couple of matching tuples.
+    // Late materialization: reconstruct a matching tuple in-process.
     if let Some(t) = table.tuple(0) {
         println!("tuple(0)           : {t:?}");
     }

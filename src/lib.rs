@@ -12,7 +12,10 @@
 //!   paper's evaluation datasets;
 //! * [`engine`] — the sharded, concurrent query-serving engine layering
 //!   segments, an epoch-guarded catalog, a morsel-driven executor, adaptive
-//!   access paths and background index maintenance on top of the above.
+//!   access paths and background index maintenance on top of the above;
+//! * [`server`] — the TCP line-protocol front-end with admission control
+//!   (bounded queue, shed-on-overload, per-client fairness) and batched
+//!   shared-morsel dispatch into the engine's worker pool.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `imprints-bench` crate for the harness that regenerates every table and
@@ -23,6 +26,7 @@ pub use colstore;
 pub use datagen;
 pub use imprints;
 pub use imprints_engine as engine;
+pub use imprints_server as server;
 
 pub use colstore::{Column, IdList, RangeIndex, RangePredicate, Relation, Scalar};
 pub use imprints::ColumnImprints;

@@ -1,0 +1,313 @@
+//! Loopback integration tests for the network front-end: concurrent
+//! clients must see responses byte-identical to the in-process oracle,
+//! overload must shed with `BUSY` (never a hang), shutdown must drain, and
+//! `Catalog::drop_table` must not invalidate snapshots pinned by in-flight
+//! batches.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use column_imprints::colstore::relation::AnyColumn;
+use column_imprints::colstore::{ColumnType, Value};
+use column_imprints::engine::{BatchAnswer, BatchQuery, Engine, EngineConfig, ValueRange};
+use column_imprints::server::protocol::{fmt_err, fmt_ok_count, fmt_ok_ids};
+use column_imprints::server::{Client, Reply, Server, ServerConfig};
+
+const SENSORS: u64 = 13;
+const VALUE_MOD: u64 = 10007;
+
+/// An engine with one static table `readings(sensor: U16, value: I64)`:
+/// `sensor = i % 13`, `value = i * 7919 % 10007`. Static data keeps every
+/// oracle answer stable while clients hammer the server.
+fn build_engine(rows: u64, segment_rows: usize) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        segment_rows,
+        workers: 2,
+        tail_index_min_rows: 256,
+        ..Default::default()
+    }));
+    let t = engine
+        .create_table("readings", &[("sensor", ColumnType::U16), ("value", ColumnType::I64)])
+        .unwrap();
+    let sensor: Vec<u16> = (0..rows).map(|i| (i % SENSORS) as u16).collect();
+    let value: Vec<i64> = (0..rows).map(|i| (i.wrapping_mul(7919) % VALUE_MOD) as i64).collect();
+    t.append_batch(vec![
+        AnyColumn::U16(sensor.into_iter().collect()),
+        AnyColumn::I64(value.into_iter().collect()),
+    ])
+    .unwrap();
+    engine
+}
+
+/// One deterministic mixed request: the wire body, and the oracle preds +
+/// verb to compute the expected response from the in-process engine.
+fn mixed_request(engine: &Engine, tag: &str, c: usize, i: usize) -> (String, String) {
+    let s = ((c * 7 + i) % SENSORS as usize) as u16;
+    let s2 = ((c * 5 + i * 3) % SENSORS as usize) as u16;
+    let (lo, hi) = (s.min(s2), s.max(s2));
+    let x = ((c * 131 + i * 17) % VALUE_MOD as usize) as i64;
+    match (c + i) % 4 {
+        0 => {
+            let body = format!("QUERY readings sensor={s}");
+            let ids = engine.query("readings", &[("sensor", ValueRange::equals(Value::U16(s)))]);
+            (body, fmt_ok_ids(Some(tag), ids.unwrap().as_slice()))
+        }
+        1 => {
+            let body = format!("COUNT readings value<={x}");
+            let n = engine.count("readings", &[("value", ValueRange::at_most(Value::I64(x)))]);
+            (body, fmt_ok_count(Some(tag), n.unwrap()))
+        }
+        2 => {
+            let body = format!("QUERY readings sensor={lo}..{hi} value>={x}");
+            let ids = engine.query(
+                "readings",
+                &[
+                    ("sensor", ValueRange::between(Value::U16(lo), Value::U16(hi))),
+                    ("value", ValueRange::at_least(Value::I64(x))),
+                ],
+            );
+            (body, fmt_ok_ids(Some(tag), ids.unwrap().as_slice()))
+        }
+        _ => {
+            let body = format!("COUNT readings sensor>={lo} value<={x}");
+            let n = engine.count(
+                "readings",
+                &[
+                    ("sensor", ValueRange::at_least(Value::U16(lo))),
+                    ("value", ValueRange::at_most(Value::I64(x))),
+                ],
+            );
+            (body, fmt_ok_count(Some(tag), n.unwrap()))
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_match_in_process_oracle() {
+    let engine = build_engine(40_000, 1024);
+    let server =
+        Server::start(Arc::clone(&engine), ServerConfig::from_engine(engine.config())).unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..6usize)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+                for i in 0..50usize {
+                    let tag = format!("c{c}-{i}");
+                    let (body, expected) = mixed_request(&engine, &tag, c, i);
+                    client.send(&format!("#{tag} {body}")).unwrap();
+                    let line = client.recv().unwrap();
+                    assert_eq!(line, expected, "response mismatch for {body:?}");
+                }
+                // Inline verbs and error paths, also byte-checked.
+                assert_eq!(
+                    client.roundtrip("TABLES").unwrap(),
+                    Reply::Ok(vec!["readings".to_string()])
+                );
+                assert_eq!(client.ping().unwrap(), Reply::Ok(Vec::new()));
+                let not_found = engine.table("nope").err().expect("lookup fails").to_string();
+                client.send("#e QUERY nope sensor=1").unwrap();
+                assert_eq!(client.recv().unwrap(), fmt_err(Some("e"), &not_found));
+                client.send("#f COUNT readings bogus=1").unwrap();
+                assert_eq!(
+                    client.recv().unwrap(),
+                    fmt_err(Some("f"), "no column \"bogus\" in table \"readings\"")
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.shed, 0, "the sync round-trip load must never overflow the default queue");
+    // 50 mixed requests plus the two error-path requests per client — the
+    // bad-table and bad-column QUERY/COUNTs are admitted too (they fail at
+    // dispatch, after the queue).
+    assert_eq!(stats.admitted, 6 * 52, "every QUERY/COUNT goes through admission");
+    assert!(stats.batches > 0 && stats.batched_requests == stats.admitted);
+}
+
+#[test]
+fn overload_sheds_with_busy_and_nothing_hangs() {
+    const FLOOD: usize = 1000;
+    let engine = build_engine(200_000, 2048);
+    let cfg = ServerConfig {
+        queue_depth: 4,
+        batch_max: 4,
+        batch_tick: Duration::ZERO,
+        ..ServerConfig::from_engine(engine.config())
+    };
+    let server = Server::start(Arc::clone(&engine), cfg).unwrap();
+    let oracle_heavy =
+        engine.query("readings", &[("value", ValueRange::at_least(Value::I64(1)))]).unwrap();
+    let oracle_count =
+        engine.count("readings", &[("sensor", ValueRange::equals(Value::U16(1)))]).unwrap();
+
+    // Pipeline one huge materializing query, then flood counts without
+    // reading: the dispatcher saturates, the 4-deep queue overflows, and
+    // everything past it must shed with an immediate tagged BUSY.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    client.send("#h QUERY readings value>=1").unwrap();
+    for i in 0..FLOOD {
+        client.send(&format!("#c{i} COUNT readings sensor=1")).unwrap();
+    }
+    let mut seen: HashMap<String, Reply> = HashMap::new();
+    for _ in 0..FLOOD + 1 {
+        let (tag, reply) = client.recv_reply().unwrap();
+        let tag = tag.expect("every reply carries its request tag");
+        assert!(seen.insert(tag.clone(), reply).is_none(), "duplicate reply for {tag:?}");
+    }
+
+    assert_eq!(seen["h"].ids().expect("heavy query must succeed"), oracle_heavy.as_slice());
+    let (mut ok, mut busy) = (0usize, 0usize);
+    for i in 0..FLOOD {
+        match &seen[&format!("c{i}")] {
+            Reply::Busy => busy += 1,
+            reply => {
+                assert_eq!(reply.count(), Some(oracle_count), "admitted count must be exact");
+                ok += 1;
+            }
+        }
+    }
+    assert_eq!(ok + busy, FLOOD);
+    assert!(busy > 0, "a 4-deep queue under a {FLOOD}-request flood must shed");
+    let stats = server.stats();
+    assert_eq!(stats.shed, busy as u64);
+    assert_eq!(stats.admitted, 1 + ok as u64);
+}
+
+#[test]
+fn shutdown_drains_queued_requests_with_busy() {
+    let engine = build_engine(10_000, 1024);
+    // A huge batching tick parks the dispatcher lingering for company, so
+    // everything the client pipelines is still queued when shutdown lands —
+    // the drain must answer all of it with BUSY, then hang up.
+    let cfg = ServerConfig {
+        queue_depth: 64,
+        batch_max: 1000,
+        batch_tick: Duration::from_secs(30),
+        ..ServerConfig::from_engine(engine.config())
+    };
+    let mut server = Server::start(Arc::clone(&engine), cfg).unwrap();
+    let addr = server.local_addr();
+
+    let client = thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        assert_eq!(c.ping().unwrap(), Reply::Ok(Vec::new()), "inline verbs bypass the queue");
+        for i in 0..13 {
+            c.send(&format!("#q{i} QUERY readings sensor=1")).unwrap();
+        }
+        let mut replies = Vec::new();
+        while let Ok(reply) = c.recv_reply() {
+            replies.push(reply);
+        }
+        replies // the Err terminates the loop: connection closed by the drain
+    });
+
+    thread::sleep(Duration::from_millis(100));
+    server.shutdown();
+    let replies = client.join().unwrap();
+    assert_eq!(replies.len(), 13, "every queued request must be answered before the hangup");
+    let mut tags: Vec<String> = Vec::new();
+    for (tag, reply) in replies {
+        assert_eq!(reply, Reply::Busy, "queued requests are shed at drain");
+        tags.push(tag.expect("tag echoed"));
+    }
+    tags.sort();
+    let mut expect: Vec<String> = (0..13).map(|i| format!("q{i}")).collect();
+    expect.sort();
+    assert_eq!(tags, expect);
+    // Idempotent, and the engine daemon slot is already stopped.
+    server.shutdown();
+}
+
+#[test]
+fn drop_table_keeps_pinned_batches_valid() {
+    let engine = build_engine(60_000, 1024);
+    let table = engine.table("readings").unwrap();
+    let queries = vec![
+        BatchQuery::ids(vec![("sensor".to_string(), ValueRange::equals(Value::U16(3)))]),
+        BatchQuery::count(vec![("value".to_string(), ValueRange::at_most(Value::I64(500)))]),
+    ];
+    let expected: Vec<BatchAnswer> = table
+        .query_batch(&queries, Some(engine.pool()))
+        .into_iter()
+        .map(|r| r.unwrap().0)
+        .collect();
+
+    let dropped = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            let table = Arc::clone(&table);
+            let engine = Arc::clone(&engine);
+            let queries = queries.clone();
+            let expected = expected.clone();
+            let dropped = Arc::clone(&dropped);
+            thread::spawn(move || {
+                let mut after_drop = 0u32;
+                while after_drop < 20 {
+                    let got: Vec<BatchAnswer> = table
+                        .query_batch(&queries, Some(engine.pool()))
+                        .into_iter()
+                        .map(|r| r.unwrap().0)
+                        .collect();
+                    assert_eq!(got, expected, "a held Arc<Table> must answer identically");
+                    if dropped.load(Ordering::SeqCst) {
+                        after_drop += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(20));
+    assert!(engine.catalog().drop_table("readings"), "table was registered");
+    dropped.store(true, Ordering::SeqCst);
+    assert!(engine.table("readings").is_err(), "catalog lookup fails after the drop");
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+#[test]
+fn drop_table_race_over_the_wire_answers_everything() {
+    const REQUESTS: usize = 200;
+    let engine = build_engine(30_000, 1024);
+    let server =
+        Server::start(Arc::clone(&engine), ServerConfig::from_engine(engine.config())).unwrap();
+    let oracle_count =
+        engine.count("readings", &[("sensor", ValueRange::equals(Value::U16(2)))]).unwrap();
+    // The exact catalog error the server forwards once the table is gone,
+    // probed through an unregistered name.
+    let not_found = engine
+        .table("probe")
+        .err()
+        .expect("lookup fails")
+        .to_string()
+        .replace("\"probe\"", "\"readings\"");
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    for i in 0..REQUESTS {
+        client.send(&format!("#c{i} COUNT readings sensor=2")).unwrap();
+    }
+    thread::sleep(Duration::from_millis(2));
+    engine.catalog().drop_table("readings");
+    for _ in 0..REQUESTS {
+        let (tag, reply) = client.recv_reply().unwrap();
+        assert!(tag.is_some());
+        match reply {
+            Reply::Busy => panic!("default queue depth must not shed {REQUESTS} requests"),
+            Reply::Err(msg) => assert_eq!(msg, not_found, "only the not-found error is allowed"),
+            ok => assert_eq!(ok.count(), Some(oracle_count), "pinned batches answer exactly"),
+        }
+    }
+}
