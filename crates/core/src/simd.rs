@@ -135,6 +135,9 @@ fn env_kernel() -> Option<RefineKernel> {
 /// applies at table creation). The [`KERNEL_ENV_VAR`] environment variable,
 /// when set to a valid value, takes precedence over this.
 pub fn set_ambient_kernel(kernel: RefineKernel) {
+    // ordering: Relaxed — a standalone configuration cell; no other memory
+    // is published with it, and readers only need to eventually observe
+    // the latest selection.
     AMBIENT.store(kernel as u8, Ordering::Relaxed);
 }
 
@@ -144,6 +147,8 @@ pub fn ambient_kernel() -> RefineKernel {
     if let Some(k) = env_kernel() {
         return k;
     }
+    // ordering: Relaxed — pairs with the store in `set_ambient_kernel`;
+    // the value is self-contained, so no acquire edge is needed.
     match AMBIENT.load(Ordering::Relaxed) {
         1 => RefineKernel::Scalar,
         2 => RefineKernel::Swar,

@@ -14,7 +14,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A bounded multi-producer queue with round-robin drain. `T` is the
@@ -38,6 +38,14 @@ struct Inner<T> {
 }
 
 impl<T> Admission<T> {
+    /// Locks the queue state, recovering from poison: the guarded data is
+    /// a plain bookkeeping structure whose invariants are restored by
+    /// [`pop_round_robin`](Self::pop_round_robin) defensively, so a panic
+    /// elsewhere must not take the whole dispatch plane down with it.
+    fn state(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// An empty queue bounded at `depth` total queued items.
     pub fn new(depth: usize) -> Admission<T> {
         assert!(depth > 0, "queue depth must be positive");
@@ -59,7 +67,7 @@ impl<T> Admission<T> {
     /// a shed — when the queue is full or closed; the caller must reply
     /// `BUSY` and drop the item. Never blocks.
     pub fn offer(&self, client: u64, item: T) -> bool {
-        let mut inner = self.inner.lock().expect("admission lock");
+        let mut inner = self.state();
         if inner.closed || inner.len >= self.depth {
             drop(inner);
             self.shed.fetch_add(1, Ordering::Relaxed);
@@ -84,29 +92,42 @@ impl<T> Admission<T> {
     /// clients. Returns an empty vec only when the queue is closed and
     /// empty — the dispatcher's signal to exit.
     pub fn drain(&self, max: usize, tick: Duration) -> Vec<T> {
-        let mut inner = self.inner.lock().expect("admission lock");
-        while inner.len == 0 {
-            if inner.closed {
-                return Vec::new();
-            }
-            inner = self.cv.wait(inner).expect("admission lock");
-        }
-        if !tick.is_zero() {
-            let deadline = Instant::now() + tick;
-            while inner.len < max && !inner.closed {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
+        let mut inner = self.state();
+        // Outer predicate loop: a wake (or an elapsed linger) is a *hint*,
+        // not a claim ticket. Between our waits a competing drainer may
+        // take every queued item — `wait`/`wait_timeout` release the lock —
+        // so an empty pop with the queue still open must loop back to
+        // waiting, never return. An empty return is reserved for
+        // closed-and-drained, which the dispatcher reads as "exit".
+        loop {
+            while inner.len == 0 {
+                if inner.closed {
+                    return Vec::new();
                 }
-                let (guard, timeout) =
-                    self.cv.wait_timeout(inner, deadline - now).expect("admission lock");
-                inner = guard;
-                if timeout.timed_out() {
-                    break;
+                inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            }
+            if !tick.is_zero() {
+                let deadline = Instant::now() + tick;
+                while inner.len < max && !inner.closed {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = self
+                        .cv
+                        .wait_timeout(inner, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    inner = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
                 }
             }
+            let batch = Self::pop_round_robin(&mut inner, max);
+            if !batch.is_empty() || inner.closed {
+                return batch;
+            }
         }
-        Self::pop_round_robin(&mut inner, max)
     }
 
     /// Closes the queue and returns everything still queued (round-robin
@@ -114,7 +135,7 @@ impl<T> Admission<T> {
     /// a blocked [`drain`](Self::drain) wakes and returns empty once the
     /// queue is empty.
     pub fn close(&self) -> Vec<T> {
-        let mut inner = self.inner.lock().expect("admission lock");
+        let mut inner = self.state();
         inner.closed = true;
         let leftover = Self::pop_round_robin(&mut inner, usize::MAX);
         drop(inner);
@@ -124,12 +145,12 @@ impl<T> Admission<T> {
 
     /// Whether [`close`](Self::close) was called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("admission lock").closed
+        self.state().closed
     }
 
     /// Currently queued items.
     pub fn queued(&self) -> usize {
-        self.inner.lock().expect("admission lock").len
+        self.state().len
     }
 
     /// Items admitted over the queue's lifetime.
@@ -142,13 +163,26 @@ impl<T> Admission<T> {
         self.shed.load(Ordering::Relaxed)
     }
 
+    /// Pops up to `max` items round-robin. The invariant is that `rr`
+    /// lists exactly the clients with non-empty FIFOs and `len` is their
+    /// total; this walks off `rr` so a (theoretically impossible) stale
+    /// entry is dropped and resynchronized instead of panicking a
+    /// dispatcher that other connections depend on.
     fn pop_round_robin(inner: &mut Inner<T>, max: usize) -> Vec<T> {
         let mut out = Vec::with_capacity(max.min(inner.len));
-        while out.len() < max && inner.len > 0 {
-            let client = inner.rr.pop_front().expect("rr tracks non-empty queues");
-            let q = inner.queues.get_mut(&client).expect("rr tracks non-empty queues");
-            out.push(q.pop_front().expect("rr tracks non-empty queues"));
-            inner.len -= 1;
+        while out.len() < max {
+            let Some(client) = inner.rr.pop_front() else {
+                break;
+            };
+            let Some(q) = inner.queues.get_mut(&client) else {
+                continue;
+            };
+            let Some(item) = q.pop_front() else {
+                inner.queues.remove(&client);
+                continue;
+            };
+            out.push(item);
+            inner.len = inner.len.saturating_sub(1);
             if q.is_empty() {
                 inner.queues.remove(&client);
             } else {
@@ -219,5 +253,92 @@ mod tests {
         assert_eq!(q.close(), vec![8]);
         assert!(!q.offer(1, 9), "offers after close must shed");
         assert!(q.drain(4, Duration::from_secs(10)).is_empty(), "drain after close returns empty");
+    }
+
+    /// Spurious-wakeup shape: two drainers race for one item. The loser's
+    /// wake finds the queue empty and must go back to waiting — not return
+    /// a phantom empty batch, which the dispatcher would misread as
+    /// "closed, exit". Before the outer predicate loop in `drain`, the
+    /// loser of the linger-phase race could return empty with the queue
+    /// still open.
+    #[test]
+    fn racing_drainers_never_return_phantom_empty() {
+        for _ in 0..50 {
+            let q = Arc::new(Admission::<u32>::new(8));
+            let drainers: Vec<_> = (0..2)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    // A non-zero tick forces the linger phase, where the
+                    // lock is released between wakes and the race lives.
+                    thread::spawn(move || q.drain(4, Duration::from_millis(1)))
+                })
+                .collect();
+            thread::sleep(Duration::from_millis(2));
+            assert!(q.offer(1, 42));
+            thread::sleep(Duration::from_millis(10));
+            // Exactly one drainer owns the item; the other must still be
+            // blocked. Closing releases it with the empty "exit" batch.
+            let leftover = q.close();
+            let batches: Vec<Vec<u32>> = drainers.into_iter().map(|d| d.join().unwrap()).collect();
+            let got: Vec<u32> = batches.iter().flatten().copied().collect();
+            assert!(leftover.is_empty(), "the item was drained, not left behind");
+            assert_eq!(got, vec![42], "one drainer gets the item exactly once: {batches:?}");
+            assert!(
+                batches.iter().any(|b| b.is_empty()),
+                "the losing drainer exits empty only after close"
+            );
+        }
+    }
+
+    /// Conservation under contention: every offered item is drained exactly
+    /// once across competing drainers, and no drainer observes an empty
+    /// batch while the queue is open.
+    #[test]
+    fn competing_drainers_conserve_items() {
+        let q = Arc::new(Admission::<u64>::new(1024));
+        let total: u64 = 400;
+        let drainers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    loop {
+                        let batch = q.drain(7, Duration::from_micros(200));
+                        if batch.is_empty() {
+                            assert!(q.is_closed(), "empty batch from an open queue");
+                            return seen;
+                        }
+                        seen.extend(batch);
+                    }
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..total / 4 {
+                        while !q.offer(p, p * total + i) {
+                            thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Let the drainers finish the backlog, then close to release them.
+        while q.queued() > 0 {
+            thread::yield_now();
+        }
+        assert!(q.close().is_empty());
+        let mut all: Vec<u64> = drainers.into_iter().flat_map(|d| d.join().unwrap()).collect();
+        all.sort_unstable();
+        let expected: Vec<u64> =
+            (0..4u64).flat_map(|p| (0..total / 4).map(move |i| p * total + i)).collect();
+        let mut expected = expected;
+        expected.sort_unstable();
+        assert_eq!(all, expected, "every admitted item drained exactly once");
     }
 }

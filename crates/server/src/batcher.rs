@@ -60,13 +60,16 @@ fn dispatch(shared: &Shared, batch: Vec<Ticket>) {
 
 /// Evaluates one same-table group as a single `query_batch` call.
 fn run_group(shared: &Shared, table: &Arc<Table>, tickets: Vec<Ticket>) {
+    // Tickets that fail typing are answered immediately; the rest ride in
+    // `owners`, index-aligned with `queries`, so answers pair back to their
+    // connections by zip — no positional bookkeeping to get wrong.
     let mut queries = Vec::with_capacity(tickets.len());
-    let mut slots = Vec::with_capacity(tickets.len());
-    for (i, t) in tickets.iter().enumerate() {
-        match typed_query(table, t) {
+    let mut owners = Vec::with_capacity(tickets.len());
+    for t in tickets {
+        match typed_query(table, &t) {
             Ok(q) => {
                 queries.push(q);
-                slots.push(i);
+                owners.push(t);
             }
             Err(msg) => t.conn.send(&fmt_err(t.tag.as_deref(), &msg)),
         }
@@ -75,8 +78,7 @@ fn run_group(shared: &Shared, table: &Arc<Table>, tickets: Vec<Ticket>) {
         return;
     }
     let answers = table.query_batch(&queries, Some(shared.engine.pool()));
-    for (slot, answer) in slots.into_iter().zip(answers) {
-        let t = &tickets[slot];
+    for (t, answer) in owners.iter().zip(answers) {
         let tag = t.tag.as_deref();
         match answer {
             Ok((BatchAnswer::Ids(ids), _)) => t.conn.send(&fmt_ok_ids(tag, ids.as_slice())),

@@ -1,10 +1,10 @@
 //! Per-connection reader: parses request lines, answers cheap verbs
 //! inline, and offers QUERY/COUNT to the admission queue.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::protocol::{self, RawPred, Request};
 use crate::server::{Shared, Ticket};
@@ -29,21 +29,112 @@ impl Conn {
         let mut buf = String::with_capacity(line.len() + 1);
         buf.push_str(line);
         buf.push('\n');
-        let mut w = self.writer.lock().expect("conn writer");
+        // Poison recovery: the guarded value is a raw socket handle with no
+        // invariants a panic could break; at worst the peer sees a torn
+        // line and hangs up, which only affects that one client.
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let _ = w.write_all(buf.as_bytes());
+    }
+}
+
+/// Outcome of one bounded line read (see [`read_line_capped`]).
+enum LineOutcome {
+    /// A complete line, newline stripped.
+    Line(String),
+    /// The line exceeded the cap; its remainder (through the newline) was
+    /// discarded, so the reader is still line-synchronized.
+    Oversized,
+    /// The line's bytes were not valid UTF-8; the line was consumed.
+    NotUtf8,
+    /// EOF (including mid-line) or an I/O error: tear the connection down.
+    Closed,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes (terminator
+/// excluded). Unlike `read_line`, an abusive peer streaming an endless
+/// line costs bounded memory: past the cap the bytes are discarded
+/// chunk-by-chunk until the newline, and the caller answers `ERR`.
+fn read_line_capped(reader: &mut impl BufRead, max: usize) -> LineOutcome {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => return LineOutcome::Closed,
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineOutcome::Closed,
+        };
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                if buf.len() + nl > max {
+                    reader.consume(nl + 1);
+                    return LineOutcome::Oversized;
+                }
+                match chunk.get(..nl) {
+                    Some(head) => buf.extend_from_slice(head),
+                    None => return LineOutcome::Closed,
+                }
+                reader.consume(nl + 1);
+                return match String::from_utf8(buf) {
+                    Ok(s) => LineOutcome::Line(s),
+                    Err(_) => LineOutcome::NotUtf8,
+                };
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len() + n > max {
+                    reader.consume(n);
+                    return skip_to_newline(reader);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Discards bytes through the next newline after an over-cap prefix.
+fn skip_to_newline(reader: &mut impl BufRead) -> LineOutcome {
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => return LineOutcome::Closed,
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineOutcome::Closed,
+        };
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                reader.consume(nl + 1);
+                return LineOutcome::Oversized;
+            }
+            None => {
+                let n = chunk.len();
+                reader.consume(n);
+            }
+        }
     }
 }
 
 /// Reader loop of one connection: one request per line until EOF/error.
 pub(crate) fn serve(shared: Arc<Shared>, conn: Arc<Conn>, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let max = shared.cfg.max_line_bytes;
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
+        let line = match read_line_capped(&mut reader, max) {
+            LineOutcome::Line(l) => l,
+            LineOutcome::Oversized => {
+                // The offending line was never buffered, so its tag (if
+                // any) is unknown — the ERR goes back untagged.
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                conn.send(&protocol::fmt_err(None, &format!("request line exceeds {max} bytes")));
+                continue;
+            }
+            LineOutcome::NotUtf8 => {
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                conn.send(&protocol::fmt_err(None, "request line is not valid UTF-8"));
+                continue;
+            }
+            LineOutcome::Closed => break,
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;

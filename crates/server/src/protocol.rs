@@ -109,10 +109,11 @@ pub fn parse_value(ty: ColumnType, s: &str) -> Result<Value, String> {
 pub fn split_tag(line: &str) -> (Option<&str>, &str) {
     let trimmed = line.trim_start();
     match trimmed.split_once(char::is_whitespace) {
-        Some((first, rest)) if first.len() > 1 && first.starts_with('#') => {
-            (Some(&first[1..]), rest)
-        }
-        _ => (None, trimmed),
+        Some((first, rest)) => match first.strip_prefix('#') {
+            Some(tag) if !tag.is_empty() => (Some(tag), rest),
+            _ => (None, trimmed),
+        },
+        None => (None, trimmed),
     }
 }
 
@@ -151,12 +152,14 @@ pub fn parse_request(body: &str) -> Result<Request, String> {
 
 /// Parses one `col<op>value` predicate token.
 fn parse_pred(token: &str) -> Result<RawPred, String> {
-    let (column, op, value) = if let Some(i) = token.find("<=") {
-        (&token[..i], "<=", &token[i + 2..])
-    } else if let Some(i) = token.find(">=") {
-        (&token[..i], ">=", &token[i + 2..])
-    } else if let Some(i) = token.find('=') {
-        (&token[..i], "=", &token[i + 1..])
+    // `<=` / `>=` are checked before bare `=` so `v<=3` does not split at
+    // its `=`; `split_once` keeps the scan free of manual offsets.
+    let (column, op, value) = if let Some((c, v)) = token.split_once("<=") {
+        (c, "<=", v)
+    } else if let Some((c, v)) = token.split_once(">=") {
+        (c, ">=", v)
+    } else if let Some((c, v)) = token.split_once('=') {
+        (c, "=", v)
     } else {
         return Err(format!("predicate {token:?} has no operator (use = / <= / >= / =lo..hi)"));
     };
@@ -244,12 +247,13 @@ impl Reply {
     /// for `BUSY`/`ERR` or a payload that is not `count ids…`.
     pub fn ids(&self) -> Option<Vec<u64>> {
         match self {
-            Reply::Ok(fields) if !fields.is_empty() => {
-                let n: usize = fields[0].parse().ok()?;
-                if fields.len() != n + 1 {
+            Reply::Ok(fields) => {
+                let (count, ids) = fields.split_first()?;
+                let n: usize = count.parse().ok()?;
+                if ids.len() != n {
                     return None;
                 }
-                fields[1..].iter().map(|f| f.parse().ok()).collect()
+                ids.iter().map(|f| f.parse().ok()).collect()
             }
             _ => None,
         }
@@ -259,7 +263,10 @@ impl Reply {
     /// is not a single integer.
     pub fn count(&self) -> Option<u64> {
         match self {
-            Reply::Ok(fields) if fields.len() == 1 => fields[0].parse().ok(),
+            Reply::Ok(fields) => match fields.as_slice() {
+                [one] => one.parse().ok(),
+                _ => None,
+            },
             _ => None,
         }
     }

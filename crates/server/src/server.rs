@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::Duration;
 
@@ -33,6 +33,10 @@ pub struct ServerConfig {
     /// Batching tick: how long the dispatcher lingers after the first
     /// admitted request so concurrent arrivals share its morsel pass.
     pub batch_tick: Duration,
+    /// Hard cap on one request line's length in bytes (newline excluded).
+    /// A longer line is discarded as it streams in — bounded memory per
+    /// connection — and answered with an untagged `ERR`.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +55,9 @@ impl ServerConfig {
             queue_depth: s.queue_depth,
             batch_max: s.batch_max,
             batch_tick: s.batch_tick(),
+            // Generous for QUERY lines with many predicates, small enough
+            // that a hostile pipeline cannot balloon reader memory.
+            max_line_bytes: 64 * 1024,
         }
     }
 }
@@ -116,11 +123,15 @@ pub(crate) struct Shared {
 
 impl Shared {
     pub fn stopping(&self) -> bool {
+        // ordering: SeqCst pairs with the store in `shutdown`; the flag
+        // gates BUSY-draining against the listener poke and queue close,
+        // and the handful of loads per request make the strongest order
+        // free in practice — not worth a weaker-order proof.
         self.stopping.load(Ordering::SeqCst)
     }
 
     pub fn forget_conn(&self, id: u64) {
-        self.conns.lock().expect("conn registry").remove(&id);
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
     }
 
     pub fn stats(&self) -> ServerStats {
@@ -218,6 +229,9 @@ impl Server {
             return;
         }
         self.down = true;
+        // ordering: SeqCst pairs with the load in `Shared::stopping`; the
+        // self-connect poke below must observe the flag already set, and a
+        // once-per-shutdown store has no cost to optimize.
         self.shared.stopping.store(true, Ordering::SeqCst);
         // Poke the listener awake so the accept loop observes the flag.
         let _ = TcpStream::connect(self.addr);
@@ -230,10 +244,11 @@ impl Server {
         if let Some(h) = self.dispatcher.take() {
             let _ = h.join();
         }
-        for (_, sock) in self.shared.conns.lock().expect("conn registry").drain() {
+        for (_, sock) in self.shared.conns.lock().unwrap_or_else(PoisonError::into_inner).drain() {
             let _ = sock.shutdown(Shutdown::Both);
         }
-        let handles: Vec<_> = self.conn_threads.lock().expect("conn threads").drain(..).collect();
+        let handles: Vec<_> =
+            self.conn_threads.lock().unwrap_or_else(PoisonError::into_inner).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -267,14 +282,14 @@ fn accept_loop(
         };
         let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-        shared.conns.lock().expect("conn registry").insert(id, registered);
+        shared.conns.lock().unwrap_or_else(PoisonError::into_inner).insert(id, registered);
         let conn = Arc::new(Conn::new(id, writer));
         let s = Arc::clone(&shared);
         if let Ok(handle) = thread::Builder::new()
             .name(format!("imprints-conn-{id}"))
             .spawn(move || conn::serve(s, conn, stream))
         {
-            threads.lock().expect("conn threads").push(handle);
+            threads.lock().unwrap_or_else(PoisonError::into_inner).push(handle);
         }
     }
 }

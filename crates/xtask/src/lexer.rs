@@ -1,0 +1,388 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! lint rules, with none of a real parser's weight (and no external
+//! parser crates, consistent with the workspace's vendored-offline
+//! policy).
+//!
+//! The scanner understands the parts of Rust's lexical grammar that can
+//! fool a grep: line and (nested) block comments, plain / raw / byte
+//! string literals, char literals vs. lifetimes, and raw identifiers.
+//! Everything else degrades to a flat stream of identifier and
+//! punctuation tokens tagged with line numbers. Comments are captured
+//! separately because three of the rules (SAFETY, `ordering:` and the
+//! panic allowlist) key off adjacent comment text.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier, keyword or numeric literal (`[A-Za-z0-9_]+` runs).
+    Ident(String),
+    /// Single punctuation character (multi-char operators arrive as runs).
+    Punct(char),
+    /// A lifetime (`'a`) — kept distinct so apostrophes never desync the
+    /// char-literal state machine.
+    Lifetime(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in order.
+    pub tokens: Vec<Token>,
+    /// Per-line comment text: `comment_text[i]` holds every comment
+    /// fragment that touches line `i + 1` (block comments register on
+    /// each line they span).
+    pub comment_text: Vec<String>,
+    /// Lines (1-based) that contain at least one non-comment token.
+    pub code_lines: Vec<bool>,
+}
+
+impl Lexed {
+    fn ensure_line(&mut self, line: u32) {
+        let need = line as usize;
+        if self.comment_text.len() < need {
+            self.comment_text.resize(need, String::new());
+        }
+        if self.code_lines.len() < need {
+            self.code_lines.resize(need, false);
+        }
+    }
+
+    fn add_comment(&mut self, line: u32, text: &str) {
+        self.ensure_line(line);
+        let slot = &mut self.comment_text[line as usize - 1];
+        slot.push_str(text);
+        slot.push(' ');
+    }
+
+    fn mark_code(&mut self, line: u32) {
+        self.ensure_line(line);
+        self.code_lines[line as usize - 1] = true;
+    }
+
+    /// Comment text touching 1-based `line` (empty if none).
+    pub fn comment_on(&self, line: u32) -> &str {
+        self.comment_text.get(line as usize - 1).map(String::as_str).unwrap_or("")
+    }
+
+    /// Whether 1-based `line` holds only comment text (no code tokens).
+    pub fn is_comment_only(&self, line: u32) -> bool {
+        let i = line as usize - 1;
+        !self.comment_text.get(i).is_none_or(String::is_empty)
+            && !self.code_lines.get(i).copied().unwrap_or(false)
+    }
+
+    /// Whether `needle` occurs in a comment *adjacent* to `line`: on the
+    /// line itself (trailing comment) or in the contiguous run of
+    /// comment-only lines directly above it.
+    pub fn has_adjacent_comment(&self, line: u32, needle: &str) -> bool {
+        if self.comment_on(line).contains(needle) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 && self.is_comment_only(l - 1) {
+            l -= 1;
+            if self.comment_on(l).contains(needle) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Lexes one file's source text.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks newlines inside any skipped region so `line` stays exact.
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            line += b[$range].iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Line comment (also doc comments).
+                let end = memchr_newline(b, i).unwrap_or(b.len());
+                out.add_comment(line, &src[i + 2..end]);
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment; Rust block comments nest.
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                // Register the comment on every line it spans.
+                for l in start_line..=line {
+                    out.add_comment(l, "");
+                }
+                out.add_comment(start_line, &src[start..i.min(b.len())]);
+            }
+            b'"' => {
+                let end = scan_string(b, i);
+                out.mark_code(line);
+                bump_lines!(i..end);
+                i = end;
+            }
+            b'r' | b'b' if is_raw_or_byte_literal(b, i) => {
+                let end = scan_raw_or_byte(b, i);
+                out.mark_code(line);
+                bump_lines!(i..end);
+                i = end;
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                if let Some(end) = scan_char_literal(b, i) {
+                    out.mark_code(line);
+                    bump_lines!(i..end);
+                    i = end;
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token { kind: Tok::Lifetime(src[i + 1..j].to_string()), line });
+                    out.mark_code(line);
+                    i = j;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphanumeric() => {
+                let mut j = i;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                let mut word = &src[i..j];
+                // Raw identifier `r#ident` arrives as `r` here when the
+                // `r#"` raw-string check above declined it.
+                if word == "r" && b.get(j) == Some(&b'#') {
+                    let mut k = j + 1;
+                    while k < b.len() && (b[k] == b'_' || b[k].is_ascii_alphanumeric()) {
+                        k += 1;
+                    }
+                    word = &src[j + 1..k];
+                    j = k;
+                }
+                out.tokens.push(Token { kind: Tok::Ident(word.to_string()), line });
+                out.mark_code(line);
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token { kind: Tok::Punct(c as char), line });
+                out.mark_code(line);
+                i += 1;
+            }
+        }
+    }
+    out.ensure_line(line);
+    out
+}
+
+fn memchr_newline(b: &[u8], from: usize) -> Option<usize> {
+    b.iter().skip(from).position(|&c| c == b'\n').map(|p| from + p)
+}
+
+/// Scans a plain `"…"` string starting at `i`; returns the index past the
+/// closing quote.
+fn scan_string(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string or byte
+/// char literal rather than an identifier.
+fn is_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"')) || raw_hashes(b, i + 1).is_some(),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(b.get(i + 2), Some(b'"')) || raw_hashes(b, i + 2).is_some(),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// If `b[from..]` is `#…#"`, returns the hash count.
+fn raw_hashes(b: &[u8], from: usize) -> Option<usize> {
+    let mut j = from;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    (j > from && b.get(j) == Some(&b'"')).then_some(j - from)
+}
+
+/// Scans a raw string / byte string / byte char starting at `i` (which
+/// sits on the `r` or `b` prefix); returns the index past the literal.
+fn scan_raw_or_byte(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'\'') {
+        // Byte char literal b'x'.
+        return scan_char_literal(b, j).unwrap_or(j + 1);
+    }
+    let raw = b.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let hashes = raw_hashes(b, j).unwrap_or(0);
+    j += hashes; // at the opening quote
+    debug_assert_eq!(b.get(j), Some(&b'"'));
+    j += 1;
+    while j < b.len() {
+        if !raw && b[j] == b'\\' {
+            j += 2;
+            continue;
+        }
+        if b[j] == b'"' {
+            let close = j + 1;
+            if !raw {
+                return close;
+            }
+            let (mut k, mut seen) = (close, 0);
+            while seen < hashes && b.get(k) == Some(&b'#') {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// If `i` (at a `'`) starts a char literal, returns the index past it;
+/// `None` means it is a lifetime.
+fn scan_char_literal(b: &[u8], i: usize) -> Option<usize> {
+    match b.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char: skip to the closing quote.
+            let mut j = i + 2;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return Some(j + 1),
+                    _ => j += 1,
+                }
+            }
+            Some(j)
+        }
+        Some(_) if b.get(i + 2) == Some(&b'\'') => Some(i + 3),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<String> {
+        l.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let l = lex("let x = \"unsafe { }\"; // unsafe in comment\n/* unwrap() */ let y = 1;");
+        let ids = idents(&l);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+        assert!(l.comment_on(1).contains("unsafe in comment"));
+        assert!(l.comment_on(2).contains("unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_bytes() {
+        let l = lex(r####"let s = r#"a " unsafe "# ; let b = b"panic!"; let c = br##"x"##;"####);
+        assert!(!idents(&l).contains(&"unsafe".to_string()));
+        assert!(!idents(&l).contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }\nlet nl = '\\n';");
+        let lts: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Lifetime(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lts, vec!["a", "a"]);
+        // The braces stayed balanced despite the 'x' literal.
+        let opens = l.tokens.iter().filter(|t| t.kind == Tok::Punct('{')).count();
+        let closes = l.tokens.iter().filter(|t| t.kind == Tok::Punct('}')).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let l = lex("a\n/* one /* two */ still */ b\nc");
+        assert_eq!(idents(&l), vec!["a", "b", "c"]);
+        assert_eq!(l.tokens[1].line, 2);
+        assert_eq!(l.tokens[2].line, 3);
+    }
+
+    #[test]
+    fn adjacent_comment_walks_contiguous_comment_lines() {
+        let src = "// SAFETY: reason one\n// continued\nunsafe { }\n\n// far away\n\nunsafe { }";
+        let l = lex(src);
+        assert!(l.has_adjacent_comment(3, "SAFETY:"));
+        assert!(!l.has_adjacent_comment(7, "far away"), "blank line breaks adjacency");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let l = lex("let r#type = 1;");
+        assert!(idents(&l).contains(&"type".to_string()));
+    }
+}

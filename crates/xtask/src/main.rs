@@ -1,0 +1,67 @@
+//! `cargo xtask` — workspace automation. The only subcommand today is
+//! `lint`, the invariant analyzer (see the crate docs / DESIGN.md).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| "lint".to_string());
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    match cmd.as_str() {
+        "lint" => lint(root),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            usage()
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--root <workspace-root>]");
+    eprintln!();
+    eprintln!("Checks the workspace against the invariant policy in lint_policy.toml:");
+    eprintln!("  atomics       Ordering::Relaxed/SeqCst sites need `// ordering:` rationales");
+    eprintln!("  unsafe        unsafe blocks/impls/fns need `// SAFETY:` comments");
+    eprintln!("  server-panic  no unwrap/expect/panic!/indexing on server request paths");
+    eprintln!("  condvar       Condvar waits must sit in predicate loops");
+    eprintln!("  locks         nested lock acquisitions must follow the declared hierarchy");
+    ExitCode::from(2)
+}
+
+fn lint(root: Option<PathBuf>) -> ExitCode {
+    let root = match root.map(Ok).unwrap_or_else(xtask::workspace_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::run_lint(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

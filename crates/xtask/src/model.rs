@@ -1,0 +1,385 @@
+//! Structural views over the flat token stream: brace depth, `#[cfg(test)]`
+//! regions, function bodies, and enclosing-block classification. These are
+//! deliberately lexical approximations — sound enough for the invariants
+//! the rules check, and honest about their limits (documented per rule in
+//! DESIGN.md).
+
+use crate::lexer::{Lexed, Tok};
+
+/// Returns `tokens[i]` as an identifier string, if it is one.
+pub fn ident(lexed: &Lexed, i: usize) -> Option<&str> {
+    match lexed.tokens.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// Whether `tokens[i]` is the punctuation `c`.
+pub fn punct(lexed: &Lexed, i: usize) -> bool {
+    matches!(lexed.tokens.get(i).map(|t| &t.kind), Some(Tok::Punct(_)))
+}
+
+/// Whether `tokens[i]` is exactly the punctuation character `c`.
+pub fn is_punct(lexed: &Lexed, i: usize, c: char) -> bool {
+    matches!(lexed.tokens.get(i).map(|t| &t.kind), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Rust keywords that can precede `[` without it being an index
+/// expression (`let [a, b] = …`, `return [x]`, `in [..]`, …).
+pub fn is_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "as" | "async"
+            | "await"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+/// Brace depth at each token index (depth *before* consuming the token,
+/// so an opening `{` carries the depth outside it).
+pub fn brace_depth(lexed: &Lexed) -> Vec<u32> {
+    let mut depth = 0u32;
+    let mut out = Vec::with_capacity(lexed.tokens.len());
+    for t in &lexed.tokens {
+        match t.kind {
+            Tok::Punct('{') => {
+                out.push(depth);
+                depth += 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                out.push(depth);
+            }
+            _ => out.push(depth),
+        }
+    }
+    out
+}
+
+/// Token index of the `}` matching the `{` at `open` (or the end of the
+/// stream if unbalanced).
+pub fn matching_brace(lexed: &Lexed, open: usize) -> usize {
+    let mut depth = 0i64;
+    for i in open..lexed.tokens.len() {
+        match lexed.tokens[i].kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    lexed.tokens.len().saturating_sub(1)
+}
+
+/// Per-token mask: `true` where the token sits inside a `#[cfg(test)]`
+/// item (canonically `mod tests { … }`). Such regions are exempt from the
+/// rules that police production paths.
+pub fn test_mask(lexed: &Lexed) -> Vec<bool> {
+    let n = lexed.tokens.len();
+    let mut mask = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        // `#` `[` cfg `(` test … `]`
+        if is_punct(lexed, i, '#') && is_punct(lexed, i + 1, '[') {
+            let mut j = i + 2;
+            let mut saw_cfg_test = false;
+            let mut saw_cfg = false;
+            while j < n && !is_punct(lexed, j, ']') {
+                match ident(lexed, j) {
+                    Some("cfg") => saw_cfg = true,
+                    Some("test") if saw_cfg => saw_cfg_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_cfg_test {
+                // Skip any further attributes, then mark the next item's
+                // braced body.
+                let mut k = j + 1;
+                while is_punct(lexed, k, '#') && is_punct(lexed, k + 1, '[') {
+                    while k < n && !is_punct(lexed, k, ']') {
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                // Find the body: first `{` before a `;` at this level.
+                let mut open = None;
+                let mut m = k;
+                while m < n {
+                    match lexed.tokens[m].kind {
+                        Tok::Punct('{') => {
+                            open = Some(m);
+                            break;
+                        }
+                        Tok::Punct(';') => break,
+                        _ => m += 1,
+                    }
+                }
+                if let Some(open) = open {
+                    let close = matching_brace(lexed, open);
+                    for slot in mask.iter_mut().take(close + 1).skip(i) {
+                        *slot = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// One `fn` item: its name and the token range of its body (inclusive of
+/// the braces).
+#[derive(Debug)]
+pub struct FnBody {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's `{`.
+    pub open: usize,
+    /// Token index of the body's `}`.
+    pub close: usize,
+}
+
+/// Extracts every `fn` item with a braced body. Trait method declarations
+/// (ending in `;`) and `fn` *types* (`fn(…)`) are skipped.
+pub fn fn_bodies(lexed: &Lexed) -> Vec<FnBody> {
+    let n = lexed.tokens.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if ident(lexed, i) == Some("fn") {
+            let Some(name) = ident(lexed, i + 1) else {
+                i += 1; // `fn(…)` pointer type
+                continue;
+            };
+            let name = name.to_string();
+            let line = lexed.tokens[i].line;
+            // Find the parameter list and match its parens.
+            let mut j = i + 2;
+            while j < n && !is_punct(lexed, j, '(') {
+                j += 1;
+            }
+            let mut pdepth = 0i64;
+            while j < n {
+                match lexed.tokens[j].kind {
+                    Tok::Punct('(') => pdepth += 1,
+                    Tok::Punct(')') => {
+                        pdepth -= 1;
+                        if pdepth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Body `{` or declaration `;`.
+            let mut k = j + 1;
+            let mut open = None;
+            while k < n {
+                match lexed.tokens[k].kind {
+                    Tok::Punct('{') => {
+                        open = Some(k);
+                        break;
+                    }
+                    Tok::Punct(';') => break,
+                    _ => k += 1,
+                }
+            }
+            if let Some(open) = open {
+                let close = matching_brace(lexed, open);
+                out.push(FnBody { name, line, open, close });
+                // Functions nest (closures, inner fns); keep scanning from
+                // inside so inner `fn` items are found too.
+                i = open + 1;
+                continue;
+            }
+            i = k + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// What kind of block encloses a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `while … {` or `loop {` — a predicate-loop candidate.
+    Loop,
+    /// A function body boundary (search stops here).
+    Fn,
+    /// Anything else (`if`, `match` arm, plain block, struct literal, …).
+    Other,
+}
+
+/// Classifies the chain of blocks enclosing `tok`, innermost first,
+/// stopping at (and including) the first function boundary.
+///
+/// Used by the condvar rule: a `Condvar::wait` is acceptable only if some
+/// enclosing block between it and its function is a `while`/`loop`.
+pub fn enclosing_blocks(lexed: &Lexed, tok: usize) -> Vec<BlockKind> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut i = tok;
+    while i > 0 {
+        i -= 1;
+        match lexed.tokens[i].kind {
+            Tok::Punct('}') => depth += 1,
+            Tok::Punct('{') => {
+                if depth > 0 {
+                    depth -= 1;
+                    continue;
+                }
+                let kind = classify_opener(lexed, i);
+                out.push(kind);
+                if kind == BlockKind::Fn {
+                    return out;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Determines what introduced the block opening at token `open` by
+/// scanning the header span back to the previous statement boundary.
+fn classify_opener(lexed: &Lexed, open: usize) -> BlockKind {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut i = open;
+    let mut kind = BlockKind::Other;
+    while i > 0 {
+        i -= 1;
+        match lexed.tokens[i].kind {
+            Tok::Punct(')') => paren += 1,
+            Tok::Punct('(') => paren -= 1,
+            Tok::Punct(']') => bracket += 1,
+            Tok::Punct('[') => bracket -= 1,
+            Tok::Punct('{') | Tok::Punct('}') | Tok::Punct(';') if paren == 0 && bracket == 0 => {
+                break;
+            }
+            Tok::Ident(ref w) if paren == 0 && bracket == 0 => match w.as_str() {
+                "while" | "loop" => kind = BlockKind::Loop,
+                "fn" => return BlockKind::Fn,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    kind
+}
+
+/// Walks back from `at` to the start of the enclosing statement (the
+/// token after the previous `;`, `{` or `}` at the same bracket level).
+pub fn statement_start(lexed: &Lexed, at: usize) -> usize {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        match lexed.tokens[i].kind {
+            Tok::Punct(')') => paren += 1,
+            Tok::Punct('(') => paren -= 1,
+            Tok::Punct(']') => bracket += 1,
+            Tok::Punct('[') => bracket -= 1,
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') if paren == 0 && bracket == 0 => {
+                return i + 1;
+            }
+            _ => {}
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() { x.unwrap(); }\n}\nfn c() {}";
+        let l = lex(src);
+        let mask = test_mask(&l);
+        let unwrap_at =
+            l.tokens.iter().position(|t| t.kind == Tok::Ident("unwrap".into())).unwrap();
+        assert!(mask[unwrap_at]);
+        let c_at = l.tokens.iter().rposition(|t| t.kind == Tok::Ident("c".into())).unwrap();
+        assert!(!mask[c_at]);
+    }
+
+    #[test]
+    fn fn_bodies_finds_nested_functions() {
+        let src = "impl X { fn outer(&self) { fn inner() {} } }\ntrait T { fn decl(&self); }";
+        let l = lex(src);
+        let fns = fn_bodies(&l);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn enclosing_blocks_sees_predicate_loops() {
+        let src = "fn f() { while x { g = cv.wait(g); } }";
+        let l = lex(src);
+        let wait_at = l.tokens.iter().position(|t| t.kind == Tok::Ident("wait".into())).unwrap();
+        let blocks = enclosing_blocks(&l, wait_at);
+        assert!(blocks.contains(&BlockKind::Loop));
+
+        let src2 = "fn f() { if x { g = cv.wait(g); } }";
+        let l2 = lex(src2);
+        let wait_at2 = l2.tokens.iter().position(|t| t.kind == Tok::Ident("wait".into())).unwrap();
+        let blocks2 = enclosing_blocks(&l2, wait_at2);
+        assert!(!blocks2.contains(&BlockKind::Loop));
+        assert_eq!(blocks2.last(), Some(&BlockKind::Fn));
+    }
+
+    #[test]
+    fn while_condition_closures_do_not_confuse_classification() {
+        let src = "fn f() { while xs.iter().any(|v| { v > 0 }) { g = cv.wait(g); } }";
+        let l = lex(src);
+        let wait_at = l.tokens.iter().position(|t| t.kind == Tok::Ident("wait".into())).unwrap();
+        assert!(enclosing_blocks(&l, wait_at).contains(&BlockKind::Loop));
+    }
+}

@@ -1,0 +1,321 @@
+//! `lint_policy.toml` — a hand-rolled parser for the small TOML subset
+//! the policy file needs (tables, string / bool / integer / string-array
+//! values, quoted keys, comments). No external crates, per the
+//! workspace's vendored-offline policy.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One policy value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// An array of quoted strings (possibly spanning lines).
+    List(Vec<String>),
+}
+
+/// The parsed policy: tables keyed by their `[header]` name, each a map
+/// of key → value. Keys keep their quoted spelling verbatim (paths with
+/// dots and slashes are common keys here).
+#[derive(Debug, Default)]
+pub struct Policy {
+    tables: BTreeMap<String, BTreeMap<String, Value>>,
+}
+
+/// A parse failure with its 1-based line.
+#[derive(Debug)]
+pub struct PolicyError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint_policy.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+impl Policy {
+    /// Parses policy text.
+    pub fn parse(src: &str) -> Result<Policy, PolicyError> {
+        let mut tables: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+        let mut current = String::new();
+        tables.entry(String::new()).or_default();
+        let mut lines = src.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(PolicyError { line: lineno, msg: "unterminated [table]".into() });
+                };
+                current = name.trim().to_string();
+                tables.entry(current.clone()).or_default();
+                continue;
+            }
+            let Some((key_part, val_part)) = split_key_value(&line) else {
+                return Err(PolicyError {
+                    line: lineno,
+                    msg: format!("expected `key = value`, got {line:?}"),
+                });
+            };
+            // Multiline arrays: keep consuming lines until the `]`.
+            let mut val = val_part.to_string();
+            while val.starts_with('[') && !array_closed(&val) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(PolicyError { line: lineno, msg: "unterminated array".into() });
+                };
+                val.push(' ');
+                val.push_str(strip_comment(next).trim());
+            }
+            let value = parse_value(&val)
+                .ok_or_else(|| PolicyError { line: lineno, msg: format!("bad value {val:?}") })?;
+            tables.entry(current.clone()).or_default().insert(key_part, value);
+        }
+        Ok(Policy { tables })
+    }
+
+    /// All keys of `[table]`, in order.
+    pub fn keys(&self, table: &str) -> Vec<&str> {
+        self.tables.get(table).map(|t| t.keys().map(String::as_str).collect()).unwrap_or_default()
+    }
+
+    /// Looks up `key` in `[table]`.
+    pub fn get(&self, table: &str, key: &str) -> Option<&Value> {
+        self.tables.get(table)?.get(key)
+    }
+
+    /// String value of `[table] key`.
+    pub fn str_of(&self, table: &str, key: &str) -> Option<&str> {
+        match self.get(table, key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String-array value of `[table] key` (empty when absent).
+    pub fn list_of(&self, table: &str, key: &str) -> Vec<String> {
+        match self.get(table, key) {
+            Some(Value::List(v)) => v.clone(),
+            Some(Value::Str(s)) => vec![s.clone()],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Bool value of `[table] key`, with a default.
+    pub fn bool_of(&self, table: &str, key: &str, default: bool) -> bool {
+        match self.get(table, key) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Splits `key = value`, unquoting the key if quoted.
+fn split_key_value(line: &str) -> Option<(String, &str)> {
+    let eq = if line.starts_with('"') {
+        // Quoted key: find the closing quote first.
+        let close = find_close_quote(line, 0)?;
+        line[close..].find('=').map(|p| close + p)?
+    } else {
+        line.find('=')?
+    };
+    let key_raw = line[..eq].trim();
+    let key = if key_raw.starts_with('"') && key_raw.ends_with('"') && key_raw.len() >= 2 {
+        unescape(&key_raw[1..key_raw.len() - 1])
+    } else {
+        key_raw.to_string()
+    };
+    Some((key, line[eq + 1..].trim()))
+}
+
+fn find_close_quote(s: &str, open: usize) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn array_closed(s: &str) -> bool {
+    // Good enough: the policy file's arrays hold plain quoted strings, so
+    // a `]` outside quotes closes the array.
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            ']' if !in_str => return true,
+            _ => {}
+        }
+        escaped = false;
+    }
+    false
+}
+
+fn parse_value(s: &str) -> Option<Value> {
+    let s = s.trim();
+    if s == "true" {
+        return Some(Value::Bool(true));
+    }
+    if s == "false" {
+        return Some(Value::Bool(false));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Some(Value::Int(i));
+    }
+    if s.starts_with('"') && s.ends_with('"') && s.len() >= 2 {
+        return Some(Value::Str(unescape(&s[1..s.len() - 1])));
+    }
+    if let Some(body) = s.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_array_items(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if part.starts_with('"') && part.ends_with('"') && part.len() >= 2 {
+                items.push(unescape(&part[1..part.len() - 1]));
+            } else {
+                return None;
+            }
+        }
+        return Some(Value::List(items));
+    }
+    None
+}
+
+fn split_array_items(body: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in body.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                cur.push(c);
+                continue;
+            }
+            '"' if !escaped => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                items.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+        escaped = false;
+    }
+    if !cur.trim().is_empty() {
+        items.push(cur);
+    }
+    items
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_keys_and_values() {
+        let p = Policy::parse(
+            r#"
+# top comment
+[atomics]
+check = ["Relaxed", "SeqCst"]  # inline comment
+strict = true
+limit = 42
+
+[atomics.blanket]
+"crates/engine/src/paths.rs" = "lossy cost EWMAs"
+
+[locks]
+hierarchy = [
+  "catalog.tables",
+  "table.open",
+]
+"#,
+        )
+        .unwrap();
+        assert_eq!(p.list_of("atomics", "check"), vec!["Relaxed", "SeqCst"]);
+        assert!(p.bool_of("atomics", "strict", false));
+        assert_eq!(p.get("atomics", "limit"), Some(&Value::Int(42)));
+        assert_eq!(
+            p.str_of("atomics.blanket", "crates/engine/src/paths.rs"),
+            Some("lossy cost EWMAs")
+        );
+        assert_eq!(p.list_of("locks", "hierarchy"), vec!["catalog.tables", "table.open"]);
+        assert_eq!(p.keys("atomics.blanket"), vec!["crates/engine/src/paths.rs"]);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let p = Policy::parse("[t]\nk = \"a # b\"").unwrap();
+        assert_eq!(p.str_of("t", "k"), Some("a # b"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Policy::parse("[t\n").is_err());
+        assert!(Policy::parse("[t]\nkey value\n").is_err());
+        assert!(Policy::parse("[t]\nk = [1, 2]\n").is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Rule 1: atomic-ordering discipline.
+//!
+//! Every `Ordering::Relaxed` / `Ordering::SeqCst` site (the two extremes,
+//! and the two easiest to cargo-cult) must carry an adjacent
+//! `// ordering:` comment justifying the choice — same line or the
+//! contiguous comment block above. `Acquire`/`Release`/`AcqRel` sites are
+//! exempt by default: a paired ordering is already a statement of intent.
+//!
+//! Per-file policy lives in `lint_policy.toml`:
+//!
+//! * `[atomics] check = ["Relaxed", "SeqCst"]` — which orderings demand a
+//!   justification.
+//! * `[atomics.blanket] "<path>" = "<why>"` — files whose **Relaxed**
+//!   sites are all of one shape (typically monotonic statistics counters
+//!   read without synchronization) and are justified once, in the policy
+//!   file, instead of at each of dozens of sites. Blanket entries never
+//!   cover `SeqCst` — an extreme that strong always warrants a per-site
+//!   sentence.
+//!
+//! `#[cfg(test)]` regions are exempt: a test asserting a counter value
+//! carries no ordering obligation the production site doesn't already
+//! document.
+
+use crate::lexer::Lexed;
+use crate::model::{ident, is_punct, test_mask};
+use crate::policy::Policy;
+use crate::rules::Violation;
+
+/// The comment marker a justification must contain.
+pub const MARKER: &str = "ordering:";
+
+/// Runs the rule over one file.
+pub fn check(file: &str, lexed: &Lexed, policy: &Policy) -> Vec<Violation> {
+    let mut checked = policy.list_of("atomics", "check");
+    if checked.is_empty() {
+        checked = vec!["Relaxed".to_string(), "SeqCst".to_string()];
+    }
+    let blanket = policy.str_of("atomics.blanket", file);
+    let mask = test_mask(lexed);
+    let mut out = Vec::new();
+    for i in 0..lexed.tokens.len() {
+        if ident(lexed, i) != Some("Ordering") {
+            continue;
+        }
+        if !(is_punct(lexed, i + 1, ':') && is_punct(lexed, i + 2, ':')) {
+            continue;
+        }
+        let Some(ord) = ident(lexed, i + 3) else { continue };
+        if !checked.iter().any(|c| c == ord) {
+            continue;
+        }
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if ord == "Relaxed" && blanket.is_some() {
+            continue;
+        }
+        let line = lexed.tokens[i].line;
+        if lexed.has_adjacent_comment(line, MARKER) {
+            continue;
+        }
+        out.push(Violation {
+            file: file.to_string(),
+            line,
+            rule: "atomics",
+            msg: format!(
+                "Ordering::{ord} without an adjacent `// {MARKER}` justification \
+                 (or a [atomics.blanket] entry for this file in lint_policy.toml)"
+            ),
+        });
+    }
+    out
+}

@@ -1,0 +1,57 @@
+//! Rule 4: condvar hygiene.
+//!
+//! A `Condvar::wait` / `wait_timeout` wake is a *hint*, not a guarantee:
+//! spurious wakeups and lost races against competing consumers both
+//! deliver a woken thread whose predicate is false. Every bare
+//! `.wait(…)` / `.wait_timeout(…)` call must therefore sit inside a
+//! `while`/`loop` that re-checks the predicate before acting
+//! (`admission.rs`'s drain loop is the motivating site). The
+//! `*_while` variants carry their predicate by construction and pass.
+//!
+//! Detection is lexical: the chain of blocks enclosing the call, up to
+//! the nearest `fn` boundary, must contain a `while` or `loop` block.
+//! This conservatively accepts a wait inside an `if` nested in a loop —
+//! the re-check may be outside the `if` — and that is fine: the rule's
+//! target is the wait at straight-line function scope whose author
+//! assumed one wake == one item.
+
+use crate::lexer::Lexed;
+use crate::model::{enclosing_blocks, ident, is_punct, BlockKind};
+use crate::rules::Violation;
+
+/// Runs the rule over one file.
+pub fn check(file: &str, lexed: &Lexed) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for i in 0..lexed.tokens.len() {
+        let Some(w) = ident(lexed, i) else { continue };
+        if w != "wait" && w != "wait_timeout" {
+            continue;
+        }
+        // Method call shape: `.wait(` — not `wait_timeout_while` (distinct
+        // token) and not a free function.
+        if i == 0 || !is_punct(lexed, i - 1, '.') || !is_punct(lexed, i + 1, '(') {
+            continue;
+        }
+        // Zero-argument waits are not condvar waits: `Condvar::wait` always
+        // takes the guard, while `Barrier::wait()` / `Child::wait()` take
+        // nothing and have no predicate to loop on.
+        if is_punct(lexed, i + 2, ')') {
+            continue;
+        }
+        let blocks = enclosing_blocks(lexed, i);
+        if blocks.contains(&BlockKind::Loop) {
+            continue;
+        }
+        out.push(Violation {
+            file: file.to_string(),
+            line: lexed.tokens[i].line,
+            rule: "condvar",
+            msg: format!(
+                ".{w}() outside a predicate loop: wrap it in `while !predicate {{ … }}` \
+                 (spurious wakeups and drain races deliver false wakes) or use the \
+                 `_while` variant"
+            ),
+        });
+    }
+    out
+}

@@ -1,0 +1,324 @@
+//! Rule 5: lock-nesting order.
+//!
+//! Deadlock freedom by construction: every lock the workspace nests is
+//! assigned a *class* (policy `[locks.classes]`, receiver field name →
+//! class), and the policy declares one total acquisition order over the
+//! classes (`[locks] hierarchy`, outermost first). Within one function,
+//! every acquisition made while an earlier guard is still live must move
+//! strictly *forward* in that order; the union of observed edges across
+//! the workspace is also checked for cycles, so two functions nesting the
+//! same pair in opposite orders are caught even when each declares its
+//! own order consistent.
+//!
+//! The model is lexical and deliberately conservative:
+//!
+//! * an acquisition is a no-argument `.lock()` / `.read()` / `.write()`
+//!   call (io's `read(&mut buf)` / `write(buf)` take arguments and never
+//!   match);
+//! * a `let`-bound guard lives to the end of its enclosing block, or to
+//!   an explicit `drop(guard)`;
+//! * a temporary guard (no `let`) lives to the next `;` at its own brace
+//!   depth — which correctly spans a `for` head's guard across the loop
+//!   body;
+//! * cross-function nesting (a method called while a guard is held) is
+//!   out of lexical reach; the declared hierarchy plus the cycle check
+//!   over the whole workspace is the mitigation.
+//!
+//! Over-approximation errs toward flagging: a forward-consistent total
+//! order makes false positives harmless (they are, by definition, already
+//! in order).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Lexed, Tok};
+use crate::model::{brace_depth, fn_bodies, ident, is_punct, statement_start, test_mask};
+use crate::policy::Policy;
+use crate::rules::Violation;
+
+/// The lock policy: receiver classes and the declared total order.
+#[derive(Debug, Default)]
+pub struct LockPolicy {
+    /// Receiver field name → lock class.
+    pub classes: BTreeMap<String, String>,
+    /// Lock classes, outermost first.
+    pub hierarchy: Vec<String>,
+    /// Whether a nested acquisition through an *unclassified* receiver is
+    /// itself a violation (keeps the class map total over nesting sites).
+    pub require_known: bool,
+}
+
+impl LockPolicy {
+    /// Loads `[locks]` / `[locks.classes]`, validating that every class
+    /// maps into the hierarchy.
+    pub fn from_policy(policy: &Policy) -> (LockPolicy, Vec<Violation>) {
+        let hierarchy = policy.list_of("locks", "hierarchy");
+        let mut classes = BTreeMap::new();
+        let mut errs = Vec::new();
+        for key in policy.keys("locks.classes") {
+            if let Some(class) = policy.str_of("locks.classes", key) {
+                if !hierarchy.iter().any(|h| h == class) {
+                    errs.push(Violation {
+                        file: "lint_policy.toml".to_string(),
+                        line: 0,
+                        rule: "locks",
+                        msg: format!(
+                            "[locks.classes] maps {key:?} to {class:?}, which is not in \
+                             [locks] hierarchy"
+                        ),
+                    });
+                }
+                classes.insert(key.to_string(), class.to_string());
+            }
+        }
+        let require_known = policy.bool_of("locks", "require_known", true);
+        (LockPolicy { classes, hierarchy, require_known }, errs)
+    }
+
+    fn pos(&self, class: &str) -> Option<usize> {
+        self.hierarchy.iter().position(|h| h == class)
+    }
+}
+
+/// One observed nesting edge (`from` held while `to` was acquired).
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Class held.
+    pub from: String,
+    /// Class acquired under it.
+    pub to: String,
+    /// File of the inner acquisition.
+    pub file: String,
+    /// Line of the inner acquisition.
+    pub line: u32,
+}
+
+#[derive(Debug)]
+struct Acq {
+    site: usize,
+    line: u32,
+    receiver: Option<String>,
+    live_end: usize,
+}
+
+/// Runs the per-function pass over one file, returning violations plus
+/// the nesting edges observed (for the workspace-wide cycle check).
+pub fn check(file: &str, lexed: &Lexed, lp: &LockPolicy) -> (Vec<Violation>, Vec<Edge>) {
+    let mask = test_mask(lexed);
+    let depth = brace_depth(lexed);
+    let mut out = Vec::new();
+    let mut edges = Vec::new();
+    for f in fn_bodies(lexed) {
+        if mask.get(f.open).copied().unwrap_or(false) {
+            continue; // test-only function
+        }
+        let acqs = acquisitions(lexed, &depth, f.open, f.close);
+        for (i, a) in acqs.iter().enumerate() {
+            for b in acqs.iter().skip(i + 1) {
+                if b.site >= a.live_end {
+                    break;
+                }
+                nested_pair(file, lp, a, b, &mut out, &mut edges);
+            }
+        }
+    }
+    (out, edges)
+}
+
+/// Collects lock acquisitions within one function body, with liveness.
+fn acquisitions(lexed: &Lexed, depth: &[u32], open: usize, close: usize) -> Vec<Acq> {
+    let mut out = Vec::new();
+    for i in open + 1..close {
+        let Some(w) = ident(lexed, i) else { continue };
+        if !matches!(w, "lock" | "read" | "write") {
+            continue;
+        }
+        // `.lock()` with an empty argument list.
+        if i == 0
+            || !is_punct(lexed, i - 1, '.')
+            || !is_punct(lexed, i + 1, '(')
+            || !is_punct(lexed, i + 2, ')')
+        {
+            continue;
+        }
+        let receiver = match i.checked_sub(2).map(|r| &lexed.tokens[r].kind) {
+            Some(Tok::Ident(s)) => Some(s.clone()),
+            _ => None,
+        };
+        let d = depth[i];
+        let stmt = statement_start(lexed, i);
+        let binding = let_binding(lexed, stmt, i);
+        let live_end = match &binding {
+            Some(name) => {
+                // To end of enclosing block, or an explicit drop(name).
+                let mut end = close;
+                for (k, dk) in depth.iter().enumerate().take(close + 1).skip(i + 1) {
+                    if *dk < d {
+                        end = k;
+                        break;
+                    }
+                }
+                drop_site(lexed, i + 1, end, name).unwrap_or(end)
+            }
+            None => {
+                // Temporary: next `;` at this depth or shallower.
+                (i + 1..close)
+                    .find(|&k| is_punct(lexed, k, ';') && depth.get(k).is_some_and(|dk| *dk <= d))
+                    .unwrap_or(close)
+            }
+        };
+        out.push(Acq { site: i, line: lexed.tokens[i].line, receiver, live_end });
+    }
+    out
+}
+
+/// The `let` binding name of the statement spanning `[stmt, at)`, if any.
+fn let_binding(lexed: &Lexed, stmt: usize, at: usize) -> Option<String> {
+    let mut i = stmt;
+    while i < at {
+        if ident(lexed, i) == Some("let") {
+            let mut j = i + 1;
+            while ident(lexed, j) == Some("mut") {
+                j += 1;
+            }
+            return ident(lexed, j).map(str::to_string);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds `drop ( name )` in `[from, to)`.
+fn drop_site(lexed: &Lexed, from: usize, to: usize, name: &str) -> Option<usize> {
+    (from..to).find(|&k| {
+        ident(lexed, k) == Some("drop")
+            && is_punct(lexed, k + 1, '(')
+            && ident(lexed, k + 2) == Some(name)
+            && is_punct(lexed, k + 3, ')')
+    })
+}
+
+fn nested_pair(
+    file: &str,
+    lp: &LockPolicy,
+    a: &Acq,
+    b: &Acq,
+    out: &mut Vec<Violation>,
+    edges: &mut Vec<Edge>,
+) {
+    let class_a = a.receiver.as_ref().and_then(|r| lp.classes.get(r));
+    let class_b = b.receiver.as_ref().and_then(|r| lp.classes.get(r));
+    match (class_a, class_b) {
+        (Some(ca), Some(cb)) => {
+            if ca == cb {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: b.line,
+                    rule: "locks",
+                    msg: format!(
+                        "re-entrant acquisition of lock class {ca:?} (first taken on line {}) — \
+                         self-deadlock risk",
+                        a.line
+                    ),
+                });
+                return;
+            }
+            if let (Some(pa), Some(pb)) = (lp.pos(ca), lp.pos(cb)) {
+                if pa > pb {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: b.line,
+                        rule: "locks",
+                        msg: format!(
+                            "lock order inversion: {cb:?} acquired while {ca:?} (line {}) is \
+                             held, but the declared hierarchy orders {cb:?} before {ca:?}",
+                            a.line
+                        ),
+                    });
+                }
+            }
+            edges.push(Edge {
+                from: ca.clone(),
+                to: cb.clone(),
+                file: file.to_string(),
+                line: b.line,
+            });
+        }
+        _ if lp.require_known => {
+            let unknown = if class_a.is_none() { a } else { b };
+            let recv = unknown.receiver.clone().unwrap_or_else(|| "<expr>".to_string());
+            out.push(Violation {
+                file: file.to_string(),
+                line: unknown.line,
+                rule: "locks",
+                msg: format!(
+                    "nested lock acquisition through unclassified receiver {recv:?} \
+                     (line {} vs line {}): add it to [locks.classes] in lint_policy.toml",
+                    a.line, b.line
+                ),
+            });
+        }
+        _ => {}
+    }
+}
+
+/// Workspace-wide cycle detection over the union of observed edges.
+pub fn cycle_check(edges: &[Edge]) -> Vec<Violation> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut provenance: BTreeMap<(&str, &str), (&str, u32)> = BTreeMap::new();
+    for e in edges {
+        if e.from != e.to {
+            adj.entry(&e.from).or_default().insert(&e.to);
+            provenance.entry((&e.from, &e.to)).or_insert((&e.file, e.line));
+        }
+    }
+    // Iterative DFS with colors; report the first cycle found.
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 0 white, 1 grey, 2 black
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &root in &nodes {
+        if color.get(root).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack: Vec<(&str, Vec<&str>)> =
+            vec![(root, adj.get(root).map(|s| s.iter().copied().collect()).unwrap_or_default())];
+        color.insert(root, 1);
+        let mut path = vec![root];
+        while let Some((node, succs)) = stack.last_mut() {
+            if let Some(next) = succs.pop() {
+                match color.get(next).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(next, 1);
+                        path.push(next);
+                        let nsuccs =
+                            adj.get(next).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                        stack.push((next, nsuccs));
+                    }
+                    1 => {
+                        // Grey successor: cycle. Reconstruct it from path.
+                        let start = path.iter().position(|n| *n == next).unwrap_or(0);
+                        let mut cyc: Vec<&str> = path[start..].to_vec();
+                        cyc.push(next);
+                        let (file, line) = provenance
+                            .get(&(*node, next))
+                            .copied()
+                            .unwrap_or(("lint_policy.toml", 0));
+                        return vec![Violation {
+                            file: file.to_string(),
+                            line,
+                            rule: "locks",
+                            msg: format!(
+                                "cyclic lock acquisition order across the workspace: {}",
+                                cyc.join(" -> ")
+                            ),
+                        }];
+                    }
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+    Vec::new()
+}

@@ -1,0 +1,31 @@
+//! The five invariant rule families. Each rule is a pure function from a
+//! lexed file (plus policy) to violations, so the fixture tests can drive
+//! them directly.
+
+pub mod atomics;
+pub mod condvar;
+pub mod locks;
+pub mod server_panics;
+pub mod unsafe_doc;
+
+use std::fmt;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule family identifier (`atomics`, `unsafe`, `server-panic`,
+    /// `condvar`, `locks`).
+    pub rule: &'static str,
+    /// Human-readable description with the expected remedy.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}

@@ -1,0 +1,100 @@
+//! Rule 3: panic-free server paths.
+//!
+//! Inside the crates listed in `[server_panics] paths` (the request-serving
+//! front end), non-test code must not contain `unwrap()`, `expect(…)`,
+//! `panic!` / `unreachable!` / `todo!` / `unimplemented!`, or ad-hoc slice
+//! indexing `x[…]`. A malformed or hostile client must get an `ERR` line
+//! (or a clean connection teardown) — never kill a worker or reader
+//! thread.
+//!
+//! Escape hatch: a site whose panic-freedom argument genuinely cannot be
+//! expressed structurally may carry an adjacent `// panic-ok:` comment
+//! stating why the panic is unreachable; the fixture suite exercises the
+//! mechanism. (The real server currently needs none.)
+//!
+//! `assert!`/`debug_assert!` are deliberately out of scope: they guard
+//! constructor misuse on the operator's side of the trust boundary, not
+//! the client's. Slice indexing detection is lexical — `ident[…]`,
+//! `)[…]`, `][…]` — which also means `split_at`/`get`/iterator rewrites
+//! are the sanctioned alternatives, making bounds explicit where the
+//! linter can't see them.
+
+use crate::lexer::{Lexed, Tok};
+use crate::model::{is_keyword, test_mask};
+use crate::policy::Policy;
+use crate::rules::Violation;
+
+/// The allowlist comment marker.
+pub const MARKER: &str = "panic-ok:";
+
+/// Whether this rule applies to `file` at all, per policy.
+pub fn applies(file: &str, policy: &Policy) -> bool {
+    let mut paths = policy.list_of("server_panics", "paths");
+    if paths.is_empty() {
+        paths = vec!["crates/server/src".to_string()];
+    }
+    paths.iter().any(|p| file.starts_with(p.as_str()))
+}
+
+/// Runs the rule over one file (callers gate on [`applies`], or pass
+/// `force` fixtures straight in).
+pub fn check(file: &str, lexed: &Lexed) -> Vec<Violation> {
+    let mask = test_mask(lexed);
+    let mut out = Vec::new();
+    let mut flag = |i: usize, what: &str| {
+        let line = lexed.tokens[i].line;
+        if lexed.has_adjacent_comment(line, MARKER) {
+            return;
+        }
+        out.push(Violation {
+            file: file.to_string(),
+            line,
+            rule: "server-panic",
+            msg: format!(
+                "{what} on a server path: a malformed client must get ERR or a clean \
+                 teardown, never a panicked thread (rewrite, or justify with `// {MARKER}`)"
+            ),
+        });
+    };
+    for i in 0..lexed.tokens.len() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match &lexed.tokens[i].kind {
+            // Method call: `.unwrap()` / `.expect(…)`.
+            Tok::Ident(w)
+                if (w == "unwrap" || w == "expect")
+                    && i > 0
+                    && matches!(lexed.tokens[i - 1].kind, Tok::Punct('.'))
+                    && matches!(
+                        lexed.tokens.get(i + 1).map(|t| &t.kind),
+                        Some(Tok::Punct('('))
+                    ) =>
+            {
+                flag(i, &format!(".{w}()"));
+            }
+            Tok::Ident(w)
+                if matches!(w.as_str(), "panic" | "unreachable" | "todo" | "unimplemented") =>
+            {
+                if matches!(lexed.tokens.get(i + 1).map(|t| &t.kind), Some(Tok::Punct('!'))) {
+                    flag(i, &format!("{w}!"));
+                }
+            }
+            Tok::Punct('[') if i > 0 => {
+                // An index expression follows a value: `xs[i]`, `f()[i]`,
+                // `xs[0][1]`. Array literals/types/patterns/attributes all
+                // follow punctuation or a keyword instead.
+                let indexing = match &lexed.tokens[i - 1].kind {
+                    Tok::Ident(prev) => !is_keyword(prev),
+                    Tok::Punct(')') | Tok::Punct(']') => true,
+                    _ => false,
+                };
+                if indexing {
+                    flag(i, "slice indexing");
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}

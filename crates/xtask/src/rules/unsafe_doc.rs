@@ -1,0 +1,51 @@
+//! Rule 2: no undocumented `unsafe`.
+//!
+//! Every `unsafe` block, `unsafe impl`, `unsafe trait` and `unsafe fn`
+//! must carry an adjacent `// SAFETY:` comment (same line or the
+//! contiguous comment block directly above); `unsafe fn` may instead
+//! document its contract with a `# Safety` doc section. This rule applies
+//! everywhere, including test code — an unexplained `unsafe` is equally
+//! suspect in a test.
+//!
+//! The in-repo rule intentionally duplicates what
+//! `clippy::undocumented_unsafe_blocks` enforces in CI: clippy skips
+//! macro-expanded blocks and needs a full compilation, while this pass is
+//! instant, runs pre-build, and sees macro *definitions* too.
+
+use crate::lexer::Lexed;
+use crate::model::ident;
+use crate::rules::Violation;
+
+/// The comment marker a safety argument must contain.
+pub const MARKER: &str = "SAFETY:";
+
+/// Runs the rule over one file.
+pub fn check(file: &str, lexed: &Lexed) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for i in 0..lexed.tokens.len() {
+        if ident(lexed, i) != Some("unsafe") {
+            continue;
+        }
+        let next = ident(lexed, i + 1);
+        let site = match next {
+            Some("impl") => "unsafe impl",
+            Some("trait") => "unsafe trait",
+            Some("fn") => "unsafe fn",
+            _ => "unsafe block",
+        };
+        let line = lexed.tokens[i].line;
+        if lexed.has_adjacent_comment(line, MARKER) {
+            continue;
+        }
+        if site == "unsafe fn" && lexed.has_adjacent_comment(line, "# Safety") {
+            continue;
+        }
+        out.push(Violation {
+            file: file.to_string(),
+            line,
+            rule: "unsafe",
+            msg: format!("{site} without an adjacent `// {MARKER}` comment"),
+        });
+    }
+    out
+}

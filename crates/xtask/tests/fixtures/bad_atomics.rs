@@ -1,0 +1,25 @@
+//! Fixture: every checked Ordering extreme used without a rationale.
+//! Not compiled — consumed by the lexical analyzer in lint_fixtures.rs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static STOP: AtomicBool = AtomicBool::new(false);
+
+pub fn bump() {
+    HITS.fetch_add(1, Ordering::Relaxed); // line 10: Relaxed, no rationale
+}
+
+pub fn should_stop() -> bool {
+    STOP.load(Ordering::SeqCst) // line 14: SeqCst, no rationale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        HITS.store(0, Ordering::Relaxed); // exempt: inside #[cfg(test)]
+    }
+}

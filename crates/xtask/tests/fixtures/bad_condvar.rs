@@ -1,0 +1,18 @@
+//! Fixture: condvar waits whose wake is treated as a guarantee.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+pub fn take_once(m: &Mutex<Vec<u32>>, cv: &Condvar) -> Option<u32> {
+    let mut g = m.lock().ok()?;
+    if g.is_empty() {
+        g = cv.wait(g).ok()?; // wait under `if`: one wake assumed == one item
+    }
+    g.pop()
+}
+
+pub fn take_straightline(m: &Mutex<Vec<u32>>, cv: &Condvar) -> Option<u32> {
+    let g = m.lock().ok()?;
+    let (mut g, _timeout) = cv.wait_timeout(g, Duration::from_millis(5)).ok()?;
+    g.pop()
+}

@@ -1,0 +1,35 @@
+//! Fixture: lock-nesting violations — an order inversion (which also
+//! closes a workspace-wide cycle against `ordered`), a re-entrant
+//! acquisition, and a nested acquisition through an unclassified receiver.
+
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+    pub mystery: Mutex<u32>,
+}
+
+pub fn ordered(s: &S) -> u32 {
+    let ga = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = s.b.lock().unwrap_or_else(|e| e.into_inner());
+    *ga + *gb
+}
+
+pub fn inverted(s: &S) -> u32 {
+    let gb = s.b.lock().unwrap_or_else(|e| e.into_inner());
+    let ga = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    *ga + *gb
+}
+
+pub fn reentrant(s: &S) -> u32 {
+    let g1 = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    let g2 = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    *g1 + *g2
+}
+
+pub fn unclassified(s: &S) -> u32 {
+    let ga = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    let gm = s.mystery.lock().unwrap_or_else(|e| e.into_inner());
+    *ga + *gm
+}

@@ -1,0 +1,23 @@
+//! Fixture: every panic shape rule 3 bans on server paths.
+
+use std::collections::HashMap;
+
+pub fn handle(line: &str, routes: &HashMap<String, u32>) -> u32 {
+    let parts: Vec<&str> = line.split(' ').collect();
+    let verb = parts[0]; // indexing a client-controlled split
+    let route = routes.get(verb).unwrap(); // unwrap on lookup
+    let n: u32 = parts[1].parse().expect("numeric argument"); // expect + indexing
+    if n > 1000 {
+        panic!("argument too large"); // panic! on a request path
+    }
+    route + n
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], "1".parse::<i32>().unwrap()); // exempt: test code
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: undocumented unsafe in each syntactic position.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() } // line 4: unsafe block, no SAFETY comment
+}
+
+pub struct Raw(*mut u8);
+
+unsafe impl Send for Raw {} // line 9: unsafe impl, no SAFETY comment
+
+pub unsafe fn poke(p: *mut u8) {
+    // line 11: unsafe fn without a `# Safety` doc section
+    *p = 0;
+}

@@ -1,0 +1,24 @@
+//! Fixture: the compliant shapes of rule 1 — adjacent rationales on the
+//! checked extremes, and a paired ordering that is exempt by default.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn bump() {
+    // ordering: Relaxed — monotonic counter, readers tolerate staleness.
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn snapshot() -> u64 {
+    HITS.load(Ordering::Relaxed) // ordering: same counter, same argument
+}
+
+pub fn publish() {
+    READY.store(true, Ordering::Release); // paired orderings are exempt
+}
+
+pub fn observe() -> bool {
+    READY.load(Ordering::Acquire)
+}

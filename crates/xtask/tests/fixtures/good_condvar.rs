@@ -1,0 +1,24 @@
+//! Fixture: compliant condvar shapes — predicate loops, the `_while`
+//! variants, and non-condvar zero-argument waits.
+
+use std::sync::{Barrier, Condvar, Mutex};
+use std::time::Duration;
+
+pub fn take(m: &Mutex<Vec<u32>>, cv: &Condvar) -> Option<u32> {
+    let mut g = m.lock().ok()?;
+    while g.is_empty() {
+        g = cv.wait(g).ok()?; // inside a predicate loop: re-checked
+    }
+    g.pop()
+}
+
+pub fn take_with_builtin_predicate(m: &Mutex<Vec<u32>>, cv: &Condvar) -> Option<u32> {
+    let g = m.lock().ok()?;
+    let (mut g, _timeout) =
+        cv.wait_timeout_while(g, Duration::from_millis(5), |v| v.is_empty()).ok()?;
+    g.pop()
+}
+
+pub fn rendezvous(b: &Barrier) {
+    b.wait(); // zero-argument wait: a barrier, not a condvar
+}

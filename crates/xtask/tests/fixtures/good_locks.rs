@@ -1,0 +1,40 @@
+//! Fixture: compliant lock usage — forward-order nesting, sequential
+//! (non-overlapping) acquisitions, an explicit `drop` ending a guard's
+//! life before the next acquisition, and argument-taking `read`/`write`
+//! calls that are I/O, not locks.
+
+use std::io::{Read, Write};
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn forward(s: &S) -> u32 {
+    let ga = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = s.b.lock().unwrap_or_else(|e| e.into_inner());
+    *ga + *gb
+}
+
+pub fn sequential(s: &S) -> u32 {
+    let x = {
+        let gb = s.b.lock().unwrap_or_else(|e| e.into_inner());
+        *gb
+    };
+    let ga = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    x + *ga
+}
+
+pub fn dropped_before(s: &S) -> u32 {
+    let gb = s.b.lock().unwrap_or_else(|e| e.into_inner());
+    let x = *gb;
+    drop(gb);
+    let ga = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    x + *ga
+}
+
+pub fn io_not_locks(mut sock: impl Read + Write, buf: &mut [u8]) -> std::io::Result<usize> {
+    let n = sock.read(buf)?;
+    sock.write(buf)
+}

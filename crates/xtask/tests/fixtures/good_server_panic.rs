@@ -1,0 +1,28 @@
+//! Fixture: the compliant rewrites of rule 3's banned shapes, plus the
+//! `panic-ok:` escape hatch.
+
+use std::collections::HashMap;
+
+pub fn handle(line: &str, routes: &HashMap<String, u32>) -> Result<u32, String> {
+    let mut parts = line.split(' ');
+    let verb = parts.next().ok_or("empty request")?;
+    let route = routes.get(verb).ok_or("unknown verb")?;
+    let n: u32 = parts
+        .next()
+        .ok_or("missing argument")?
+        .parse()
+        .map_err(|e| format!("bad argument: {e}"))?;
+    if n > 1000 {
+        return Err("argument too large".to_string());
+    }
+    Ok(route + n)
+}
+
+pub fn checked(first_two: &[u8]) -> u8 {
+    if first_two.len() < 2 {
+        return 0;
+    }
+    // panic-ok: length checked on the line above; kept as the justified
+    // escape-hatch example for the fixture suite.
+    first_two[1]
+}

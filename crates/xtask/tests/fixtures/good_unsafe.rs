@@ -1,0 +1,23 @@
+//! Fixture: documented unsafe in each syntactic position.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees the pointer reads into the
+    // slice's first element.
+    unsafe { *v.as_ptr() }
+}
+
+pub struct Raw(*mut u8);
+
+// SAFETY: Raw's pointer is only dereferenced behind &mut self, so moving
+// the handle across threads is sound.
+unsafe impl Send for Raw {}
+
+/// Writes a zero through `p`.
+///
+/// # Safety
+///
+/// `p` must be valid for writes and properly aligned.
+pub unsafe fn poke(p: *mut u8) {
+    *p = 0;
+}

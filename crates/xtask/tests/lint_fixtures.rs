@@ -1,0 +1,149 @@
+//! The analyzer against a corpus of known-bad and known-good snippets:
+//! every rule family must flag each planted violation in the `bad_*`
+//! fixtures and stay silent on the `good_*` ones, and the policy's
+//! allowlist mechanisms (blanket entries, `panic-ok:`, scan excludes)
+//! must work as documented.
+
+use std::path::PathBuf;
+
+use xtask::policy::Policy;
+use xtask::rules::Violation;
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The policy the fixtures are written against (mirrors the real
+/// `lint_policy.toml` shapes, scaled down to the fixture lock classes).
+const FIXTURE_POLICY: &str = r#"
+[atomics]
+check = ["Relaxed", "SeqCst"]
+
+[server_panics]
+paths = ["bad_server_panic.rs", "good_server_panic.rs"]
+
+[locks]
+require_known = true
+hierarchy = ["outer", "inner"]
+
+[locks.classes]
+a = "outer"
+b = "inner"
+"#;
+
+fn lint(files: &[&str], policy_text: &str) -> Vec<Violation> {
+    let policy = Policy::parse(policy_text).expect("fixture policy parses");
+    let files: Vec<String> = files.iter().map(|f| f.to_string()).collect();
+    xtask::lint_files(&fixtures_root(), &policy, &files).expect("fixtures lint")
+}
+
+fn rules_hit(violations: &[Violation]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = violations.iter().map(|v| v.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn bad_atomics_flags_both_extremes_and_exempts_tests() {
+    let v = lint(&["bad_atomics.rs"], FIXTURE_POLICY);
+    assert_eq!(rules_hit(&v), ["atomics"]);
+    assert_eq!(v.len(), 2, "one Relaxed + one SeqCst, test mod exempt: {v:?}");
+    assert!(v.iter().any(|x| x.msg.contains("Relaxed")), "{v:?}");
+    assert!(v.iter().any(|x| x.msg.contains("SeqCst")), "{v:?}");
+}
+
+#[test]
+fn blanket_entry_covers_relaxed_but_never_seqcst() {
+    let blanket =
+        format!("{FIXTURE_POLICY}\n[atomics.blanket]\n\"bad_atomics.rs\" = \"fixture counters\"\n");
+    let v = lint(&["bad_atomics.rs"], &blanket);
+    assert_eq!(v.len(), 1, "the blanket absorbs Relaxed only: {v:?}");
+    assert!(v.iter().all(|x| x.msg.contains("SeqCst")), "{v:?}");
+}
+
+#[test]
+fn bad_unsafe_flags_block_impl_and_fn() {
+    let v = lint(&["bad_unsafe.rs"], FIXTURE_POLICY);
+    assert_eq!(rules_hit(&v), ["unsafe"]);
+    let msgs: Vec<&str> = v.iter().map(|x| x.msg.as_str()).collect();
+    assert_eq!(v.len(), 3, "{v:?}");
+    assert!(msgs.iter().any(|m| m.contains("unsafe block")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("unsafe impl")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("unsafe fn")), "{msgs:?}");
+}
+
+#[test]
+fn bad_server_panic_flags_every_banned_shape() {
+    let v = lint(&["bad_server_panic.rs"], FIXTURE_POLICY);
+    assert_eq!(rules_hit(&v), ["server-panic"]);
+    let msgs: Vec<&str> = v.iter().map(|x| x.msg.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains(".unwrap()")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains(".expect()")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("panic")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("indexing")), "{msgs:?}");
+    // parts[0], unwrap, expect + parts[1], panic! — and nothing from the
+    // test module.
+    assert_eq!(v.len(), 5, "{v:?}");
+}
+
+#[test]
+fn server_panic_rule_is_scoped_to_policy_paths() {
+    // The same shapes outside [server_panics] paths are not this rule's
+    // business (bad_unsafe.rs has none; bad_condvar.rs has ok()? chains).
+    let v = lint(&["bad_condvar.rs"], FIXTURE_POLICY);
+    assert!(
+        v.iter().all(|x| x.rule != "server-panic"),
+        "paths outside [server_panics] must not be checked: {v:?}"
+    );
+}
+
+#[test]
+fn bad_condvar_flags_wait_and_wait_timeout_outside_loops() {
+    let v = lint(&["bad_condvar.rs"], FIXTURE_POLICY);
+    assert_eq!(rules_hit(&v), ["condvar"]);
+    assert_eq!(v.len(), 2, "one `if`-guarded wait, one straight-line wait_timeout: {v:?}");
+}
+
+#[test]
+fn bad_locks_flags_inversion_reentrancy_unknown_receiver_and_cycle() {
+    let v = lint(&["bad_locks.rs"], FIXTURE_POLICY);
+    assert_eq!(rules_hit(&v), ["locks"]);
+    let msgs: Vec<&str> = v.iter().map(|x| x.msg.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("inversion")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("re-entrant")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("unclassified receiver \"mystery\"")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("cyclic lock acquisition")),
+        "ordered() and inverted() together close outer -> inner -> outer: {msgs:?}"
+    );
+}
+
+#[test]
+fn good_fixtures_lint_clean() {
+    for good in [
+        "good_atomics.rs",
+        "good_unsafe.rs",
+        "good_server_panic.rs",
+        "good_condvar.rs",
+        "good_locks.rs",
+    ] {
+        let v = lint(&[good], FIXTURE_POLICY);
+        assert!(v.is_empty(), "{good} must lint clean, got {v:?}");
+    }
+}
+
+#[test]
+fn scan_excludes_drop_matching_prefixes() {
+    let policy = Policy::parse("[scan]\nexclude = [\"crates/\"]\n").expect("parses");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = xtask::scan_files(&root, &policy).expect("scan");
+    assert!(
+        files.iter().all(|f| !f.starts_with("crates/")),
+        "excluded prefix still present: {files:?}"
+    );
+    assert!(
+        files.iter().any(|f| f.starts_with("src/")),
+        "the facade crate must still be scanned: {files:?}"
+    );
+}

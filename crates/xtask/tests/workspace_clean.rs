@@ -1,0 +1,15 @@
+//! The real workspace must lint clean: this is the same check CI runs as
+//! `cargo xtask lint`, wired into the normal test suite so a violation
+//! fails `cargo test` even before CI.
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = xtask::workspace_root().expect("workspace root");
+    let violations = xtask::run_lint(&root).expect("lint infrastructure");
+    assert!(
+        violations.is_empty(),
+        "`cargo xtask lint` must pass on the workspace; fix these or amend \
+         lint_policy.toml with a justification:\n{}",
+        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

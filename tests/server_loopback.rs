@@ -230,6 +230,107 @@ fn shutdown_drains_queued_requests_with_busy() {
     server.shutdown();
 }
 
+/// Hostile and broken input must never kill a reader thread: malformed
+/// requests get `ERR`, an oversized line gets an untagged `ERR` with the
+/// connection (and every other client) intact, and mid-line EOF is a clean
+/// teardown. See `lint_policy.toml` `[server_panics]` — the analyzer bans
+/// unwrap/expect/panic/indexing on these paths, and this test drives the
+/// inputs those panics would have hit.
+#[test]
+fn hostile_input_gets_err_replies_never_a_dead_server() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let engine = build_engine(10_000, 1024);
+    let cfg = ServerConfig { max_line_bytes: 4096, ..ServerConfig::from_engine(engine.config()) };
+    let server = Server::start(Arc::clone(&engine), cfg).unwrap();
+    let addr = server.local_addr();
+    let oracle_count =
+        engine.count("readings", &[("sensor", ValueRange::equals(Value::U16(1)))]).unwrap();
+
+    // A well-behaved bystander, checked again after every abuse below.
+    let mut bystander = Client::connect(addr).unwrap();
+    bystander.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut check_bystander = |when: &str| {
+        let reply = bystander.count("readings", &["sensor=1"]).unwrap();
+        assert_eq!(reply.count(), Some(oracle_count), "bystander broken {when}");
+    };
+    check_bystander("before any abuse");
+
+    // Malformed requests: every one gets a one-line ERR on the same
+    // connection, which then keeps working.
+    let mut abuser = Client::connect(addr).unwrap();
+    abuser.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    for bad in [
+        "FLY readings",
+        "QUERY",
+        "COUNT readings sensor",
+        "COUNT readings =3",
+        "COUNT readings sensor=",
+        "COUNT readings sensor=1..",
+        "TABLES extra",
+        "#tagged-bad STATS a b",
+    ] {
+        match abuser.roundtrip(bad).unwrap() {
+            Reply::Err(_) => {}
+            other => panic!("{bad:?} must be answered ERR, got {other:?}"),
+        }
+    }
+    assert_eq!(abuser.count("readings", &["sensor=1"]).unwrap().count(), Some(oracle_count));
+    check_bystander("after malformed requests");
+
+    // An oversized line (past max_line_bytes) is discarded as it streams
+    // in and answered with an untagged ERR; the same connection then
+    // serves a normal request.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut huge = String::from("#big QUERY readings ");
+    while huge.len() <= 5000 {
+        huge.push_str("sensor=1 ");
+    }
+    huge.push('\n');
+    raw.write_all(huge.as_bytes()).unwrap();
+    let mut lines = BufReader::new(raw.try_clone().unwrap());
+    let mut reply = String::new();
+    lines.read_line(&mut reply).unwrap();
+    assert!(
+        reply.starts_with("ERR") && reply.contains("4096"),
+        "oversized line must get an untagged ERR naming the cap, got {reply:?}"
+    );
+    raw.write_all(b"#ok COUNT readings sensor=1\n").unwrap();
+    reply.clear();
+    lines.read_line(&mut reply).unwrap();
+    assert_eq!(
+        reply.trim(),
+        format!("#ok OK {oracle_count}"),
+        "the connection must survive its own oversized line"
+    );
+    check_bystander("after the oversized line");
+
+    // Invalid UTF-8 on the wire: ERR, connection still alive.
+    raw.write_all(b"#u8 COUNT readings sensor=\xff\xfe\n").unwrap();
+    reply.clear();
+    lines.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("ERR"), "non-UTF-8 line must get ERR, got {reply:?}");
+    raw.write_all(b"PING\n").unwrap();
+    reply.clear();
+    lines.read_line(&mut reply).unwrap();
+    assert_eq!(reply.trim(), "OK");
+    check_bystander("after invalid UTF-8");
+
+    // Mid-line EOF: a partial request with no newline, then hangup. The
+    // reader must tear down cleanly — no reply, no panic, and the server
+    // keeps serving everyone else.
+    let mut torn = TcpStream::connect(addr).unwrap();
+    torn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    torn.write_all(b"#torn COUNT readings sens").unwrap();
+    torn.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut rest = Vec::new();
+    torn.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "a torn request must not be answered, got {rest:?}");
+    check_bystander("after a mid-line EOF");
+}
+
 #[test]
 fn drop_table_keeps_pinned_batches_valid() {
     let engine = build_engine(60_000, 1024);
