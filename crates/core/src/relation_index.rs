@@ -93,6 +93,54 @@ impl ValueRange {
     }
 }
 
+/// A dynamically-typed *disjunction* of ranges on one column: `v` matches
+/// when it falls in any term. This is the per-column predicate of the
+/// conjunction planner — a single range is a one-term set, an IN-list is a
+/// set of point terms, and an empty set matches nothing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ValueSet {
+    /// The union's terms; order carries no meaning.
+    pub terms: Vec<ValueRange>,
+}
+
+impl ValueSet {
+    /// The set containing exactly `range`.
+    pub fn range(range: ValueRange) -> Self {
+        ValueSet { terms: vec![range] }
+    }
+
+    /// An IN-list: the union of point intervals over `values`.
+    pub fn points(values: impl IntoIterator<Item = Value>) -> Self {
+        ValueSet { terms: values.into_iter().map(ValueRange::equals).collect() }
+    }
+
+    /// Whether the set has no terms (matches nothing).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The single range when the set has exactly one term — the fast path
+    /// callers use to keep plain range predicates on their existing route.
+    pub fn as_single(&self) -> Option<&ValueRange> {
+        match self.terms.as_slice() {
+            [one] => Some(one),
+            _ => None,
+        }
+    }
+
+    /// Types every term against column type `T`. Fails if any bound has a
+    /// different scalar type.
+    pub fn to_predicates<T: Scalar>(&self) -> Result<Vec<RangePredicate<T>>> {
+        self.terms.iter().map(ValueRange::to_predicate).collect()
+    }
+}
+
+impl From<ValueRange> for ValueSet {
+    fn from(range: ValueRange) -> Self {
+        ValueSet::range(range)
+    }
+}
+
 /// A column imprints index of whichever scalar type its column holds.
 #[derive(Debug, Clone)]
 pub enum AnyImprints {
@@ -350,6 +398,20 @@ mod tests {
         assert!(idx.index(&rel, "zz").is_err());
         assert!(idx.size_bytes() > 0);
         assert!(idx.size_bytes() < rel.data_bytes());
+    }
+
+    #[test]
+    fn value_set_shapes_and_typing() {
+        let set = ValueSet::points([Value::I64(3), Value::I64(9)]);
+        assert_eq!(set.terms.len(), 2);
+        assert!(set.as_single().is_none());
+        let preds: Vec<RangePredicate<i64>> = set.to_predicates().unwrap();
+        assert!(preds[0].matches(&3) && preds[1].matches(&9));
+        assert!(set.to_predicates::<i32>().is_err(), "mismatched scalar must fail");
+
+        let one = ValueSet::from(ValueRange::at_least(Value::U16(5)));
+        assert_eq!(one.as_single(), Some(&ValueRange::at_least(Value::U16(5))));
+        assert!(ValueSet::default().is_empty());
     }
 
     #[test]

@@ -280,6 +280,175 @@ impl<T: Scalar> PredicateKernel<T> {
         }
         slice.chunks(64).map(|chunk| swar_match_mask(chunk, lo, hi).count_ones() as u64).sum()
     }
+
+    /// Keeps only the ids whose value matches — the **gather-style kernel
+    /// over scattered ids** used when a conjunction weeds survivors that no
+    /// longer form contiguous runs. The SWAR flavour gathers up to 64
+    /// values into one stack chunk, evaluates the whole chunk branch-free,
+    /// and compacts survivors in place; the scalar flavour is the oracle
+    /// loop. An empty predicate clears the list and bills zero comparisons.
+    ///
+    /// # Panics
+    /// Panics if any id is out of bounds for `values`.
+    pub fn filter_ids(&self, values: &[T], ids: &mut Vec<u64>, comparisons: &mut u64) {
+        let Some((lo, hi)) = self.keys else {
+            ids.clear();
+            return;
+        };
+        *comparisons += ids.len() as u64;
+        if !self.swar {
+            ids.retain(|&id| self.pred.matches(&values[id as usize]));
+            return;
+        }
+        let n = ids.len();
+        let (mut read, mut write) = (0usize, 0usize);
+        let mut buf: Vec<T> = Vec::with_capacity(64);
+        while read < n {
+            let k = (n - read).min(64);
+            buf.clear();
+            buf.extend(ids[read..read + k].iter().map(|&id| values[id as usize]));
+            let mut mask = swar_match_mask(&buf, lo, hi);
+            while mask != 0 {
+                ids[write] = ids[read + mask.trailing_zeros() as usize];
+                write += 1;
+                mask &= mask - 1;
+            }
+            read += k;
+        }
+        ids.truncate(write);
+    }
+}
+
+/// A compiled disjunction of range predicates on one column — the kernel
+/// form of a [`crate::relation_index::ValueSet`] (IN-lists, OR terms). A
+/// value matches when any member kernel matches; impossible members are
+/// dropped at compile time, so an all-empty set examines no data and bills
+/// zero comparisons, exactly like an empty [`PredicateKernel`]. Comparison
+/// accounting counts each value examined **once**, regardless of how many
+/// member intervals it is tested against — the statistic tracks data
+/// touched, not arithmetic.
+#[derive(Debug, Clone)]
+pub struct SetKernel<T: Scalar> {
+    kernels: Vec<PredicateKernel<T>>,
+}
+
+impl<T: Scalar> SetKernel<T> {
+    /// Compiles `terms` under the ambient kernel selection.
+    pub fn new(terms: &[RangePredicate<T>]) -> Self {
+        Self::with_kernel(terms, ambient_kernel())
+    }
+
+    /// Compiles `terms` under an explicit kernel.
+    pub fn with_kernel(terms: &[RangePredicate<T>], kernel: RefineKernel) -> Self {
+        SetKernel {
+            kernels: terms
+                .iter()
+                .map(|p| PredicateKernel::with_kernel(p, kernel))
+                .filter(|k| !k.is_empty())
+                .collect(),
+        }
+    }
+
+    /// Whether no value can match (every term was impossible).
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Whether one value matches any term.
+    #[inline]
+    pub fn matches(&self, v: &T) -> bool {
+        self.kernels.iter().any(|k| k.matches(v))
+    }
+
+    /// Match bitmask of one chunk of up to 64 values — the OR of the member
+    /// masks.
+    ///
+    /// # Panics
+    /// Panics if `chunk.len() > 64`.
+    pub fn match_mask(&self, chunk: &[T]) -> u64 {
+        self.kernels.iter().fold(0u64, |m, k| m | k.match_mask(chunk))
+    }
+
+    /// Appends the ids of matching values in `values[ids]` to `out`, with
+    /// single-visit comparison accounting.
+    ///
+    /// # Panics
+    /// Panics if `ids` is out of bounds for `values`.
+    pub fn append_matches(
+        &self,
+        values: &[T],
+        ids: Range<u64>,
+        out: &mut Vec<u64>,
+        comparisons: &mut u64,
+    ) {
+        match self.kernels.as_slice() {
+            [] => {}
+            [one] => one.append_matches(values, ids, out, comparisons),
+            _ => {
+                let (start, end) = (ids.start as usize, ids.end as usize);
+                *comparisons += (end - start) as u64;
+                for (c, chunk) in values[start..end].chunks(64).enumerate() {
+                    let mut mask = self.match_mask(chunk);
+                    let base = ids.start + c as u64 * 64;
+                    while mask != 0 {
+                        out.push(base + mask.trailing_zeros() as u64);
+                        mask &= mask - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts matching values in `values[ids]`, with the same accounting as
+    /// [`SetKernel::append_matches`].
+    ///
+    /// # Panics
+    /// Panics if `ids` is out of bounds for `values`.
+    pub fn count_matches(&self, values: &[T], ids: Range<u64>, comparisons: &mut u64) -> u64 {
+        match self.kernels.as_slice() {
+            [] => 0,
+            [one] => one.count_matches(values, ids, comparisons),
+            _ => {
+                let (start, end) = (ids.start as usize, ids.end as usize);
+                *comparisons += (end - start) as u64;
+                values[start..end]
+                    .chunks(64)
+                    .map(|chunk| self.match_mask(chunk).count_ones() as u64)
+                    .sum()
+            }
+        }
+    }
+
+    /// Keeps only the ids whose value matches any term — the scattered-id
+    /// gather filter ([`PredicateKernel::filter_ids`]) for set predicates.
+    ///
+    /// # Panics
+    /// Panics if any id is out of bounds for `values`.
+    pub fn filter_ids(&self, values: &[T], ids: &mut Vec<u64>, comparisons: &mut u64) {
+        match self.kernels.as_slice() {
+            [] => ids.clear(),
+            [one] => one.filter_ids(values, ids, comparisons),
+            _ => {
+                *comparisons += ids.len() as u64;
+                let n = ids.len();
+                let (mut read, mut write) = (0usize, 0usize);
+                let mut buf: Vec<T> = Vec::with_capacity(64);
+                while read < n {
+                    let k = (n - read).min(64);
+                    buf.clear();
+                    buf.extend(ids[read..read + k].iter().map(|&id| values[id as usize]));
+                    let mut mask = self.match_mask(&buf);
+                    while mask != 0 {
+                        ids[write] = ids[read + mask.trailing_zeros() as usize];
+                        write += 1;
+                        mask &= mask - 1;
+                    }
+                    read += k;
+                }
+                ids.truncate(write);
+            }
+        }
+    }
 }
 
 /// Reduces `pred` to an inclusive sort-key interval; `None` when no value
@@ -628,6 +797,99 @@ mod tests {
         // Auto resolves to SWAR; Scalar is the only scalar-loop selection.
         assert!(RefineKernel::Auto.use_swar());
         assert!(!RefineKernel::Scalar.use_swar());
+    }
+
+    #[test]
+    fn filter_ids_gathers_scattered_survivors() {
+        let values: Vec<i32> = (0..1000).map(|i| (i * 37) % 500 - 250).collect();
+        // A scattered, strictly-ascending id set: every third row plus a
+        // ragged tail that is not a multiple of 64.
+        let ids: Vec<u64> = (0..1000u64).filter(|i| i % 3 == 0 || *i > 970).collect();
+        for pred in [
+            RangePredicate::between(-100, 100),
+            RangePredicate::equals(-213),
+            RangePredicate::all(),
+            RangePredicate::between(10, 5),
+        ] {
+            let oracle: Vec<u64> =
+                ids.iter().copied().filter(|&i| pred.matches(&values[i as usize])).collect();
+            let mut results = Vec::new();
+            for kernel in both(&pred) {
+                let mut survivors = ids.clone();
+                let mut cmp = 0u64;
+                kernel.filter_ids(&values, &mut survivors, &mut cmp);
+                assert_eq!(survivors, oracle, "{pred}");
+                let expect_cmp = if kernel.is_empty() { 0 } else { ids.len() as u64 };
+                assert_eq!(cmp, expect_cmp, "{pred}");
+                results.push(survivors);
+            }
+            assert_eq!(results[0], results[1], "kernels diverged on {pred}");
+        }
+    }
+
+    #[test]
+    fn set_kernel_matches_union_of_terms() {
+        let values: Vec<i64> = (0..777).map(|i| (i * 13) % 300).collect();
+        let terms = [
+            RangePredicate::equals(5i64),
+            RangePredicate::between(40, 60),
+            RangePredicate::between(9, 2), // impossible term is dropped
+            RangePredicate::equals(250),
+        ];
+        let in_union = |v: &i64| terms.iter().any(|t| t.matches(v));
+        let oracle: Vec<u64> = (0..777u64).filter(|&i| in_union(&values[i as usize])).collect();
+        for sel in [RefineKernel::Scalar, RefineKernel::Swar] {
+            let set = SetKernel::with_kernel(&terms, sel);
+            assert!(!set.is_empty());
+            assert!(set.matches(&50) && set.matches(&5) && !set.matches(&7));
+            // Chunked mask agrees with the per-value oracle.
+            let mask = set.match_mask(&values[..64]);
+            for (lane, v) in values[..64].iter().enumerate() {
+                assert_eq!(mask >> lane & 1 == 1, in_union(v), "lane {lane}");
+            }
+            // append / count / filter bill each value once, not per term.
+            let (mut out, mut cmp) = (Vec::new(), 0u64);
+            set.append_matches(&values, 0..777, &mut out, &mut cmp);
+            assert_eq!(out, oracle);
+            assert_eq!(cmp, 777);
+            let mut ccmp = 0u64;
+            assert_eq!(set.count_matches(&values, 0..777, &mut ccmp) as usize, oracle.len());
+            assert_eq!(ccmp, 777);
+            let mut ids: Vec<u64> = (0..777u64).step_by(2).collect();
+            let id_oracle: Vec<u64> =
+                ids.iter().copied().filter(|&i| in_union(&values[i as usize])).collect();
+            let (n, mut fcmp) = (ids.len() as u64, 0u64);
+            set.filter_ids(&values, &mut ids, &mut fcmp);
+            assert_eq!(ids, id_oracle);
+            assert_eq!(fcmp, n);
+        }
+    }
+
+    #[test]
+    fn set_kernel_degenerate_shapes() {
+        let values: Vec<u8> = (0..100u16).map(|i| (i % 20) as u8).collect();
+        // All-empty set: matches nothing, bills nothing, clears id lists.
+        let dead = SetKernel::with_kernel(
+            &[RangePredicate::between(9u8, 2), RangePredicate::half_open(7, 7)],
+            RefineKernel::Swar,
+        );
+        assert!(dead.is_empty());
+        let (mut out, mut cmp) = (Vec::new(), 0u64);
+        dead.append_matches(&values, 0..100, &mut out, &mut cmp);
+        assert_eq!(dead.count_matches(&values, 0..100, &mut cmp), 0);
+        let mut ids = vec![1u64, 2, 3];
+        dead.filter_ids(&values, &mut ids, &mut cmp);
+        assert!(out.is_empty() && ids.is_empty() && cmp == 0);
+        assert_eq!(dead.match_mask(&values[..64]), 0);
+        // Single-term set behaves exactly like the bare kernel.
+        let pred = RangePredicate::between(3u8, 6);
+        let single = SetKernel::with_kernel(&[pred], RefineKernel::Swar);
+        let bare = PredicateKernel::with_kernel(&pred, RefineKernel::Swar);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let (mut ca, mut cb) = (0u64, 0u64);
+        single.append_matches(&values, 0..100, &mut a, &mut ca);
+        bare.append_matches(&values, 0..100, &mut b, &mut cb);
+        assert_eq!((a, ca), (b, cb));
     }
 
     /// Exhaustive 8-bit cross-check of the SWAR compare primitives: every

@@ -60,6 +60,17 @@ pub struct EngineConfig {
     /// winners; `1` restores the single conflated EWMA (kept for the
     /// `pathmix` baseline comparison).
     pub path_buckets: usize,
+    /// Whether multi-predicate queries may take the fused
+    /// [`PlanKind::Fused`](crate::paths::PlanKind) conjunction plan —
+    /// imprint bitmasks of *all* predicates intersected in row space
+    /// before any value is touched, survivors refined word-wise in
+    /// selectivity order — with the per-segment
+    /// [`PlanChooser`](crate::paths::PlanChooser) arbitrating between it
+    /// and the per-predicate fallback by observed cost. `false` pins
+    /// every conjunction to the per-predicate plan (candidate-range
+    /// intersection + gather-kernel refinement), which is the baseline
+    /// the `multipred` bench experiment compares against.
+    pub conjunction_planning: bool,
     /// Background maintenance thresholds.
     pub maintenance: MaintenanceConfig,
     /// Serving-layer knobs consumed by the network front-end
@@ -80,6 +91,7 @@ impl Default for EngineConfig {
             wah_budget_bytes: 0,
             refine_kernel: RefineKernel::Auto,
             path_buckets: crate::paths::NUM_BUCKETS,
+            conjunction_planning: true,
             maintenance: MaintenanceConfig::default(),
             service: ServiceConfig::default(),
         }

@@ -73,7 +73,7 @@ use colstore::{ColumnType, IdList, Result};
 pub use catalog::{Catalog, StorageStats};
 pub use config::{EngineConfig, MaintenanceConfig, ServiceConfig};
 pub use executor::WorkerPool;
-pub use imprints::relation_index::ValueRange;
+pub use imprints::relation_index::{ValueRange, ValueSet};
 pub use imprints::simd::RefineKernel;
 pub use paths::{PathChooser, PathKind, MAX_PATHS, NUM_BUCKETS};
 pub use planner::{

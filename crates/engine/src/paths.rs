@@ -105,6 +105,11 @@ struct BucketState {
     /// EWMA of observed cost (nanoseconds) per path slot; `UNSEEN` until
     /// the first observation.
     cost: [AtomicU64; MAX_PATHS],
+    /// Qualifying rows observed by queries of this bucket (selectivity
+    /// numerator) — fed by evaluations that know their hit count.
+    sel_hits: AtomicU64,
+    /// Rows those queries ranged over (selectivity denominator).
+    sel_rows: AtomicU64,
 }
 
 impl Default for BucketState {
@@ -112,6 +117,8 @@ impl Default for BucketState {
         BucketState {
             queries: AtomicU64::new(0),
             cost: [(); MAX_PATHS].map(|()| AtomicU64::new(UNSEEN)),
+            sel_hits: AtomicU64::new(0),
+            sel_rows: AtomicU64::new(0),
         }
     }
 }
@@ -298,6 +305,29 @@ impl PathChooser {
         slot.store(new, Ordering::Relaxed);
     }
 
+    /// Records an observed selectivity sample for `bucket`: `hits`
+    /// qualifying rows out of `total` rows the query ranged over. The
+    /// cumulative ratio is the per-bucket selectivity estimate a
+    /// conjunction plan orders its predicates by (most selective first).
+    pub fn record_selectivity(&self, bucket: usize, hits: u64, total: u64) {
+        let b = &self.state[bucket.min(self.buckets - 1)];
+        b.sel_hits.fetch_add(hits, Ordering::Relaxed);
+        b.sel_rows.fetch_add(total, Ordering::Relaxed);
+    }
+
+    /// Observed mean selectivity of `bucket` — the qualifying fraction of
+    /// rows its queries ranged over, in `[0, 1]`. `None` before any
+    /// sample.
+    pub fn selectivity(&self, bucket: usize) -> Option<f64> {
+        let b = &self.state[bucket.min(self.buckets - 1)];
+        let rows = b.sel_rows.load(Ordering::Relaxed);
+        if rows == 0 {
+            return None;
+        }
+        let hits = b.sel_hits.load(Ordering::Relaxed).min(rows);
+        Some(hits as f64 / rows as f64)
+    }
+
     /// Current EWMA cost estimates of one bucket, in chooser slot order
     /// (`None` = unseen or unregistered).
     pub fn estimates_for(&self, bucket: usize) -> [Option<u64>; MAX_PATHS] {
@@ -363,6 +393,8 @@ impl PathChooser {
                 queries: AtomicU64::new(self.state[i].queries.load(Ordering::Relaxed)),
                 cost: [0, 1, 2, 3]
                     .map(|s| AtomicU64::new(self.state[i].cost[s].load(Ordering::Relaxed))),
+                sel_hits: AtomicU64::new(self.state[i].sel_hits.load(Ordering::Relaxed)),
+                sel_rows: AtomicU64::new(self.state[i].sel_rows.load(Ordering::Relaxed)),
             }),
         }
     }
@@ -389,6 +421,128 @@ impl PathChooser {
             }
         }
         self.enabled.store(self.registered, Ordering::Relaxed);
+    }
+}
+
+/// One of the two ways a segment can evaluate a multi-predicate query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// The fused conjunction plan: every predicate's imprint classified
+    /// into row-space bitvecs, candidate words ANDed across predicates
+    /// before any value is touched, survivors refined word-wise in
+    /// selectivity order.
+    Fused,
+    /// The per-predicate fallback: each predicate's candidate ranges
+    /// intersected in id space, the first predicate materialized, the rest
+    /// weeding survivors with gather-style kernels.
+    PerPred,
+}
+
+impl PlanKind {
+    /// Both strategies, in chooser slot order.
+    pub const ALL: [PlanKind; 2] = [PlanKind::Fused, PlanKind::PerPred];
+
+    /// The chooser slot.
+    pub fn slot(self) -> usize {
+        match self {
+            PlanKind::Fused => 0,
+            PlanKind::PerPred => 1,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::Fused => "fused",
+            PlanKind::PerPred => "per-pred",
+        }
+    }
+}
+
+/// Adaptive two-strategy chooser for multi-predicate plans — the same
+/// EWMA-plus-exploration scheme as [`PathChooser`], one cost model per
+/// [`PlanKind`]. One instance serves one (segment, predicate-column-set)
+/// pair: the segment's plan cache keys these by the sorted column indices
+/// of the conjunction, so `(a, b)` and `(a, c)` learn independent
+/// winners.
+#[derive(Debug)]
+pub struct PlanChooser {
+    queries: AtomicU64,
+    cost: [AtomicU64; 2],
+}
+
+impl Default for PlanChooser {
+    fn default() -> Self {
+        PlanChooser { queries: AtomicU64::new(0), cost: [(); 2].map(|()| AtomicU64::new(UNSEEN)) }
+    }
+}
+
+impl PlanChooser {
+    /// A chooser with no learned state.
+    pub fn new() -> PlanChooser {
+        PlanChooser::default()
+    }
+
+    /// Picks the strategy for the next multi-predicate query, advancing
+    /// the exploration cadence: bootstrap both once, probe on the
+    /// [`EXPLORE_PERIOD`] cadence (alternating the probed strategy), else
+    /// exploit the cheaper EWMA.
+    pub fn choose(&self) -> PlanKind {
+        let n = self.queries.fetch_add(1, Ordering::Relaxed);
+        if PlanKind::ALL.iter().any(|p| self.cost[p.slot()].load(Ordering::Relaxed) == UNSEEN) {
+            return PlanKind::ALL[(n % 2) as usize];
+        }
+        if n.is_multiple_of(EXPLORE_PERIOD) {
+            return PlanKind::ALL[((n / EXPLORE_PERIOD) % 2) as usize];
+        }
+        let fused = self.cost[PlanKind::Fused.slot()].load(Ordering::Relaxed);
+        let per = self.cost[PlanKind::PerPred.slot()].load(Ordering::Relaxed);
+        if fused <= per {
+            PlanKind::Fused
+        } else {
+            PlanKind::PerPred
+        }
+    }
+
+    /// Feeds back the observed cost of one evaluation (same clamped EWMA
+    /// as [`PathChooser::record`]).
+    pub fn record(&self, plan: PlanKind, cost_nanos: u64) {
+        let slot = &self.cost[plan.slot()];
+        let cost = cost_nanos.clamp(1, COST_CAP);
+        let old = slot.load(Ordering::Relaxed);
+        let new = if old == UNSEEN {
+            cost
+        } else {
+            (old.saturating_mul(7).saturating_add(cost) / 8).max(1)
+        };
+        slot.store(new, Ordering::Relaxed);
+    }
+
+    /// Multi-predicate queries routed through this chooser.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Current EWMA cost estimates, in [`PlanKind::ALL`] slot order
+    /// (`None` = unseen).
+    pub fn estimates(&self) -> [Option<u64>; 2] {
+        [0, 1].map(|i| {
+            let c = self.cost[i].load(Ordering::Relaxed);
+            (c != UNSEEN).then_some(c)
+        })
+    }
+
+    /// The strategy currently ranked cheapest (`None` until one is
+    /// measured).
+    pub fn winner(&self) -> Option<PlanKind> {
+        PlanKind::ALL
+            .into_iter()
+            .filter_map(|p| {
+                let c = self.cost[p.slot()].load(Ordering::Relaxed);
+                (c != UNSEEN).then_some((c, p))
+            })
+            .min_by_key(|(c, _)| *c)
+            .map(|(_, p)| p)
     }
 }
 
@@ -687,6 +841,52 @@ mod tests {
         assert_eq!(fresh.queries(), 0);
         assert_eq!(fresh.estimates(), [None; MAX_PATHS]);
         assert!(fresh.is_enabled(PathKind::Wah), "a rebuilt column re-earns its lazy paths");
+    }
+
+    #[test]
+    fn selectivity_tracks_per_bucket_and_survives_carry_over() {
+        let ch = PathChooser::default();
+        assert_eq!(ch.selectivity(0), None, "no sample yet");
+        ch.record_selectivity(0, 10, 1000); // a 1% bucket
+        ch.record_selectivity(0, 30, 3000);
+        ch.record_selectivity(3, 900, 1000); // a 90% bucket
+        assert!((ch.selectivity(0).unwrap() - 0.01).abs() < 1e-9);
+        assert!((ch.selectivity(3).unwrap() - 0.9).abs() < 1e-9);
+        assert_eq!(ch.selectivity(1), None, "buckets are independent");
+        let copy = ch.carry_over();
+        assert_eq!(copy.selectivity(0), ch.selectivity(0));
+        assert_eq!(copy.selectivity(3), ch.selectivity(3));
+        let fresh = ch.fresh_like();
+        assert_eq!(fresh.selectivity(0), None, "rebuilt columns restart their samples");
+        // Hits clamped to rows: a racy overshoot cannot report > 1.0.
+        let odd = PathChooser::default();
+        odd.record_selectivity(0, 50, 10);
+        assert_eq!(odd.selectivity(0), Some(1.0));
+    }
+
+    #[test]
+    fn plan_chooser_bootstraps_probes_and_exploits() {
+        let ch = PlanChooser::new();
+        // Bootstrap: both strategies measured before exploitation.
+        for _ in 0..64 {
+            let p = ch.choose();
+            ch.record(p, if p == PlanKind::Fused { 500 } else { 8_000 });
+        }
+        let est = ch.estimates();
+        assert!(est.iter().all(Option::is_some), "both strategies must be measured: {est:?}");
+        assert_eq!(ch.winner(), Some(PlanKind::Fused));
+        // Non-probe picks exploit the winner.
+        let picks: Vec<PlanKind> = (0..(EXPLORE_PERIOD - 1)).map(|_| ch.choose()).collect();
+        let fused = picks.iter().filter(|p| **p == PlanKind::Fused).count() as u64;
+        assert!(fused >= EXPLORE_PERIOD - 2, "{picks:?}");
+        // Costs flip: the rotating probe re-measures PerPred and the
+        // winner flips with it.
+        for _ in 0..(EXPLORE_PERIOD * 4) {
+            let p = ch.choose();
+            ch.record(p, if p == PlanKind::PerPred { 100 } else { 50_000 });
+        }
+        assert_eq!(ch.winner(), Some(PlanKind::PerPred), "{:?}", ch.estimates());
+        assert!(ch.queries() > 0);
     }
 
     #[test]

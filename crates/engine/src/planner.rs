@@ -214,6 +214,11 @@ pub struct BucketPathReport {
     /// The majority winner across segments (`None` until some segment has
     /// measured a path for this bucket).
     pub winner: Option<PathKind>,
+    /// Mean observed selectivity (hit fraction) of the bucket's queries,
+    /// averaged over the segments that have recorded any — the signal the
+    /// conjunction planner orders predicates by. `None` until a query has
+    /// routed through the bucket.
+    pub selectivity: Option<f64>,
 }
 
 /// Aggregated access-path telemetry for one table column: per selectivity
@@ -253,6 +258,7 @@ pub fn path_report(catalog: &Catalog) -> Vec<ColumnPathReport> {
                 wah_rejected: 0,
                 buckets: vec![BucketPathReport::default(); NUM_BUCKETS],
             };
+            let mut sel_segments = [0u64; NUM_BUCKETS];
             for seg in sealed.iter() {
                 let col = &seg.columns()[ci];
                 match col.wah_built() {
@@ -268,9 +274,19 @@ pub fn path_report(catalog: &Catalog) -> Vec<ColumnPathReport> {
                     if let Some(w) = chooser.winner(b) {
                         bucket.votes[w.slot()] += 1;
                     }
+                    if let Some(sel) = chooser.selectivity(b) {
+                        let acc = bucket.selectivity.get_or_insert(0.0);
+                        // Accumulate the sum here; the post-pass below
+                        // divides by the contributing-segment count.
+                        *acc += sel;
+                        sel_segments[b] += 1;
+                    }
                 }
             }
-            for bucket in &mut report.buckets {
+            for (b, bucket) in report.buckets.iter_mut().enumerate() {
+                if let Some(acc) = bucket.selectivity.as_mut() {
+                    *acc /= sel_segments[b] as f64;
+                }
                 bucket.winner = PathKind::ALL
                     .into_iter()
                     .enumerate()
@@ -589,6 +605,13 @@ mod tests {
         let bucket = &col.buckets[active[0]];
         assert!(bucket.winner.is_some(), "48 queries must have produced a winner");
         assert_eq!(bucket.votes.iter().sum::<u64>(), 4, "every segment casts one vote");
+        let sel = bucket.selectivity.expect("queried bucket must report observed selectivity");
+        // ~11 of 1000 domain values qualify — the hit fraction must be
+        // tiny but present (queries did hit: 13 and 1000 share no factor).
+        assert!(sel > 0.0 && sel < 0.1, "narrow predicate selectivity: {sel}");
+        for b in (0..col.buckets.len()).filter(|b| !active.contains(b)) {
+            assert_eq!(col.buckets[b].selectivity, None, "unqueried buckets report none");
+        }
     }
 
     #[test]

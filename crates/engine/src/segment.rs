@@ -12,23 +12,25 @@
 //! Sealed segments are immutable and shared via `Arc`: queries, appends and
 //! the maintenance planner never copy data, they swap segment pointers.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
-use baselines::{SeqScan, WahBitmap, ZoneMap};
+use baselines::{SeqScan, WahBitmap, WahVector, ZoneMap};
 use colstore::index::BuildableIndex;
 use colstore::relation::AnyColumn;
 use colstore::{AccessStats, Bound, CachelineSet, Column, IdList, RangeIndex, Scalar, Value};
 use imprints::builder::BuildOptions;
+use imprints::masks::make_masks_union;
 use imprints::query;
-use imprints::relation_index::ValueRange;
+use imprints::relation_index::{ValueRange, ValueSet};
 use imprints::ColumnImprints;
 
-use imprints::simd::{self, PredicateKernel, RefineKernel};
+use imprints::simd::{self, RefineKernel, SetKernel};
 
 use crate::config::EngineConfig;
-use crate::paths::{PathChooser, PathKind};
+use crate::paths::{PathChooser, PathKind, PlanChooser, PlanKind};
 
 /// Cumulative per-column observation counters, updated lock-free by
 /// concurrent readers and consumed by the maintenance planner.
@@ -189,10 +191,9 @@ impl<T: Scalar> SegCol<T> {
         }
     }
 
-    /// The selectivity bucket of `pred` on this column: the span the
-    /// predicate covers over the imprint's binning, classed by
-    /// [`PathChooser::bucket_of_span`]. O(log bins) — two border searches.
-    fn bucket_of(&self, pred: &colstore::RangePredicate<T>) -> usize {
+    /// Bins the predicate's range covers over the imprint's binning.
+    /// O(log bins) — two border searches.
+    fn bin_span(&self, pred: &colstore::RangePredicate<T>) -> usize {
         let binning = self.imprints.binning();
         let bins = binning.bins();
         let lo = match pred.low() {
@@ -203,7 +204,25 @@ impl<T: Scalar> SegCol<T> {
             Bound::Unbounded => bins - 1,
             Bound::Inclusive(h) | Bound::Exclusive(h) => binning.bin_of(*h),
         };
-        self.chooser.bucket_of_span(hi.saturating_sub(lo) + 1, bins)
+        hi.saturating_sub(lo) + 1
+    }
+
+    /// The selectivity bucket of `pred` on this column: the span the
+    /// predicate covers over the imprint's binning, classed by
+    /// [`PathChooser::bucket_of_span`].
+    fn bucket_of(&self, pred: &colstore::RangePredicate<T>) -> usize {
+        let bins = self.imprints.binning().bins();
+        self.chooser.bucket_of_span(self.bin_span(pred), bins)
+    }
+
+    /// The selectivity bucket of a whole value set: the terms' bin spans
+    /// summed (clamped to the bin count), classed like one range of the
+    /// combined width — an IN-list of k points behaves like a k-bin range.
+    fn bucket_of_set(&self, preds: &[colstore::RangePredicate<T>]) -> usize {
+        let bins = self.imprints.binning().bins();
+        let span: usize =
+            preds.iter().filter(|p| !p.is_empty_range()).map(|p| self.bin_span(p)).sum();
+        self.chooser.bucket_of_span(span.clamp(1, bins), bins)
     }
 
     /// The WAH bitmap, built on first use and `None` once rejected for
@@ -260,6 +279,7 @@ impl<T: Scalar> SegCol<T> {
                 .evaluate_with_kernel(&self.data, pred, self.kernel),
         };
         self.chooser.record(bucket, path, t0.elapsed().as_nanos() as u64);
+        self.chooser.record_selectivity(bucket, ids.len() as u64, self.data.len() as u64);
         self.obs.queries.fetch_add(1, Ordering::Relaxed);
         (ids, stats)
     }
@@ -295,17 +315,146 @@ impl<T: Scalar> SegCol<T> {
                 .count_with_kernel(&self.data, pred, self.kernel),
         };
         self.chooser.record(bucket, path, t0.elapsed().as_nanos() as u64);
+        self.chooser.record_selectivity(bucket, n, self.data.len() as u64);
         self.obs.queries.fetch_add(1, Ordering::Relaxed);
         (n, stats)
     }
 
-    /// Candidate row-id ranges for `pred` from the imprint (late
-    /// materialization step 1), plus probe statistics.
-    fn candidates(&self, pred: &colstore::RangePredicate<T>) -> (CachelineSet, AccessStats) {
-        let (set, istats) = query::candidate_id_ranges(&self.imprints, pred);
-        self.obs.queries.fetch_add(1, Ordering::Relaxed);
-        (set, istats.access)
+    /// The WAH bitmap only when it was **already** built within budget.
+    /// The conjunction plan never triggers the lazy build itself — a
+    /// one-off build inside a timed plan would poison the
+    /// [`PlanChooser`]'s cost comparison — it only reuses a bitmap the
+    /// single-column chooser has already paid for.
+    fn wah_ready(&self) -> Option<&WahBitmap<T>> {
+        self.wah.cell.get().and_then(Option::as_ref)
     }
+
+    /// Classifies this column's predicate for the fused conjunction plan
+    /// (see [`SealedSegment::evaluate_fused`]): the imprint's candidate
+    /// and fully-covered rows as row-space bit words, the WAH candidate
+    /// vector when a built bitmap is available, an ordering estimate from
+    /// the chooser's per-bucket selectivity history, and a boxed word
+    /// checker that runs the compiled [`SetKernel`] over one 64-row word
+    /// and bills this column's observations. Dispatching once per *word*
+    /// (not per row) keeps the type-erasure cost off the value loop.
+    fn plan_pred(&self, set: &ValueSet, words: usize) -> (Vec<u64>, PredPlan<'_>, AccessStats) {
+        let preds: Vec<colstore::RangePredicate<T>> =
+            set.to_predicates().expect("predicates validated against schema");
+        let masks = make_masks_union(self.imprints.binning(), &preds);
+        let mut cand = vec![0u64; words];
+        let mut full = vec![0u64; words];
+        let istats = query::classify_rows(&self.imprints, &masks, &mut cand, &mut full);
+        let mut stats = istats.access;
+        let rows = self.data.len() as u64;
+        let hits: u64 = cand.iter().map(|w| u64::from(w.count_ones())).sum();
+        let bucket = self.bucket_of_set(&preds);
+        self.chooser.record_selectivity(bucket, hits, rows);
+        let sel = self.chooser.selectivity(bucket).unwrap_or(1.0);
+        let wah = self.wah_ready().and_then(|bm| {
+            let mut probes = 0u64;
+            let v = bm.candidate_vector(&preds, &mut probes);
+            stats.index_probes += probes;
+            v
+        });
+        let kernel = SetKernel::with_kernel(&preds, self.kernel);
+        let values = self.data.values();
+        let obs = &self.obs;
+        let check: WordCheck<'_> = Box::new(move |w, need| {
+            let start = w * 64;
+            let end = (start + 64).min(values.len());
+            let mm = kernel.match_mask(&values[start..end]);
+            obs.comparisons.fetch_add(u64::from(need.count_ones()), Ordering::Relaxed);
+            obs.matches.fetch_add(u64::from((need & mm).count_ones()), Ordering::Relaxed);
+            mm
+        });
+        (cand, PredPlan { full, sel, wah, check }, stats)
+    }
+
+    /// Candidate row-id ranges of a whole value set: the union of each
+    /// term's imprint candidates (late materialization step 1 of the
+    /// per-predicate plan), plus probe statistics.
+    fn candidates_set(&self, set: &ValueSet) -> (CachelineSet, AccessStats) {
+        let preds: Vec<colstore::RangePredicate<T>> =
+            set.to_predicates().expect("predicates validated against schema");
+        let mut stats = AccessStats::default();
+        let mut acc: Option<CachelineSet> = None;
+        for pred in &preds {
+            let (lines, istats) = query::candidate_id_ranges(&self.imprints, pred);
+            stats.merge(&istats.access);
+            acc = Some(match acc {
+                Some(a) => a.union(&lines),
+                None => lines,
+            });
+        }
+        (acc.unwrap_or_default(), stats)
+    }
+
+    /// Materializes the ids in `ranges` whose value satisfies `set`,
+    /// through the compiled [`SetKernel`] over contiguous runs, billing
+    /// this column's observations and `stats`.
+    fn collect_matches(
+        &self,
+        set: &ValueSet,
+        ranges: &CachelineSet,
+        stats: &mut AccessStats,
+    ) -> Vec<u64> {
+        let preds: Vec<colstore::RangePredicate<T>> =
+            set.to_predicates().expect("predicates validated against schema");
+        let kernel = SetKernel::with_kernel(&preds, self.kernel);
+        let values = self.data.values();
+        let mut out = Vec::new();
+        let mut cmp = 0u64;
+        // `ranges` is already in row-id space (candidate_id_ranges converts
+        // cacheline runs to id runs), so its runs feed the kernel directly.
+        for ids in ranges.runs() {
+            let end = ids.end.min(values.len() as u64);
+            if ids.start < end {
+                kernel.append_matches(values, ids.start..end, &mut out, &mut cmp);
+            }
+        }
+        stats.value_comparisons += cmp;
+        self.obs.comparisons.fetch_add(cmp, Ordering::Relaxed);
+        self.obs.matches.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Keeps only the survivor ids whose value satisfies `set` — the
+    /// gather-style SWAR kernel over scattered ids
+    /// ([`SetKernel::filter_ids`]), billing this column's observations
+    /// and `stats`.
+    fn filter_survivors(&self, set: &ValueSet, ids: &mut Vec<u64>, stats: &mut AccessStats) {
+        let preds: Vec<colstore::RangePredicate<T>> =
+            set.to_predicates().expect("predicates validated against schema");
+        let kernel = SetKernel::with_kernel(&preds, self.kernel);
+        let mut cmp = 0u64;
+        kernel.filter_ids(self.data.values(), ids, &mut cmp);
+        stats.value_comparisons += cmp;
+        self.obs.comparisons.fetch_add(cmp, Ordering::Relaxed);
+        self.obs.matches.fetch_add(ids.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// One boxed 64-row word check of the fused plan: `(word index, rows
+/// still needing this predicate's check)` to the predicate's match mask
+/// over that word, billing the column's comparison/match observations
+/// for exactly the needed rows on the way.
+type WordCheck<'a> = Box<dyn Fn(usize, u64) -> u64 + Send + Sync + 'a>;
+
+/// Per-predicate state of the fused conjunction plan, produced by the
+/// typed [`SegCol::plan_pred`] and consumed type-erased by
+/// [`SealedSegment::evaluate_fused`]: which rows the predicate's imprint
+/// guarantees (`full`), the optional WAH candidate vector for run-wise
+/// intersection, an ordering estimate, and the word checker.
+struct PredPlan<'a> {
+    /// Rows guaranteed to match (their cacheline's imprint sits entirely
+    /// inside the predicate's inner mask) — never value-checked.
+    full: Vec<u64>,
+    /// Estimated selectivity (matching fraction; lower = more selective)
+    /// from the chooser's per-bucket history, for refinement ordering.
+    sel: f64,
+    /// The WAH candidate vector when this column's bitmap is built.
+    wah: Option<WahVector>,
+    check: WordCheck<'a>,
 }
 
 /// The chooser a freshly sealed segment column starts from: the three
@@ -535,11 +684,33 @@ impl AnySegCol {
         })
     }
 
-    fn candidates(&self, range: &ValueRange) -> (CachelineSet, AccessStats) {
-        seg_dispatch!(self, s => {
-            let pred = range.to_predicate().expect("predicate validated against schema");
-            s.candidates(&pred)
-        })
+    /// Bills one query against this column's observation counters. The
+    /// conjunction plans call this once per touched column *up front*, so
+    /// the planner and `path_report` see multi-predicate traffic on every
+    /// column it touches — even ones an early-exit never value-checks.
+    fn note_query(&self) {
+        seg_dispatch!(self, s => s.obs.queries.fetch_add(1, Ordering::Relaxed));
+    }
+
+    fn plan_pred(&self, set: &ValueSet, words: usize) -> (Vec<u64>, PredPlan<'_>, AccessStats) {
+        seg_dispatch!(self, s => s.plan_pred(set, words))
+    }
+
+    fn candidates_set(&self, set: &ValueSet) -> (CachelineSet, AccessStats) {
+        seg_dispatch!(self, s => s.candidates_set(set))
+    }
+
+    fn collect_matches(
+        &self,
+        set: &ValueSet,
+        ranges: &CachelineSet,
+        stats: &mut AccessStats,
+    ) -> Vec<u64> {
+        seg_dispatch!(self, s => s.collect_matches(set, ranges, stats))
+    }
+
+    fn filter_survivors(&self, set: &ValueSet, ids: &mut Vec<u64>, stats: &mut AccessStats) {
+        seg_dispatch!(self, s => s.filter_survivors(set, ids, stats))
     }
 
     /// Merges the same column of several adjacent segments into one
@@ -575,28 +746,6 @@ impl AnySegCol {
             AnySegCol::F64(_) => arm!(F64),
         }
     }
-
-    /// A per-row matcher for refinement, counting its comparisons and
-    /// matches into the column's observations. Conjunction survivors are
-    /// scattered ids, so the refinement kernel's per-value check applies
-    /// (a branchless sort-key compare under SWAR, the classic short-circuit
-    /// compare under the scalar oracle).
-    fn matcher(&self, range: &ValueRange) -> Box<dyn Fn(u64) -> bool + Send + Sync + '_> {
-        seg_dispatch!(self, s => {
-            let pred = range.to_predicate().expect("predicate validated against schema");
-            let kernel = PredicateKernel::with_kernel(&pred, s.kernel);
-            let values = s.data.values();
-            let obs = &s.obs;
-            Box::new(move |id: u64| {
-                let hit = kernel.matches(&values[id as usize]);
-                obs.comparisons.fetch_add(1, Ordering::Relaxed);
-                if hit {
-                    obs.matches.fetch_add(1, Ordering::Relaxed);
-                }
-                hit
-            })
-        })
-    }
 }
 
 /// One request of a shared segment sweep (see
@@ -604,8 +753,11 @@ impl AnySegCol {
 /// caller wants ids or only a count.
 #[derive(Debug, Clone, Copy)]
 pub struct SegBatchQuery<'a> {
-    /// Resolved `(column index, range)` conjunction.
-    pub preds: &'a [(usize, ValueRange)],
+    /// Resolved `(column index, value set)` predicates.
+    pub preds: &'a [(usize, ValueSet)],
+    /// `true` evaluates the predicates as a disjunction (`OR` group)
+    /// instead of the default conjunction.
+    pub any: bool,
     /// `true` counts matches instead of materializing ids.
     pub count_only: bool,
 }
@@ -626,6 +778,15 @@ pub struct SealedSegment {
     base: u64,
     rows: usize,
     cols: Vec<AnySegCol>,
+    /// Learned plan costs per touched column set (sorted column indices):
+    /// one [`PlanChooser`] arbitrating fused vs per-predicate evaluation
+    /// for each distinct conjunction shape this segment has seen. Guarded
+    /// by a short-held mutex (lock class `segment.plans`); the choosers
+    /// themselves are lock-free once handed out.
+    plans: Mutex<HashMap<Vec<usize>, Arc<PlanChooser>>>,
+    /// [`EngineConfig::conjunction_planning`] at seal time: `false` pins
+    /// every multi-predicate query to the per-predicate plan.
+    conjunction_planning: bool,
 }
 
 impl SealedSegment {
@@ -644,7 +805,13 @@ impl SealedSegment {
             .enumerate()
             .map(|(i, buf)| AnySegCol::seal(buf, prev.map(|p| &p.cols[i]), cfg))
             .collect();
-        SealedSegment { base, rows, cols }
+        SealedSegment {
+            base,
+            rows,
+            cols,
+            plans: Mutex::new(HashMap::new()),
+            conjunction_planning: cfg.conjunction_planning,
+        }
     }
 
     /// Merges `parts` — adjacent sealed segments in ascending base order —
@@ -675,7 +842,13 @@ impl SealedSegment {
                 AnySegCol::merged(&col_parts, cfg)
             })
             .collect();
-        SealedSegment { base, rows, cols }
+        SealedSegment {
+            base,
+            rows,
+            cols,
+            plans: Mutex::new(HashMap::new()),
+            conjunction_planning: cfg.conjunction_planning,
+        }
     }
 
     /// Copy of this segment with every column in `rebuild` re-binned
@@ -688,7 +861,15 @@ impl SealedSegment {
             .enumerate()
             .map(|(i, c)| if rebuild.contains(&i) { c.rebuilt() } else { c.shallow_clone() })
             .collect();
-        SealedSegment { base: self.base, rows: self.rows, cols }
+        SealedSegment {
+            base: self.base,
+            rows: self.rows,
+            cols,
+            // Rebuilt indexes change plan costs; learned plan estimates
+            // start over (the per-path choosers already reset likewise).
+            plans: Mutex::new(HashMap::new()),
+            conjunction_planning: self.conjunction_planning,
+        }
     }
 
     /// First global row id covered.
@@ -706,28 +887,181 @@ impl SealedSegment {
         &self.cols
     }
 
-    /// Evaluates a conjunction of (column index, range) predicates over
-    /// this segment, returning segment-local ids.
+    /// Evaluates a conjunction of (column index, value set) predicates
+    /// over this segment, returning segment-local ids.
     ///
-    /// One predicate takes the adaptive single-column path; conjunctions
-    /// take the late-materialization plan: per-column imprint candidates,
-    /// id-space merge-join, then one refinement pass over survivors.
-    pub fn evaluate(&self, preds: &[(usize, ValueRange)]) -> (IdList, AccessStats) {
+    /// A single one-range predicate takes the adaptive single-column path
+    /// (the [`PathChooser`] arbitrating imprints / zonemap / scan / WAH);
+    /// everything else — multi-term sets and multi-predicate conjunctions —
+    /// goes through the conjunction planner, where a per-shape
+    /// [`PlanChooser`] arbitrates the fused row-space plan against the
+    /// per-predicate candidate-intersection plan by observed cost.
+    pub fn evaluate(&self, preds: &[(usize, ValueSet)]) -> (IdList, AccessStats) {
         match preds {
             [] => {
                 let ids = IdList::from_sorted((0..self.rows as u64).collect());
                 (ids, AccessStats::default())
             }
-            [(col, range)] => self.cols[*col].evaluate_adaptive(range),
-            _ => self.evaluate_conjunction(preds),
+            [(col, set)] if set.as_single().is_some() => {
+                let range = set.as_single().expect("checked single");
+                self.cols[*col].evaluate_adaptive(range)
+            }
+            _ => self.evaluate_multi(preds),
         }
     }
 
-    fn evaluate_conjunction(&self, preds: &[(usize, ValueRange)]) -> (IdList, AccessStats) {
+    /// Evaluates the predicates as a **disjunction** (`OR` group): the
+    /// union of each predicate's own adaptively evaluated result. Each arm
+    /// rides its column's best single-column path, so an OR never costs
+    /// more than the sum of its arms; an empty group matches nothing (the
+    /// identity of `OR`), unlike the empty *conjunction* which matches
+    /// everything.
+    pub fn evaluate_any(&self, preds: &[(usize, ValueSet)]) -> (IdList, AccessStats) {
+        let mut stats = AccessStats::default();
+        let mut acc = IdList::new();
+        for pred in preds {
+            let (ids, s) = self.evaluate(std::slice::from_ref(pred));
+            stats.merge(&s);
+            acc = acc.union(&ids);
+        }
+        (acc, stats)
+    }
+
+    /// The learned plan chooser of one conjunction shape (the sorted set
+    /// of touched columns), created on first sight.
+    fn plan_chooser(&self, preds: &[(usize, ValueSet)]) -> Arc<PlanChooser> {
+        let mut key: Vec<usize> = preds.iter().map(|(c, _)| *c).collect();
+        key.sort_unstable();
+        let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(plans.entry(key).or_default())
+    }
+
+    /// The conjunction planner: bills every touched column's query counter
+    /// up front (early exits must not hide traffic from the maintenance
+    /// planner), then lets the shape's [`PlanChooser`] pick fused or
+    /// per-predicate evaluation and records the observed cost.
+    fn evaluate_multi(&self, preds: &[(usize, ValueSet)]) -> (IdList, AccessStats) {
+        for (col, _) in preds {
+            self.cols[*col].note_query();
+        }
+        let chooser = self.conjunction_planning.then(|| self.plan_chooser(preds));
+        let plan = chooser.as_ref().map_or(PlanKind::PerPred, |c| c.choose());
+        let t0 = Instant::now();
+        let out = match plan {
+            PlanKind::Fused => self.evaluate_fused(preds),
+            PlanKind::PerPred => self.evaluate_per_pred(preds),
+        };
+        if let Some(c) = chooser {
+            c.record(plan, t0.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+
+    /// The **fused** conjunction plan: every predicate's imprint is
+    /// classified into row-space bit words first ([`query::classify_rows`]
+    /// behind a union mask per predicate), candidate words are ANDed
+    /// across all predicates — and, where columns have built WAH bitmaps,
+    /// their candidate vectors are ANDed run-wise without decompression
+    /// and folded in — so no value is fetched before *every* index has
+    /// had its say. Surviving words are refined with the compiled SWAR
+    /// [`SetKernel`]s in ascending estimated-selectivity order, skipping
+    /// rows a predicate's imprint already guarantees (`full` words) and
+    /// short-circuiting a word as soon as it empties.
+    fn evaluate_fused(&self, preds: &[(usize, ValueSet)]) -> (IdList, AccessStats) {
+        let words = self.rows.div_ceil(64);
+        let mut stats = AccessStats::default();
+        let mut joint: Option<Vec<u64>> = None;
+        let mut wah_acc: Option<WahVector> = None;
+        let mut plans: Vec<PredPlan<'_>> = Vec::with_capacity(preds.len());
+        for (col, set) in preds {
+            let (cand, plan, s) = self.cols[*col].plan_pred(set, words);
+            stats.merge(&s);
+            wah_acc = match (wah_acc, &plan.wah) {
+                (Some(a), Some(b)) => Some(a.and(b)),
+                (None, Some(b)) => Some(b.clone()),
+                (a, None) => a,
+            };
+            plans.push(plan);
+            let empty = match joint.as_mut() {
+                Some(j) => {
+                    let mut any = 0u64;
+                    for (jw, cw) in j.iter_mut().zip(&cand) {
+                        *jw &= cw;
+                        any |= *jw;
+                    }
+                    any == 0
+                }
+                None => {
+                    let empty = cand.iter().all(|&w| w == 0);
+                    joint = Some(cand);
+                    empty
+                }
+            };
+            if empty {
+                return (IdList::new(), stats);
+            }
+        }
+        let mut joint = joint.unwrap_or_default();
+        if let Some(v) = &wah_acc {
+            // One materialization of the run-wise AND, folded into the
+            // joint candidate words. Sound for any subset of predicates:
+            // each candidate vector is a superset of its predicate's
+            // matches, so their intersection still covers the conjunction.
+            let mut ww = vec![0u64; words];
+            stats.index_probes += v.or_into(&mut ww);
+            for (jw, w) in joint.iter_mut().zip(&ww) {
+                *jw &= w;
+            }
+        }
+        // Most selective predicate first: its checks empty words fastest,
+        // so later (wider) predicates see the fewest surviving rows.
+        plans.sort_by(|a, b| a.sel.total_cmp(&b.sel));
+        let mut out = Vec::new();
+        for (w, &jw) in joint.iter().enumerate() {
+            if jw == 0 {
+                continue;
+            }
+            let mut cur = jw;
+            let mut all_full = jw;
+            for p in &plans {
+                all_full &= p.full[w];
+            }
+            if cur != all_full {
+                stats.lines_fetched += 1;
+                for p in &plans {
+                    let need = cur & !p.full[w];
+                    if need == 0 {
+                        continue;
+                    }
+                    let mm = (p.check)(w, need);
+                    stats.value_comparisons += u64::from(need.count_ones());
+                    cur &= p.full[w] | mm;
+                    if cur == 0 {
+                        break;
+                    }
+                }
+            }
+            let base = w as u64 * 64;
+            while cur != 0 {
+                out.push(base + u64::from(cur.trailing_zeros()));
+                cur &= cur - 1;
+            }
+        }
+        (IdList::from_sorted(out), stats)
+    }
+
+    /// The **per-predicate** fallback plan (and the `multipred` bench
+    /// baseline): per-column imprint candidate ranges intersected in
+    /// cacheline space, the first predicate materialized with the compiled
+    /// [`SetKernel`] over the surviving contiguous runs, every further
+    /// predicate weeding the scattered survivors with the gather-style
+    /// SWAR kernel ([`SetKernel::filter_ids`]) — no boxed per-row
+    /// matchers anywhere.
+    fn evaluate_per_pred(&self, preds: &[(usize, ValueSet)]) -> (IdList, AccessStats) {
         let mut stats = AccessStats::default();
         let mut joint: Option<CachelineSet> = None;
-        for (col, range) in preds {
-            let (cands, s) = self.cols[*col].candidates(range);
+        for (col, set) in preds {
+            let (cands, s) = self.cols[*col].candidates_set(set);
             stats.merge(&s);
             joint = Some(match joint {
                 Some(j) => j.intersect(&cands),
@@ -737,22 +1071,19 @@ impl SealedSegment {
                 return (IdList::new(), stats);
             }
         }
-        let matchers: Vec<_> = preds.iter().map(|(c, r)| self.cols[*c].matcher(r)).collect();
-        let mut out = Vec::new();
-        let mut comparisons = 0u64;
-        for run in joint.expect("at least two predicates").runs() {
-            'ids: for id in run {
-                for m in &matchers {
-                    comparisons += 1;
-                    if !m(id) {
-                        continue 'ids;
-                    }
-                }
-                out.push(id);
+        let joint = joint.expect("at least one predicate");
+        let mut ids: Vec<u64> = Vec::new();
+        for (i, (col, set)) in preds.iter().enumerate() {
+            if i == 0 {
+                ids = self.cols[*col].collect_matches(set, &joint, &mut stats);
+            } else {
+                self.cols[*col].filter_survivors(set, &mut ids, &mut stats);
+            }
+            if ids.is_empty() {
+                break;
             }
         }
-        stats.value_comparisons += comparisons;
-        (IdList::from_sorted(out), stats)
+        (IdList::from_sorted(ids), stats)
     }
 
     /// Evaluates many independent queries in **one shared sweep over this
@@ -769,28 +1100,41 @@ impl SealedSegment {
     pub fn evaluate_batch(&self, queries: &[SegBatchQuery]) -> Vec<(SegBatchAnswer, AccessStats)> {
         queries
             .iter()
-            .map(|q| {
-                if q.count_only {
+            .map(|q| match (q.count_only, q.any) {
+                (true, false) => {
                     let (n, stats) = self.count(q.preds);
                     (SegBatchAnswer::Count(n), stats)
-                } else {
+                }
+                (true, true) => {
+                    let (ids, stats) = self.evaluate_any(q.preds);
+                    (SegBatchAnswer::Count(ids.len() as u64), stats)
+                }
+                (false, false) => {
                     let (ids, stats) = self.evaluate(q.preds);
+                    (SegBatchAnswer::Ids(ids), stats)
+                }
+                (false, true) => {
+                    let (ids, stats) = self.evaluate_any(q.preds);
                     (SegBatchAnswer::Ids(ids), stats)
                 }
             })
             .collect()
     }
 
-    /// Counts matching rows without materializing ids. A single predicate
-    /// takes the adaptive path (same [`PathChooser`] and observation
-    /// recording as [`SealedSegment::evaluate`], with the imprint count
-    /// kernel on the imprint path); conjunctions materialize internally.
-    pub fn count(&self, preds: &[(usize, ValueRange)]) -> (u64, AccessStats) {
+    /// Counts matching rows without materializing ids. A single one-range
+    /// predicate takes the adaptive path (same [`PathChooser`] and
+    /// observation recording as [`SealedSegment::evaluate`], with the
+    /// imprint count kernel on the imprint path); conjunctions and
+    /// multi-term sets materialize internally.
+    pub fn count(&self, preds: &[(usize, ValueSet)]) -> (u64, AccessStats) {
         match preds {
             [] => (self.rows as u64, AccessStats::default()),
-            [(col, range)] => self.cols[*col].count_adaptive(range),
+            [(col, set)] if set.as_single().is_some() => {
+                let range = set.as_single().expect("checked single");
+                self.cols[*col].count_adaptive(range)
+            }
             _ => {
-                let (ids, stats) = self.evaluate_conjunction(preds);
+                let (ids, stats) = self.evaluate_multi(preds);
                 (ids.len() as u64, stats)
             }
         }
@@ -843,6 +1187,12 @@ mod tests {
         EngineConfig { segment_rows: 1024, ..Default::default() }
     }
 
+    /// One single-range predicate — the shape every pre-`ValueSet` test
+    /// used.
+    fn q(col: usize, range: ValueRange) -> (usize, ValueSet) {
+        (col, ValueSet::range(range))
+    }
+
     fn seal_i64(values: Vec<i64>) -> SealedSegment {
         let col: Column<i64> = Column::from(values);
         SealedSegment::seal(0, vec![AnyColumn::I64(col)], None, &cfg())
@@ -873,7 +1223,7 @@ mod tests {
         let expect = oracle(&values, 100, 200);
         // Repeat enough that the chooser routes through all three paths.
         for _ in 0..64 {
-            let (ids, _) = seg.evaluate(&[(0, range)]);
+            let (ids, _) = seg.evaluate(&[q(0, range)]);
             assert_eq!(ids.as_slice(), expect.as_slice());
         }
         assert_explored(&seg.columns()[0]);
@@ -898,9 +1248,9 @@ mod tests {
             for &(lo, hi) in &cases {
                 let range = ValueRange::between(Value::I64(lo), Value::I64(hi));
                 let expect = oracle(&values, lo, hi);
-                let (ids, _) = seg.evaluate(&[(0, range)]);
+                let (ids, _) = seg.evaluate(&[q(0, range)]);
                 assert_eq!(ids.as_slice(), expect.as_slice(), "[{lo}, {hi}]");
-                let (n, _) = seg.count(&[(0, range)]);
+                let (n, _) = seg.count(&[q(0, range)]);
                 assert_eq!(n as usize, expect.len(), "count [{lo}, {hi}]");
             }
         }
@@ -929,7 +1279,7 @@ mod tests {
         let range = ValueRange::between(Value::I64(0), Value::I64(1000));
         let expect = oracle(&values, 0, 1000);
         for _ in 0..64 {
-            let (ids, _) = seg.evaluate(&[(0, range)]);
+            let (ids, _) = seg.evaluate(&[q(0, range)]);
             assert_eq!(ids.as_slice(), expect.as_slice());
         }
         let col = &seg.columns()[0];
@@ -956,8 +1306,8 @@ mod tests {
             &cfg(),
         );
         let preds = [
-            (0, ValueRange::between(Value::I64(10), Value::I64(30))),
-            (1, ValueRange::at_most(Value::F64(9.0))),
+            q(0, ValueRange::between(Value::I64(10), Value::I64(30))),
+            q(1, ValueRange::at_most(Value::F64(9.0))),
         ];
         let (ids, stats) = seg.evaluate(&preds);
         let expect: Vec<u64> = (0..2048u64)
@@ -990,8 +1340,8 @@ mod tests {
         assert_eq!(rebuilt.columns()[0].drift(), 0.0);
         assert_eq!(rebuilt.columns()[0].rebuilds(), 1);
         let range = ValueRange::between(Value::I64(1_000_100), Value::I64(1_000_200));
-        let (a, _) = seg2.evaluate(&[(0, range)]);
-        let (b, _) = rebuilt.evaluate(&[(0, range)]);
+        let (a, _) = seg2.evaluate(&[q(0, range)]);
+        let (b, _) = rebuilt.evaluate(&[q(0, range)]);
         assert_eq!(a, b);
     }
 
@@ -1018,7 +1368,7 @@ mod tests {
         let warm = ValueRange::between(Value::I64(0), Value::I64(100));
         for seg in &sealed {
             for _ in 0..8 {
-                let _ = seg.evaluate(&[(0, warm)]);
+                let _ = seg.evaluate(&[q(0, warm)]);
             }
         }
         let merged = SealedSegment::merge(&sealed, &c);
@@ -1031,10 +1381,10 @@ mod tests {
         assert_eq!(merged.columns()[0].drift(), 0.0, "merge re-samples bins");
         // Answers equal the per-part answers shifted to global ids.
         let range = ValueRange::between(Value::I64(500_050), Value::I64(500_500));
-        let (got, _) = merged.evaluate(&[(0, range)]);
+        let (got, _) = merged.evaluate(&[q(0, range)]);
         let mut expect = IdList::new();
         for seg in &sealed {
-            let (ids, _) = seg.evaluate(&[(0, range)]);
+            let (ids, _) = seg.evaluate(&[q(0, range)]);
             expect.extend_offset(&ids, seg.base());
         }
         assert_eq!(got, expect);
@@ -1121,8 +1471,8 @@ mod tests {
         let count_seg = seal_i64(values);
         let range = ValueRange::between(Value::I64(100), Value::I64(200));
         for call in 0..3 {
-            let (ids, es) = eval_seg.evaluate(&[(0, range)]);
-            let (n, cs) = count_seg.count(&[(0, range)]);
+            let (ids, es) = eval_seg.evaluate(&[q(0, range)]);
+            let (n, cs) = count_seg.count(&[q(0, range)]);
             assert_eq!(n as usize, ids.len());
             assert_eq!(es, cs, "bootstrap call {call}: count and evaluate stats diverged");
         }
@@ -1139,7 +1489,7 @@ mod tests {
         let seg = seal_i64((0..2048).collect());
         let range = ValueRange::between(Value::I64(10), Value::I64(5));
         for call in 0..3 {
-            let (ids, stats) = seg.evaluate(&[(0, range)]);
+            let (ids, stats) = seg.evaluate(&[q(0, range)]);
             assert!(ids.is_empty());
             assert_eq!(
                 stats.value_comparisons, 0,
@@ -1180,7 +1530,7 @@ mod tests {
         let seg = SealedSegment::seal(0, vec![AnyColumn::I32(col)], None, &cfg());
         // One query; a fresh chooser's bootstrap routes it to Imprints.
         let range = ValueRange::between(Value::I32(10), Value::I32(50));
-        let (ids, _) = seg.evaluate(&[(0, range)]);
+        let (ids, _) = seg.evaluate(&[q(0, range)]);
         assert_eq!(ids.len(), 1000);
         let obs = seg.columns()[0].observations();
         let cmp = obs.comparisons.load(Ordering::Relaxed);
@@ -1209,7 +1559,7 @@ mod tests {
         // Enough repetitions that the bootstrap sweep visits all three
         // paths; every path must agree on the count.
         for _ in 0..64 {
-            let (n, _) = seg.count(&[(0, range)]);
+            let (n, _) = seg.count(&[q(0, range)]);
             assert_eq!(n, expect);
         }
         let col = &seg.columns()[0];
@@ -1233,9 +1583,153 @@ mod tests {
         let seg = seal_i64(values);
         let range = ValueRange::between(Value::I64(0), Value::I64(1000));
         for _ in 0..32 {
-            let _ = seg.evaluate(&[(0, range)]);
+            let _ = seg.evaluate(&[q(0, range)]);
         }
         let obs = seg.columns()[0].observations();
         assert!(obs.fp_rate(1).is_some(), "comparisons must have been observed");
+    }
+
+    /// Builds the two-column segment every multi-predicate test below
+    /// shares: `a = i % 100`, `b = i % 37` over 2048 rows.
+    fn two_col_seg(cfg: &EngineConfig) -> (SealedSegment, Vec<i64>, Vec<i64>) {
+        let a: Vec<i64> = (0..2048).map(|i| i % 100).collect();
+        let b: Vec<i64> = (0..2048).map(|i| i % 37).collect();
+        let seg = SealedSegment::seal(
+            0,
+            vec![AnyColumn::I64(Column::from(a.clone())), AnyColumn::I64(Column::from(b.clone()))],
+            None,
+            cfg,
+        );
+        (seg, a, b)
+    }
+
+    /// Satellite regression: a conjunction must bill *every* touched
+    /// column's observations — queries on all predicates (even when an
+    /// earlier predicate's candidates empty the plan), and comparisons on
+    /// the columns that actually weeded values — so the maintenance
+    /// planner and `path_report` see multi-predicate traffic instead of
+    /// attributing the whole query to the first column.
+    #[test]
+    fn conjunction_bills_every_touched_column() {
+        let (seg, a, b) = two_col_seg(&cfg());
+        let preds = [
+            q(0, ValueRange::between(Value::I64(10), Value::I64(40))),
+            q(1, ValueRange::at_most(Value::I64(8))),
+        ];
+        let expect: Vec<u64> = (0..2048u64)
+            .filter(|&i| (10..=40).contains(&a[i as usize]) && b[i as usize] <= 8)
+            .collect();
+        let rounds = 32u64;
+        for _ in 0..rounds {
+            let (ids, _) = seg.evaluate(&preds);
+            assert_eq!(ids.as_slice(), expect.as_slice());
+        }
+        for (col, name) in seg.columns().iter().zip(["a", "b"]) {
+            let obs = col.observations();
+            assert_eq!(
+                obs.queries.load(Ordering::Relaxed),
+                rounds,
+                "column {name} must be billed one query per conjunction"
+            );
+            assert!(
+                obs.comparisons.load(Ordering::Relaxed) > 0,
+                "column {name} weeded values but recorded no comparisons"
+            );
+        }
+        // Early exit — an impossible first predicate empties the plan
+        // before the second column is touched — still bills the query on
+        // every named column, so planner traffic stays honest.
+        let before = seg.columns()[1].observations().queries.load(Ordering::Relaxed);
+        let (ids, _) = seg.evaluate(&[
+            q(0, ValueRange::between(Value::I64(500), Value::I64(400))),
+            q(1, ValueRange::at_most(Value::I64(8))),
+        ]);
+        assert!(ids.is_empty());
+        assert_eq!(
+            seg.columns()[1].observations().queries.load(Ordering::Relaxed),
+            before + 1,
+            "early exit must still bill the untouched column's query"
+        );
+    }
+
+    /// IN-lists (multi-interval `ValueSet`s) must answer exactly like the
+    /// brute-force oracle through both conjunction plans.
+    #[test]
+    fn in_list_matches_oracle() {
+        let (seg, a, b) = two_col_seg(&cfg());
+        let preds = [
+            (0usize, ValueSet::points([Value::I64(5), Value::I64(17), Value::I64(91)])),
+            (1usize, ValueSet::range(ValueRange::at_most(Value::I64(20)))),
+        ];
+        let expect: Vec<u64> = (0..2048u64)
+            .filter(|&i| [5, 17, 91].contains(&a[i as usize]) && b[i as usize] <= 20)
+            .collect();
+        assert!(!expect.is_empty(), "test data must produce hits");
+        // Enough repeats that the plan chooser runs both plans.
+        for _ in 0..8 {
+            let (ids, _) = seg.evaluate(&preds);
+            assert_eq!(ids.as_slice(), expect.as_slice());
+            let (n, _) = seg.count(&preds);
+            assert_eq!(n as usize, expect.len());
+        }
+    }
+
+    /// OR groups union their arms; the empty group is the identity of OR
+    /// and matches nothing (unlike the empty conjunction, which matches
+    /// everything).
+    #[test]
+    fn disjunction_matches_oracle() {
+        let (seg, a, b) = two_col_seg(&cfg());
+        let preds = [
+            q(0, ValueRange::between(Value::I64(95), Value::I64(99))),
+            q(1, ValueRange::equals(Value::I64(3))),
+        ];
+        let expect: Vec<u64> = (0..2048u64)
+            .filter(|&i| (95..=99).contains(&a[i as usize]) || b[i as usize] == 3)
+            .collect();
+        let (ids, stats) = seg.evaluate_any(&preds);
+        assert_eq!(ids.as_slice(), expect.as_slice());
+        assert!(stats.index_probes > 0);
+        let (none, _) = seg.evaluate_any(&[]);
+        assert!(none.is_empty(), "the empty disjunction selects nothing");
+        let (all, _) = seg.evaluate(&[]);
+        assert_eq!(all.len(), 2048, "the empty conjunction selects everything");
+    }
+
+    /// The fused and per-predicate plans must agree byte-for-byte: with
+    /// planning enabled the chooser's bootstrap alternates both plans over
+    /// the same query, and with `conjunction_planning: false` the pinned
+    /// per-predicate baseline must produce the identical answer.
+    #[test]
+    fn fused_and_per_pred_plans_agree() {
+        let base = cfg();
+        let pinned = EngineConfig { conjunction_planning: false, ..cfg() };
+        let (planned, a, b) = two_col_seg(&base);
+        let (baseline, _, _) = two_col_seg(&pinned);
+        let cases: &[(i64, i64, i64)] = &[(10, 30, 9), (0, 99, 36), (50, 50, 0), (80, 20, 5)];
+        for &(lo, hi, bmax) in cases {
+            let preds = [
+                q(0, ValueRange::between(Value::I64(lo), Value::I64(hi))),
+                q(1, ValueRange::at_most(Value::I64(bmax))),
+            ];
+            let expect: Vec<u64> = (0..2048u64)
+                .filter(|&i| (lo..=hi).contains(&a[i as usize]) && b[i as usize] <= bmax)
+                .collect();
+            for _ in 0..8 {
+                let (ids, _) = planned.evaluate(&preds);
+                assert_eq!(ids.as_slice(), expect.as_slice(), "planned {lo}..={hi} & <={bmax}");
+                let (ids, _) = baseline.evaluate(&preds);
+                assert_eq!(ids.as_slice(), expect.as_slice(), "pinned {lo}..={hi} & <={bmax}");
+            }
+        }
+        // The arbitrated segment measured both plans; the pinned one
+        // never consulted a chooser (per-predicate throughout).
+        let chooser = planned.plan_chooser(&[
+            q(0, ValueRange::equals(Value::I64(0))),
+            q(1, ValueRange::equals(Value::I64(0))),
+        ]);
+        assert!(chooser.queries() > 0, "planned segment must have recorded plan costs");
+        let est = chooser.estimates();
+        assert!(est.iter().all(Option::is_some), "bootstrap must have measured both plans");
     }
 }

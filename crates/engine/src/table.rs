@@ -29,7 +29,7 @@ use std::sync::{Arc, RwLock};
 
 use colstore::relation::AnyColumn;
 use colstore::{AccessStats, Column, ColumnType, Error, IdList, Result, Scalar, Value};
-use imprints::relation_index::ValueRange;
+use imprints::relation_index::{ValueRange, ValueSet};
 
 use crate::config::EngineConfig;
 use crate::executor::WorkerPool;
@@ -106,25 +106,47 @@ pub struct QueryStats {
     pub epoch: u64,
 }
 
-/// One request of a [`Table::query_batch`] call: a conjunction of named
-/// column predicates, materializing ids or counting.
+/// One request of a [`Table::query_batch`] call: named column predicates —
+/// each a [`ValueSet`] (one range, an IN-list, any union of intervals) —
+/// combined conjunctively or, with `any`, disjunctively; materializing ids
+/// or counting.
 #[derive(Debug, Clone)]
 pub struct BatchQuery {
-    /// Conjunctive `(column name, range)` predicates; empty selects all.
-    pub preds: Vec<(String, ValueRange)>,
+    /// `(column name, value set)` predicates; empty selects all rows under
+    /// conjunction semantics and none under `any`.
+    pub preds: Vec<(String, ValueSet)>,
+    /// `true` evaluates the predicates as a disjunction (`OR` group).
+    pub any: bool,
     /// `true` counts matching rows instead of materializing ids.
     pub count_only: bool,
 }
 
 impl BatchQuery {
-    /// A materializing query over `preds`.
+    /// A materializing query over single-range `preds` (the pre-`ValueSet`
+    /// shape, kept for callers without IN-lists).
     pub fn ids(preds: Vec<(String, ValueRange)>) -> BatchQuery {
-        BatchQuery { preds, count_only: false }
+        BatchQuery::ids_sets(preds.into_iter().map(|(n, r)| (n, ValueSet::range(r))).collect())
     }
 
-    /// A count-only query over `preds`.
+    /// A count-only query over single-range `preds`.
     pub fn count(preds: Vec<(String, ValueRange)>) -> BatchQuery {
-        BatchQuery { preds, count_only: true }
+        BatchQuery::count_sets(preds.into_iter().map(|(n, r)| (n, ValueSet::range(r))).collect())
+    }
+
+    /// A materializing conjunction over value-set predicates.
+    pub fn ids_sets(preds: Vec<(String, ValueSet)>) -> BatchQuery {
+        BatchQuery { preds, any: false, count_only: false }
+    }
+
+    /// A count-only conjunction over value-set predicates.
+    pub fn count_sets(preds: Vec<(String, ValueSet)>) -> BatchQuery {
+        BatchQuery { preds, any: false, count_only: true }
+    }
+
+    /// The same query with disjunction (`OR` group) semantics.
+    pub fn or_group(mut self) -> BatchQuery {
+        self.any = true;
+        self
     }
 }
 
@@ -231,10 +253,10 @@ impl Table {
             + tail_bytes
     }
 
-    /// Resolves and type-checks `(name, range)` predicates against the
+    /// Resolves and type-checks `(name, value set)` predicates against the
     /// schema.
-    fn resolve(&self, preds: &[(&str, ValueRange)]) -> Result<Vec<(usize, ValueRange)>> {
-        resolve_preds(&self.schema, preds)
+    fn resolve(&self, preds: &[(&str, ValueSet)]) -> Result<Vec<(usize, ValueSet)>> {
+        resolve_sets(&self.schema, preds)
     }
 
     // ------------------------------------------------------------------
@@ -421,6 +443,23 @@ impl Table {
         Ok(self.query_with_stats(preds, Some(pool))?.0)
     }
 
+    /// Evaluates a conjunction of `(column, value set)` predicates —
+    /// ranges, IN-lists, or any union of intervals per column.
+    pub fn query_sets(&self, preds: &[(&str, ValueSet)]) -> Result<IdList> {
+        Ok(self.query_sets_with_stats(preds, false, None)?.0)
+    }
+
+    /// Evaluates the predicates as a **disjunction** (`OR` group): rows
+    /// matching any of them. An empty group matches nothing.
+    pub fn query_any(&self, preds: &[(&str, ValueSet)]) -> Result<IdList> {
+        Ok(self.query_sets_with_stats(preds, true, None)?.0)
+    }
+
+    /// Counts rows matching any of the predicates (`OR` group).
+    pub fn count_any(&self, preds: &[(&str, ValueSet)]) -> Result<u64> {
+        Ok(self.count_sets_with_stats(preds, true, None)?.0)
+    }
+
     /// Pins the consistent prefix shared by every read entry point: the
     /// open read lock excludes sealing, so the sealed list and the open
     /// rows agree. Open rows are evaluated under the lock (bounded by one
@@ -429,7 +468,7 @@ impl Table {
     /// on the frozen snapshot. Both [`Table::query_with_stats`] and
     /// [`Table::count_with_stats`] go through here, so the two entry
     /// points cannot drift on the consistency scheme.
-    fn pin_prefix(&self, rpreds: &[(usize, ValueRange)]) -> PinnedPrefix {
+    fn pin_prefix(&self, rpreds: &[(usize, ValueSet)], any: bool) -> PinnedPrefix {
         let open = self.open.read().expect("open lock");
         let sealed_guard = self.sealed.read().expect("sealed lock");
         let sealed = sealed_guard.clone();
@@ -439,7 +478,7 @@ impl Table {
         let epoch = self.epoch();
         drop(sealed_guard);
         let kernel = self.refine_kernel();
-        let open_eval = eval_open(&open.bufs, open.tails.as_deref(), rpreds, kernel);
+        let open_eval = eval_open(&open.bufs, open.tails.as_deref(), rpreds, any, kernel);
         PinnedPrefix { sealed, open_base: open.base, open: open_eval, epoch }
     }
 
@@ -471,17 +510,39 @@ impl Table {
         preds: &[(&str, ValueRange)],
         pool: Option<&WorkerPool>,
     ) -> Result<(IdList, QueryStats)> {
+        let sets: Vec<(&str, ValueSet)> =
+            preds.iter().map(|(n, r)| (*n, ValueSet::range(*r))).collect();
+        self.query_sets_with_stats(&sets, false, pool)
+    }
+
+    /// The general materializing entry point: value-set predicates under
+    /// conjunction (`any == false`) or disjunction (`any == true`)
+    /// semantics, with the same pinned-prefix consistency as
+    /// [`Table::query_with_stats`].
+    pub fn query_sets_with_stats(
+        &self,
+        preds: &[(&str, ValueSet)],
+        any: bool,
+        pool: Option<&WorkerPool>,
+    ) -> Result<(IdList, QueryStats)> {
         let rpreds = Arc::new(self.resolve(preds)?);
-        let pin = self.pin_prefix(&rpreds);
+        let pin = self.pin_prefix(&rpreds, any);
         let mut stats = Self::prefix_stats(&pin);
 
+        let eval = move |seg: &SealedSegment, rpreds: &[(usize, ValueSet)]| {
+            if any {
+                seg.evaluate_any(rpreds)
+            } else {
+                seg.evaluate(rpreds)
+            }
+        };
         let per_segment: Vec<(u64, IdList, AccessStats)> = match pool {
             Some(pool) if pin.sealed.len() > 1 => {
                 let results = pool.scatter(pin.sealed.iter().map(|seg| {
                     let seg = Arc::clone(seg);
                     let rpreds = Arc::clone(&rpreds);
                     move || {
-                        let (ids, st) = seg.evaluate(&rpreds);
+                        let (ids, st) = eval(&seg, &rpreds);
                         (seg.base(), ids, st)
                     }
                 }));
@@ -497,7 +558,7 @@ impl Table {
                 .sealed
                 .iter()
                 .map(|seg| {
-                    let (ids, st) = seg.evaluate(&rpreds);
+                    let (ids, st) = eval(seg, &rpreds);
                     (seg.base(), ids, st)
                 })
                 .collect(),
@@ -523,16 +584,38 @@ impl Table {
         preds: &[(&str, ValueRange)],
         pool: Option<&WorkerPool>,
     ) -> Result<(u64, QueryStats)> {
+        let sets: Vec<(&str, ValueSet)> =
+            preds.iter().map(|(n, r)| (*n, ValueSet::range(*r))).collect();
+        self.count_sets_with_stats(&sets, false, pool)
+    }
+
+    /// The general counting entry point: value-set predicates under
+    /// conjunction or disjunction semantics — the count twin of
+    /// [`Table::query_sets_with_stats`].
+    pub fn count_sets_with_stats(
+        &self,
+        preds: &[(&str, ValueSet)],
+        any: bool,
+        pool: Option<&WorkerPool>,
+    ) -> Result<(u64, QueryStats)> {
         let rpreds = Arc::new(self.resolve(preds)?);
-        let pin = self.pin_prefix(&rpreds);
+        let pin = self.pin_prefix(&rpreds, any);
         let mut stats = Self::prefix_stats(&pin);
 
+        let tally = move |seg: &SealedSegment, rpreds: &[(usize, ValueSet)]| {
+            if any {
+                let (ids, st) = seg.evaluate_any(rpreds);
+                (ids.len() as u64, st)
+            } else {
+                seg.count(rpreds)
+            }
+        };
         let per_segment: Vec<(u64, AccessStats)> = match pool {
             Some(pool) if pin.sealed.len() > 1 => {
                 let results = pool.scatter(pin.sealed.iter().map(|seg| {
                     let seg = Arc::clone(seg);
                     let rpreds = Arc::clone(&rpreds);
-                    move || seg.count(&rpreds)
+                    move || tally(&seg, &rpreds)
                 }));
                 let mut out = Vec::with_capacity(results.len());
                 for r in results {
@@ -542,7 +625,7 @@ impl Table {
                 }
                 out
             }
-            _ => pin.sealed.iter().map(|seg| seg.count(&rpreds)).collect(),
+            _ => pin.sealed.iter().map(|seg| tally(seg, &rpreds)).collect(),
         };
 
         let mut total = 0u64;
@@ -584,11 +667,11 @@ impl Table {
 
         // Resolve every query first; failures keep their slot and never
         // reach the data pass.
-        let mut resolved: Vec<Result<Vec<(usize, ValueRange)>>> = queries
+        let mut resolved: Vec<Result<Vec<(usize, ValueSet)>>> = queries
             .iter()
             .map(|q| {
-                let preds: Vec<(&str, ValueRange)> =
-                    q.preds.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+                let preds: Vec<(&str, ValueSet)> =
+                    q.preds.iter().map(|(n, s)| (n.as_str(), s.clone())).collect();
                 self.resolve(&preds)
             })
             .collect();
@@ -608,22 +691,22 @@ impl Table {
             .iter()
             .map(|&i| {
                 let rp = resolved[i].as_ref().expect("valid index");
-                eval_open(&open.bufs, open.tails.as_deref(), rp, kernel)
+                eval_open(&open.bufs, open.tails.as_deref(), rp, queries[i].any, kernel)
             })
             .collect();
         drop(open);
 
         // One shared sweep per sealed segment, answering every valid query.
-        let rpreds: Arc<Vec<Vec<(usize, ValueRange)>>> = Arc::new(
+        let rpreds: Arc<Vec<Vec<(usize, ValueSet)>>> = Arc::new(
             valid.iter().map(|&i| resolved[i].as_ref().expect("valid index").clone()).collect(),
         );
-        let flags: Arc<Vec<bool>> =
-            Arc::new(valid.iter().map(|&i| queries[i].count_only).collect());
+        let flags: Arc<Vec<(bool, bool)>> =
+            Arc::new(valid.iter().map(|&i| (queries[i].any, queries[i].count_only)).collect());
         let sweep = |seg: &SealedSegment| {
             let qs: Vec<SegBatchQuery> = rpreds
                 .iter()
                 .zip(flags.iter())
-                .map(|(preds, &count_only)| SegBatchQuery { preds, count_only })
+                .map(|(preds, &(any, count_only))| SegBatchQuery { preds, any, count_only })
                 .collect();
             seg.evaluate_batch(&qs)
         };
@@ -637,7 +720,11 @@ impl Table {
                         let qs: Vec<SegBatchQuery> = rpreds
                             .iter()
                             .zip(flags.iter())
-                            .map(|(preds, &count_only)| SegBatchQuery { preds, count_only })
+                            .map(|(preds, &(any, count_only))| SegBatchQuery {
+                                preds,
+                                any,
+                                count_only,
+                            })
                             .collect();
                         (seg.base(), seg.evaluate_batch(&qs))
                     }
@@ -754,29 +841,32 @@ impl Table {
     }
 }
 
-/// Resolves and type-checks `(name, range)` predicates against `schema` —
-/// shared by [`Table`] and [`TableSnapshot`] so both surfaces report a
-/// mismatched bound as an error instead of panicking later.
-fn resolve_preds(
+/// Resolves and type-checks `(name, value set)` predicates against
+/// `schema` — shared by [`Table`] and [`TableSnapshot`] so both surfaces
+/// report a mismatched bound (in any term of any set) as an error instead
+/// of panicking later.
+fn resolve_sets(
     schema: &[ColumnDef],
-    preds: &[(&str, ValueRange)],
-) -> Result<Vec<(usize, ValueRange)>> {
+    preds: &[(&str, ValueSet)],
+) -> Result<Vec<(usize, ValueSet)>> {
     let mut out = Vec::with_capacity(preds.len());
-    for (name, range) in preds {
+    for (name, set) in preds {
         let pos = schema
             .iter()
             .position(|d| d.name == *name)
             .ok_or_else(|| Error::NotFound(format!("column {name:?}")))?;
         let ty = schema[pos].ty;
-        for bound in [&range.low, &range.high].into_iter().flatten() {
-            if bound.column_type() != ty {
-                return Err(Error::Mismatch(format!(
-                    "predicate bound {bound} has type {}, column {name:?} holds {ty}",
-                    bound.column_type()
-                )));
+        for range in &set.terms {
+            for bound in [&range.low, &range.high].into_iter().flatten() {
+                if bound.column_type() != ty {
+                    return Err(Error::Mismatch(format!(
+                        "predicate bound {bound} has type {}, column {name:?} holds {ty}",
+                        bound.column_type()
+                    )));
+                }
             }
         }
-        out.push((pos, *range));
+        out.push((pos, (*set).clone()));
     }
     Ok(out)
 }
@@ -803,16 +893,22 @@ struct OpenEval {
     tail_indexed: bool,
 }
 
-/// Evaluates resolved predicates over the open segment. The first
-/// predicate reads the whole head, so it routes through the column's tail
-/// imprint when one is maintained — skipping non-qualifying cachelines
-/// exactly like sealed segments do; the remaining predicates only weed the
-/// (typically few) survivors, where a scalar pass wins. Without tails
-/// every predicate takes the scalar path.
+/// Evaluates resolved predicates over the open segment.
+///
+/// Conjunctions: the first predicate reads the whole head, so it routes
+/// through the column's tail imprint when one is maintained — term by term
+/// for multi-interval sets ([`AnyTailIndex::evaluate_set`]), skipping
+/// non-qualifying cachelines exactly like sealed segments do; the
+/// remaining predicates weed the (typically few, scattered) survivors
+/// with the gather-style kernel. Disjunctions (`any`): every arm reads
+/// the whole head, so each rides its *own* column's tail imprint and the
+/// results union. Without tails every predicate takes the kernel path
+/// over the full buffer.
 fn eval_open(
     bufs: &[AnyColumn],
     tails: Option<&[AnyTailIndex]>,
-    rpreds: &[(usize, ValueRange)],
+    rpreds: &[(usize, ValueSet)],
+    any: bool,
     kernel: imprints::simd::RefineKernel,
 ) -> OpenEval {
     let rows = bufs.first().map_or(0, AnyColumn::len);
@@ -820,6 +916,11 @@ fn eval_open(
         return OpenEval::default();
     }
     if rpreds.is_empty() {
+        // The empty conjunction selects everything; the empty disjunction
+        // (identity of OR) selects nothing.
+        if any {
+            return OpenEval { rows, ..Default::default() };
+        }
         return OpenEval {
             hits: IdList::from_sorted((0..rows as u64).collect()),
             rows,
@@ -827,8 +928,35 @@ fn eval_open(
         };
     }
     let mut out = OpenEval { rows, ..Default::default() };
+    if any {
+        let mut acc = IdList::new();
+        for (col, set) in rpreds {
+            let hits = match tails {
+                Some(tails) => {
+                    let tail = &tails[*col];
+                    debug_assert_eq!(
+                        tail.rows(),
+                        rows,
+                        "tail imprint out of sync with the open buffer"
+                    );
+                    let (ids, stats) = tail.evaluate_set(&bufs[*col], set, kernel);
+                    out.access.merge(&stats);
+                    out.tail_indexed = true;
+                    ids
+                }
+                None => {
+                    let (ids, compared) = filter_open_column(&bufs[*col], set, None, rows, kernel);
+                    out.access.value_comparisons += compared;
+                    IdList::from_sorted(ids)
+                }
+            };
+            acc = acc.union(&hits);
+        }
+        out.hits = acc;
+        return out;
+    }
     let mut survivors: Option<Vec<u64>> = None;
-    for (i, (col, range)) in rpreds.iter().enumerate() {
+    for (i, (col, set)) in rpreds.iter().enumerate() {
         let next = match (i, tails) {
             (0, Some(tails)) => {
                 let tail = &tails[*col];
@@ -837,14 +965,14 @@ fn eval_open(
                     rows,
                     "tail imprint out of sync with the open buffer"
                 );
-                let (ids, stats) = tail.evaluate(&bufs[*col], range, kernel);
+                let (ids, stats) = tail.evaluate_set(&bufs[*col], set, kernel);
                 out.access.merge(&stats);
                 out.tail_indexed = true;
                 ids.into_vec()
             }
             _ => {
                 let current = survivors.as_deref();
-                let (ids, compared) = filter_open_column(&bufs[*col], range, current, rows, kernel);
+                let (ids, compared) = filter_open_column(&bufs[*col], set, current, rows, kernel);
                 out.access.value_comparisons += compared;
                 ids
             }
@@ -883,38 +1011,32 @@ fn index_open_tail(open: &mut OpenSegment, from: usize, min_rows: usize) {
 
 /// One column's filter pass over the open segment, routed through the
 /// table's refinement kernel ([`imprints::simd`]): a full-head pass takes
-/// the chunked cacheline kernel, a survivors pass checks the (scattered)
-/// candidate ids one by one. Returns the matching local ids and the number
-/// of values actually compared — zero when the predicate can match
+/// the chunked cacheline kernel, a survivors pass the gather-style
+/// [`SetKernel::filter_ids`](imprints::simd::SetKernel::filter_ids) over
+/// the (scattered) candidate ids. Returns the matching local ids and the
+/// number of values actually compared — zero when the predicate can match
 /// nothing, so the head's `value_comparisons` stay honest.
 fn filter_open_column(
     buf: &AnyColumn,
-    range: &ValueRange,
+    set: &ValueSet,
     candidates: Option<&[u64]>,
     rows: usize,
     kernel: imprints::simd::RefineKernel,
 ) -> (Vec<u64>, u64) {
     macro_rules! arm {
         ($c:expr) => {{
-            let pred = range.to_predicate().expect("predicate validated against schema");
-            let kernel = imprints::simd::PredicateKernel::with_kernel(&pred, kernel);
+            let terms = set.to_predicates().expect("predicates validated against schema");
+            let kernel = imprints::simd::SetKernel::with_kernel(&terms, kernel);
             let values = $c.values();
+            let mut compared = 0u64;
             match candidates {
                 Some(ids) => {
-                    if kernel.is_empty() {
-                        (Vec::new(), 0)
-                    } else {
-                        let kept = ids
-                            .iter()
-                            .copied()
-                            .filter(|&id| kernel.matches(&values[id as usize]))
-                            .collect();
-                        (kept, ids.len() as u64)
-                    }
+                    let mut kept = ids.to_vec();
+                    kernel.filter_ids(values, &mut kept, &mut compared);
+                    (kept, compared)
                 }
                 None => {
                     let mut out = Vec::new();
-                    let mut compared = 0u64;
                     kernel.append_matches(values, 0..rows as u64, &mut out, &mut compared);
                     (out, compared)
                 }
@@ -959,11 +1081,13 @@ impl TableSnapshot {
 
     /// Evaluates predicates against the frozen view (serial).
     pub fn query(&self, preds: &[(&str, ValueRange)]) -> Result<IdList> {
-        let rpreds = resolve_preds(&self.schema, preds)?;
+        let sets: Vec<(&str, ValueSet)> =
+            preds.iter().map(|(n, r)| (*n, ValueSet::range(*r))).collect();
+        let rpreds = resolve_sets(&self.schema, &sets)?;
         let mut merged = IdList::concat_segments(
             self.sealed.iter().map(|seg| (seg.base(), seg.evaluate(&rpreds).0)),
         );
-        let open = eval_open(&self.open_bufs, None, &rpreds, self.kernel);
+        let open = eval_open(&self.open_bufs, None, &rpreds, false, self.kernel);
         merged.extend_offset(&open.hits, self.open_base);
         Ok(merged)
     }
@@ -1251,15 +1375,23 @@ mod tests {
         ];
         let mut batch = Vec::new();
         for (i, preds) in ranges.iter().enumerate() {
-            batch.push(BatchQuery { preds: clone_preds(preds), count_only: i % 2 == 1 });
+            let q = if i % 2 == 1 {
+                BatchQuery::count(preds.clone())
+            } else {
+                BatchQuery::ids(preds.clone())
+            };
+            batch.push(q);
         }
         let pool = WorkerPool::new(2);
         for pool in [None, Some(&pool)] {
             let out = t.query_batch(&batch, pool);
             assert_eq!(out.len(), batch.len());
             for (q, res) in batch.iter().zip(out) {
-                let preds: Vec<(&str, ValueRange)> =
-                    q.preds.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+                let preds: Vec<(&str, ValueRange)> = q
+                    .preds
+                    .iter()
+                    .map(|(n, s)| (n.as_str(), *s.as_single().expect("ranges only")))
+                    .collect();
                 let (answer, stats) = res.unwrap();
                 if q.count_only {
                     let (n, st) = t.count_with_stats(&preds, None).unwrap();
@@ -1276,10 +1408,6 @@ mod tests {
                 }
             }
         }
-    }
-
-    fn clone_preds(preds: &[(String, ValueRange)]) -> Vec<(String, ValueRange)> {
-        preds.to_vec()
     }
 
     /// A batch with an unresolvable query errors only that slot; the rest

@@ -39,7 +39,7 @@
 
 use colstore::relation::AnyColumn;
 use colstore::{AccessStats, IdList};
-use imprints::relation_index::ValueRange;
+use imprints::relation_index::{ValueRange, ValueSet};
 use imprints::{query, ColumnImprints};
 
 /// The tail imprint of one open column buffer, of whichever scalar type
@@ -176,6 +176,26 @@ impl AnyTailIndex {
             let (ids, stats) = query::evaluate_with_kernel(i, c, &pred, kernel);
             (ids, stats.access)
         })
+    }
+
+    /// Evaluates a whole [`ValueSet`] over the write head: the union of
+    /// each term's imprint evaluation. IN-lists and OR arms ride the tail
+    /// imprint term by term, so the head path never falls back to a
+    /// linear scan just because a predicate has more than one interval.
+    pub fn evaluate_set(
+        &self,
+        buf: &AnyColumn,
+        set: &ValueSet,
+        kernel: imprints::simd::RefineKernel,
+    ) -> (IdList, AccessStats) {
+        let mut stats = AccessStats::default();
+        let mut acc = IdList::new();
+        for term in &set.terms {
+            let (ids, s) = self.evaluate(buf, term, kernel);
+            stats.merge(&s);
+            acc = acc.union(&ids);
+        }
+        (acc, stats)
     }
 }
 

@@ -13,7 +13,7 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use imprints_engine::{BatchAnswer, BatchQuery, Table, ValueRange};
+use imprints_engine::{BatchAnswer, BatchQuery, Table, ValueSet};
 
 use crate::protocol::{fmt_err, fmt_ok_count, fmt_ok_ids};
 use crate::server::{Shared, Ticket};
@@ -90,14 +90,14 @@ fn run_group(shared: &Shared, table: &Arc<Table>, tickets: Vec<Ticket>) {
 
 /// Types a ticket's wire predicates against the table schema.
 fn typed_query(table: &Table, t: &Ticket) -> Result<BatchQuery, String> {
-    let mut preds: Vec<(String, ValueRange)> = Vec::with_capacity(t.preds.len());
+    let mut preds: Vec<(String, ValueSet)> = Vec::with_capacity(t.preds.len());
     for p in &t.preds {
         let def = table
             .schema()
             .iter()
             .find(|c| c.name == p.column)
             .ok_or_else(|| format!("no column {:?} in table {:?}", p.column, table.name()))?;
-        preds.push((p.column.clone(), p.to_range(def.ty)?));
+        preds.push((p.column.clone(), p.to_set(def.ty)?));
     }
-    Ok(BatchQuery { preds, count_only: t.count_only })
+    Ok(BatchQuery { preds, any: t.any, count_only: t.count_only })
 }

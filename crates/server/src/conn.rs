@@ -154,10 +154,12 @@ pub(crate) fn serve(shared: Arc<Shared>, conn: Arc<Conn>, stream: TcpStream) {
                 conn.send(&protocol::fmt_ok_list(tag, &shared.engine.catalog().table_names()))
             }
             Ok(Request::Stats(table)) => conn.send(&stats_line(&shared, tag, table.as_deref())),
-            Ok(Request::Query { table, preds }) => {
-                enqueue(&shared, &conn, tag, table, preds, false)
+            Ok(Request::Query { table, preds, any }) => {
+                enqueue(&shared, &conn, tag, table, preds, any, false)
             }
-            Ok(Request::Count { table, preds }) => enqueue(&shared, &conn, tag, table, preds, true),
+            Ok(Request::Count { table, preds, any }) => {
+                enqueue(&shared, &conn, tag, table, preds, any, true)
+            }
         }
     }
     shared.forget_conn(conn.id);
@@ -171,10 +173,17 @@ fn enqueue(
     tag: Option<&str>,
     table: String,
     preds: Vec<RawPred>,
+    any: bool,
     count_only: bool,
 ) {
-    let ticket =
-        Ticket { conn: Arc::clone(conn), tag: tag.map(str::to_string), table, preds, count_only };
+    let ticket = Ticket {
+        conn: Arc::clone(conn),
+        tag: tag.map(str::to_string),
+        table,
+        preds,
+        any,
+        count_only,
+    };
     if !shared.admission.offer(conn.id, ticket) {
         conn.send(&protocol::fmt_busy(tag));
     }

@@ -5,21 +5,32 @@
 //! ```text
 //! request   := [tag] verb
 //! tag       := '#' token            -- echoed verbatim on the response line
-//! verb      := "QUERY" table pred*  -- matching row ids
-//!            | "COUNT" table pred*  -- matching row count
+//! verb      := "QUERY" table body   -- matching row ids
+//!            | "COUNT" table body   -- matching row count
 //!            | "TABLES"             -- registered table names
 //!            | "STATS" [table]      -- server or per-table counters
 //!            | "PING"               -- liveness probe
+//! body      := pred*                -- conjunction (AND of the predicates)
+//!            | "OR" pred pred*      -- disjunction (union of the predicates)
 //! pred      := col "=" value        -- equality
 //!            | col "<=" value       -- at most
 //!            | col ">=" value       -- at least
 //!            | col "=" lo ".." hi   -- inclusive range
+//!            | col "=" v ("," v)+   -- IN-list (any of the listed values)
 //! ```
+//!
+//! `QUERY t a>=3 b=1..9 c=5,7,9` selects rows satisfying *all three*
+//! predicates; `QUERY t OR a=1 b>=100` selects rows satisfying *either*.
+//! IN-list items are plain values — a `..` range inside a list is an
+//! error, as is an empty item (`c=5,,9`). An `OR` group needs at least one
+//! predicate: the empty disjunction would select nothing, which a client
+//! can only mean by mistake.
 //!
 //! All bounds are inclusive, mirroring the engine's
 //! [`ValueRange`](imprints_engine::ValueRange); strict comparisons are not
 //! expressible on the wire because the index cannot answer them exactly.
-//! Verbs are case-insensitive; column names and tags are case-sensitive.
+//! Verbs and the `OR` keyword are case-insensitive; column names and tags
+//! are case-sensitive.
 //!
 //! Responses are a single line each, prefixed with the request tag when one
 //! was given:
@@ -36,24 +47,29 @@
 //! batching is not necessarily arrival order.
 
 use colstore::{ColumnType, Value};
-use imprints_engine::ValueRange;
+use imprints_engine::{ValueRange, ValueSet};
 
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// `QUERY table pred*` — materialize matching row ids.
+    /// `QUERY table body` — materialize matching row ids.
     Query {
         /// Target table name.
         table: String,
-        /// Conjunctive predicates (possibly empty: select all).
+        /// The predicates (possibly empty: select all — unless `any`).
         preds: Vec<RawPred>,
+        /// `true` for an `OR` group (union of the predicates), `false`
+        /// for the default conjunction.
+        any: bool,
     },
-    /// `COUNT table pred*` — count matching rows.
+    /// `COUNT table body` — count matching rows.
     Count {
         /// Target table name.
         table: String,
-        /// Conjunctive predicates (possibly empty: count all).
+        /// The predicates (possibly empty: count all — unless `any`).
         preds: Vec<RawPred>,
+        /// `true` for an `OR` group, `false` for the conjunction.
+        any: bool,
     },
     /// `TABLES` — list registered tables.
     Tables,
@@ -63,26 +79,51 @@ pub enum Request {
     Ping,
 }
 
-/// A predicate as written on the wire: column name plus optional inclusive
-/// string bounds. Bounds are typed against the table schema at dispatch
-/// time (the parser does not know the schema).
+/// One inclusive interval of a wire predicate, still as strings. Bounds
+/// are typed against the table schema at dispatch time (the parser does
+/// not know the schema).
 #[derive(Debug, Clone, PartialEq)]
-pub struct RawPred {
-    /// Column name.
-    pub column: String,
+pub struct RawRange {
     /// Inclusive lower bound, if any.
     pub low: Option<String>,
     /// Inclusive upper bound, if any.
     pub high: Option<String>,
 }
 
-impl RawPred {
+impl RawRange {
     /// Types the string bounds against `ty`, producing the engine range.
     pub fn to_range(&self, ty: ColumnType) -> Result<ValueRange, String> {
         let parse = |s: &String| parse_value(ty, s);
         let low = self.low.as_ref().map(parse).transpose()?;
         let high = self.high.as_ref().map(parse).transpose()?;
         Ok(ValueRange { low, high })
+    }
+}
+
+/// A predicate as written on the wire: column name plus one interval per
+/// term — a single term for `=`/`<=`/`>=`/`lo..hi`, one point term per
+/// item for an IN-list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawPred {
+    /// Column name.
+    pub column: String,
+    /// The predicate's intervals (a row matches when *any* term does).
+    pub terms: Vec<RawRange>,
+}
+
+impl RawPred {
+    /// One-term constructor — the shape every pre-IN-list predicate has.
+    fn single(column: &str, low: Option<String>, high: Option<String>) -> RawPred {
+        RawPred { column: column.into(), terms: vec![RawRange { low, high }] }
+    }
+
+    /// Types every term against `ty`, producing the engine value set.
+    pub fn to_set(&self, ty: ColumnType) -> Result<ValueSet, String> {
+        let mut terms = Vec::with_capacity(self.terms.len());
+        for t in &self.terms {
+            terms.push(t.to_range(ty)?);
+        }
+        Ok(ValueSet { terms })
     }
 }
 
@@ -124,11 +165,22 @@ pub fn parse_request(body: &str) -> Result<Request, String> {
     match verb.to_ascii_uppercase().as_str() {
         "QUERY" | "COUNT" => {
             let table = tokens.next().ok_or_else(|| format!("{verb}: missing table name"))?;
+            let mut tokens = tokens.peekable();
+            // An `OR` keyword right after the table turns the predicate
+            // list into a disjunction. A predicate token always contains
+            // an operator, so the bare keyword cannot be mistaken for one.
+            let any = tokens.peek().is_some_and(|t| t.eq_ignore_ascii_case("OR"));
+            if any {
+                tokens.next();
+            }
             let preds = tokens.map(parse_pred).collect::<Result<Vec<_>, _>>()?;
+            if any && preds.is_empty() {
+                return Err(format!("{verb}: OR group needs at least one predicate"));
+            }
             if verb.eq_ignore_ascii_case("QUERY") {
-                Ok(Request::Query { table: table.to_string(), preds })
+                Ok(Request::Query { table: table.to_string(), preds, any })
             } else {
-                Ok(Request::Count { table: table.to_string(), preds })
+                Ok(Request::Count { table: table.to_string(), preds, any })
             }
         }
         "TABLES" => match tokens.next() {
@@ -170,20 +222,34 @@ fn parse_pred(token: &str) -> Result<RawPred, String> {
         return Err(format!("predicate {token:?} has an empty value"));
     }
     match op {
-        "<=" => Ok(RawPred { column: column.into(), low: None, high: Some(value.into()) }),
-        ">=" => Ok(RawPred { column: column.into(), low: Some(value.into()), high: None }),
+        "<=" => Ok(RawPred::single(column, None, Some(value.into()))),
+        ">=" => Ok(RawPred::single(column, Some(value.into()), None)),
+        _ if value.contains(',') => {
+            // IN-list: one point term per item. Items are plain values —
+            // a `..` range inside a list reads ambiguously (which comma
+            // binds to which range?), so it is rejected outright.
+            let mut terms = Vec::new();
+            for item in value.split(',') {
+                if item.is_empty() {
+                    return Err(format!("IN-list predicate {token:?} has an empty item"));
+                }
+                if item.contains("..") {
+                    return Err(format!(
+                        "IN-list predicate {token:?} mixes a range into the list (use separate predicates)"
+                    ));
+                }
+                terms.push(RawRange { low: Some(item.into()), high: Some(item.into()) });
+            }
+            Ok(RawPred { column: column.into(), terms })
+        }
         _ => match value.split_once("..") {
             Some((lo, hi)) => {
                 if lo.is_empty() || hi.is_empty() {
                     return Err(format!("range predicate {token:?} needs both bounds"));
                 }
-                Ok(RawPred { column: column.into(), low: Some(lo.into()), high: Some(hi.into()) })
+                Ok(RawPred::single(column, Some(lo.into()), Some(hi.into())))
             }
-            None => Ok(RawPred {
-                column: column.into(),
-                low: Some(value.into()),
-                high: Some(value.into()),
-            }),
+            None => Ok(RawPred::single(column, Some(value.into()), Some(value.into()))),
         },
     }
 }
@@ -292,36 +358,64 @@ pub fn parse_reply(line: &str) -> Result<(Option<String>, Reply), String> {
 mod tests {
     use super::*;
 
+    fn term(low: Option<&str>, high: Option<&str>) -> RawRange {
+        RawRange { low: low.map(str::to_string), high: high.map(str::to_string) }
+    }
+
     #[test]
     fn parses_tagged_query_with_all_predicate_forms() {
-        let (tag, body) = split_tag("#q1 QUERY readings sensor=3 value<=10 ts>=5 v=1..9");
+        let (tag, body) = split_tag("#q1 QUERY readings sensor=3 value<=10 ts>=5 v=1..9 c=5,7,9");
         assert_eq!(tag, Some("q1"));
         let req = parse_request(body).unwrap();
         match req {
-            Request::Query { table, preds } => {
+            Request::Query { table, preds, any } => {
                 assert_eq!(table, "readings");
+                assert!(!any, "a plain predicate list is a conjunction");
                 assert_eq!(
                     preds[0],
-                    RawPred {
-                        column: "sensor".into(),
-                        low: Some("3".into()),
-                        high: Some("3".into())
-                    }
+                    RawPred { column: "sensor".into(), terms: vec![term(Some("3"), Some("3"))] }
                 );
                 assert_eq!(
                     preds[1],
-                    RawPred { column: "value".into(), low: None, high: Some("10".into()) }
+                    RawPred { column: "value".into(), terms: vec![term(None, Some("10"))] }
                 );
                 assert_eq!(
                     preds[2],
-                    RawPred { column: "ts".into(), low: Some("5".into()), high: None }
+                    RawPred { column: "ts".into(), terms: vec![term(Some("5"), None)] }
                 );
                 assert_eq!(
                     preds[3],
-                    RawPred { column: "v".into(), low: Some("1".into()), high: Some("9".into()) }
+                    RawPred { column: "v".into(), terms: vec![term(Some("1"), Some("9"))] }
+                );
+                assert_eq!(
+                    preds[4],
+                    RawPred {
+                        column: "c".into(),
+                        terms: vec![
+                            term(Some("5"), Some("5")),
+                            term(Some("7"), Some("7")),
+                            term(Some("9"), Some("9")),
+                        ]
+                    }
                 );
             }
             other => panic!("expected Query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_or_groups() {
+        match parse_request("QUERY t OR a=1 b>=100").unwrap() {
+            Request::Query { preds, any, .. } => {
+                assert!(any);
+                assert_eq!(preds.len(), 2);
+            }
+            other => panic!("expected Query, got {other:?}"),
+        }
+        // The keyword is case-insensitive, and COUNT takes it too.
+        match parse_request("COUNT t or a=1").unwrap() {
+            Request::Count { any, .. } => assert!(any),
+            other => panic!("expected Count, got {other:?}"),
         }
     }
 
@@ -335,16 +429,30 @@ mod tests {
         assert!(parse_request("COUNT t sensor=").is_err());
         assert!(parse_request("COUNT t sensor=1..").is_err());
         assert!(parse_request("TABLES extra").is_err());
+        // IN-list and OR-group misuse.
+        assert!(parse_request("QUERY t c=5,,9").is_err(), "empty IN-list item");
+        assert!(parse_request("QUERY t c=5,").is_err(), "trailing comma");
+        assert!(parse_request("QUERY t c=1..3,9").is_err(), "range inside IN-list");
+        assert!(parse_request("QUERY t OR").is_err(), "empty OR group");
+        assert!(parse_request("COUNT t OR").is_err(), "empty OR group");
     }
 
     #[test]
     fn untyped_bounds_type_against_schema() {
-        let p = RawPred { column: "v".into(), low: Some("2".into()), high: Some("7".into()) };
-        let r = p.to_range(ColumnType::U16).unwrap();
-        assert_eq!(r, ValueRange { low: Some(Value::U16(2)), high: Some(Value::U16(7)) });
-        assert!(p.to_range(ColumnType::I8).is_ok());
-        let bad = RawPred { column: "v".into(), low: Some("300".into()), high: None };
-        assert!(bad.to_range(ColumnType::U8).is_err());
+        let p = RawPred::single("v", Some("2".into()), Some("7".into()));
+        let s = p.to_set(ColumnType::U16).unwrap();
+        assert_eq!(
+            s.terms,
+            vec![ValueRange { low: Some(Value::U16(2)), high: Some(Value::U16(7)) }]
+        );
+        assert!(p.to_set(ColumnType::I8).is_ok());
+        let bad = RawPred::single("v", Some("300".into()), None);
+        assert!(bad.to_set(ColumnType::U8).is_err());
+        let list = RawPred {
+            column: "v".into(),
+            terms: vec![term(Some("5"), Some("5")), term(Some("7"), Some("7"))],
+        };
+        assert_eq!(list.to_set(ColumnType::I64).unwrap().terms.len(), 2);
     }
 
     #[test]

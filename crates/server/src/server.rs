@@ -88,6 +88,8 @@ pub(crate) struct Ticket {
     pub tag: Option<String>,
     pub table: String,
     pub preds: Vec<RawPred>,
+    /// `true` for an `OR` group (union of the predicates).
+    pub any: bool,
     pub count_only: bool,
 }
 

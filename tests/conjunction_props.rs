@@ -1,0 +1,238 @@
+//! Property tests for multi-predicate planning: conjunctions, OR groups
+//! and IN-lists must be indistinguishable from the brute-force row oracle
+//! for any data, any segmentation, any access-path mix (imprint, zonemap,
+//! scan, WAH), any head geometry (tail-indexed or scalar-scanned, partial
+//! or just-sealed) and either refinement kernel (the CI matrix forces the
+//! scalar kernel through this suite via `IMPRINTS_REFINE_KERNEL`).
+
+use column_imprints::colstore::relation::AnyColumn;
+use column_imprints::colstore::{ColumnType, Value};
+use column_imprints::engine::{EngineConfig, Table, ValueRange, ValueSet};
+use proptest::prelude::*;
+
+/// Row shape shared by every generator: three i64 columns with different
+/// domains so per-column selectivities (and therefore the plans the
+/// chooser picks) diverge.
+type Row = (i64, i64, i64);
+
+fn three_col_table(rows: &[Row], chunks: usize, cfg: EngineConfig) -> Table {
+    let t = Table::new(
+        "t",
+        &[("a", ColumnType::I64), ("b", ColumnType::I64), ("c", ColumnType::I64)],
+        cfg,
+    )
+    .unwrap();
+    // Append in several chunks so the open head is left partially filled
+    // (or exactly sealed) depending on how the generated row count lands
+    // relative to `segment_rows`.
+    let per = rows.len().div_ceil(chunks).max(1);
+    for chunk in rows.chunks(per) {
+        t.append_batch(vec![
+            AnyColumn::I64(chunk.iter().map(|r| r.0).collect()),
+            AnyColumn::I64(chunk.iter().map(|r| r.1).collect()),
+            AnyColumn::I64(chunk.iter().map(|r| r.2).collect()),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn set_range(lo: i64, width: i64) -> ValueSet {
+    ValueSet::range(ValueRange::between(Value::I64(lo), Value::I64(lo + width)))
+}
+
+fn in_set(s: &ValueSet, v: i64) -> bool {
+    s.terms.iter().any(|t| {
+        let lo = match &t.low {
+            Some(Value::I64(x)) => *x,
+            None => i64::MIN,
+            _ => unreachable!("i64 columns only"),
+        };
+        let hi = match &t.high {
+            Some(Value::I64(x)) => *x,
+            None => i64::MAX,
+            _ => unreachable!("i64 columns only"),
+        };
+        (lo..=hi).contains(&v)
+    })
+}
+
+/// Brute-force oracle over the raw rows, conjunction or disjunction.
+fn oracle(rows: &[Row], preds: &[(&str, ValueSet)], any: bool) -> Vec<u64> {
+    (0..rows.len() as u64)
+        .filter(|&i| {
+            let (a, b, c) = rows[i as usize];
+            let hit = |(name, set): &(&str, ValueSet)| {
+                let v = match *name {
+                    "a" => a,
+                    "b" => b,
+                    _ => c,
+                };
+                in_set(set, v)
+            };
+            if any {
+                preds.iter().any(hit)
+            } else {
+                preds.iter().all(hit)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Three-predicate conjunctions: the fused mask-intersection plan, the
+    /// pinned per-predicate plan and the brute-force oracle agree for any
+    /// data, any segment size, tail-indexed or scanned heads, with or
+    /// without a WAH budget — and keep agreeing across repeated runs while
+    /// the `PlanChooser` bootstraps and explores.
+    #[test]
+    fn conjunction_equals_oracle_across_plans_and_paths(
+        rows in prop::collection::vec((0i64..1000, 0i64..100, 0i64..50), 0..3000),
+        chunks in 1usize..5,
+        seg_exp in 1usize..5,
+        tail_indexed in any::<bool>(),
+        wah in any::<bool>(),
+        a_lo in 0i64..1100, a_width in 0i64..400,
+        b_lo in 0i64..110, b_width in 0i64..40,
+        c_lo in 0i64..55, c_width in 0i64..20,
+    ) {
+        let cfg = EngineConfig {
+            segment_rows: 64usize << seg_exp, // 128..=1024
+            workers: 2,
+            tail_index_min_rows: if tail_indexed { 64 } else { usize::MAX },
+            wah_budget_bytes: if wah { 1 << 20 } else { 0 },
+            ..Default::default()
+        };
+        let pinned_cfg = EngineConfig { conjunction_planning: false, ..cfg.clone() };
+        let planned = three_col_table(&rows, chunks, cfg);
+        let pinned = three_col_table(&rows, chunks, pinned_cfg);
+        let preds = [
+            ("a", set_range(a_lo, a_width)),
+            ("b", set_range(b_lo, b_width)),
+            ("c", set_range(c_lo, c_width)),
+        ];
+        let expect = oracle(&rows, &preds, false);
+        // Repeats walk the chooser through bootstrap (both plans) and into
+        // steady state; every round must stay byte-identical.
+        for round in 0..4 {
+            let got = planned.query_sets(&preds).unwrap();
+            prop_assert_eq!(got.as_slice(), expect.as_slice(), "planned, round {}", round);
+            let got = pinned.query_sets(&preds).unwrap();
+            prop_assert_eq!(got.as_slice(), expect.as_slice(), "pinned, round {}", round);
+            let (n, _) = planned.count_sets_with_stats(&preds, false, None).unwrap();
+            prop_assert_eq!(n as usize, expect.len());
+        }
+    }
+
+    /// IN-lists, alone and mixed with ranges: lowering an `IN` to a union
+    /// of point intervals (and unioning the per-term candidate masks) is
+    /// unobservable next to the row-at-a-time oracle.
+    #[test]
+    fn in_lists_equal_oracle(
+        rows in prop::collection::vec((0i64..1000, 0i64..100, 0i64..50), 0..2500),
+        points in prop::collection::vec(0i64..1000, 1..8),
+        b_lo in 0i64..110, b_width in 0i64..50,
+        seg_exp in 1usize..4,
+    ) {
+        let cfg = EngineConfig {
+            segment_rows: 64usize << seg_exp,
+            workers: 2,
+            tail_index_min_rows: 64,
+            ..Default::default()
+        };
+        let t = three_col_table(&rows, 2, cfg);
+        let in_list = ValueSet::points(points.iter().map(|&p| Value::I64(p)));
+        // IN alone.
+        let alone = [("a", in_list.clone())];
+        prop_assert_eq!(
+            t.query_sets(&alone).unwrap().as_slice(),
+            oracle(&rows, &alone, false).as_slice()
+        );
+        // IN ∧ range (mixed set shapes in one conjunction).
+        let mixed = [("a", in_list), ("b", set_range(b_lo, b_width))];
+        let expect = oracle(&rows, &mixed, false);
+        prop_assert_eq!(t.query_sets(&mixed).unwrap().as_slice(), expect.as_slice());
+        let (n, _) = t.count_sets_with_stats(&mixed, false, None).unwrap();
+        prop_assert_eq!(n as usize, expect.len());
+    }
+
+    /// OR groups: the union evaluation (`query_any`/`count_any`) equals
+    /// the oracle's any-of-predicates filter; the empty group matches
+    /// nothing while the empty conjunction matches everything.
+    #[test]
+    fn disjunction_equals_oracle(
+        rows in prop::collection::vec((0i64..1000, 0i64..100, 0i64..50), 0..2500),
+        chunks in 1usize..4,
+        a_lo in 0i64..1100, a_width in 0i64..200,
+        c_points in prop::collection::vec(0i64..50, 1..5),
+        seg_exp in 1usize..4,
+        tail_indexed in any::<bool>(),
+    ) {
+        let cfg = EngineConfig {
+            segment_rows: 64usize << seg_exp,
+            workers: 2,
+            tail_index_min_rows: if tail_indexed { 64 } else { usize::MAX },
+            ..Default::default()
+        };
+        let t = three_col_table(&rows, chunks, cfg);
+        let preds = [
+            ("a", set_range(a_lo, a_width)),
+            ("c", ValueSet::points(c_points.iter().map(|&p| Value::I64(p)))),
+        ];
+        let expect = oracle(&rows, &preds, true);
+        prop_assert_eq!(t.query_any(&preds).unwrap().as_slice(), expect.as_slice());
+        prop_assert_eq!(t.count_any(&preds).unwrap() as usize, expect.len());
+        // Identity elements: OR of nothing is nothing, AND of nothing is
+        // every row.
+        prop_assert_eq!(t.query_any(&[]).unwrap().as_slice(), &[] as &[u64]);
+        prop_assert_eq!(t.query_sets(&[]).unwrap().len(), rows.len());
+    }
+
+    /// Interleaved appends: after every chunk — whatever mix of sealed
+    /// segments and partial head exists at that instant — conjunctions and
+    /// disjunctions over the table equal the oracle over the rows appended
+    /// so far.
+    #[test]
+    fn multi_predicate_answers_track_interleaved_appends(
+        chunks in prop::collection::vec(
+            prop::collection::vec((0i64..1000, 0i64..100, 0i64..50), 1..700),
+            1..6,
+        ),
+        a_lo in 0i64..1100, a_width in 0i64..300,
+        b_lo in 0i64..110, b_width in 0i64..40,
+    ) {
+        let cfg = EngineConfig {
+            segment_rows: 256,
+            workers: 2,
+            tail_index_min_rows: 64,
+            ..Default::default()
+        };
+        let t = Table::new(
+            "t",
+            &[("a", ColumnType::I64), ("b", ColumnType::I64), ("c", ColumnType::I64)],
+            cfg,
+        )
+        .unwrap();
+        let preds = [("a", set_range(a_lo, a_width)), ("b", set_range(b_lo, b_width))];
+        let mut all: Vec<Row> = Vec::new();
+        for chunk in &chunks {
+            t.append_batch(vec![
+                AnyColumn::I64(chunk.iter().map(|r| r.0).collect()),
+                AnyColumn::I64(chunk.iter().map(|r| r.1).collect()),
+                AnyColumn::I64(chunk.iter().map(|r| r.2).collect()),
+            ])
+            .unwrap();
+            all.extend_from_slice(chunk);
+            prop_assert_eq!(
+                t.query_sets(&preds).unwrap().as_slice(),
+                oracle(&all, &preds, false).as_slice()
+            );
+            prop_assert_eq!(
+                t.query_any(&preds).unwrap().as_slice(),
+                oracle(&all, &preds, true).as_slice()
+            );
+        }
+    }
+}

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 use column_imprints::colstore::relation::AnyColumn;
 use column_imprints::colstore::{ColumnType, Value};
-use column_imprints::engine::{BatchAnswer, BatchQuery, Engine, EngineConfig, ValueRange};
+use column_imprints::engine::{
+    BatchAnswer, BatchQuery, Engine, EngineConfig, ValueRange, ValueSet,
+};
 use column_imprints::server::protocol::{fmt_err, fmt_ok_count, fmt_ok_ids};
 use column_imprints::server::{Client, Reply, Server, ServerConfig};
 
@@ -329,6 +331,85 @@ fn hostile_input_gets_err_replies_never_a_dead_server() {
     torn.read_to_end(&mut rest).unwrap();
     assert!(rest.is_empty(), "a torn request must not be answered, got {rest:?}");
     check_bystander("after a mid-line EOF");
+}
+
+/// The multi-predicate wire forms — IN-lists (`col=5,7,9`) and `OR`
+/// groups — must answer byte-identically to the engine's set-based entry
+/// points, and their malformed variants must get `ERR` while a bystander
+/// connection keeps working.
+#[test]
+fn multi_predicate_wire_forms_match_oracle() {
+    let engine = build_engine(40_000, 1024);
+    let server =
+        Server::start(Arc::clone(&engine), ServerConfig::from_engine(engine.config())).unwrap();
+    let addr = server.local_addr();
+    let table = engine.table("readings").unwrap();
+
+    let mut bystander = Client::connect(addr).unwrap();
+    bystander.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let oracle_count =
+        engine.count("readings", &[("sensor", ValueRange::equals(Value::U16(1)))]).unwrap();
+    let mut check_bystander = |when: &str| {
+        let reply = bystander.count("readings", &["sensor=1"]).unwrap();
+        assert_eq!(reply.count(), Some(oracle_count), "bystander broken {when}");
+    };
+    check_bystander("before the multi-predicate traffic");
+
+    let mut client = Client::connect(addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    // IN-list alone, byte-checked against the set-based oracle.
+    let in_list = ValueSet::points([Value::U16(1), Value::U16(4), Value::U16(9)]);
+    let ids = table.query_sets(&[("sensor", in_list.clone())]).unwrap();
+    client.send("#in QUERY readings sensor=1,4,9").unwrap();
+    assert_eq!(client.recv().unwrap(), fmt_ok_ids(Some("in"), ids.as_slice()));
+
+    // IN-list conjoined with a range predicate.
+    let ids = table
+        .query_sets(&[
+            ("sensor", in_list.clone()),
+            ("value", ValueSet::range(ValueRange::at_most(Value::I64(5000)))),
+        ])
+        .unwrap();
+    client.send("#inand QUERY readings sensor=1,4,9 value<=5000").unwrap();
+    assert_eq!(client.recv().unwrap(), fmt_ok_ids(Some("inand"), ids.as_slice()));
+
+    // OR group: the union of its arms, for QUERY and COUNT alike.
+    let or_preds = [
+        ("sensor", ValueSet::range(ValueRange::equals(Value::U16(2)))),
+        ("value", ValueSet::range(ValueRange::at_least(Value::I64(9000)))),
+    ];
+    let ids = table.query_any(&or_preds).unwrap();
+    client.send("#or QUERY readings OR sensor=2 value>=9000").unwrap();
+    assert_eq!(client.recv().unwrap(), fmt_ok_ids(Some("or"), ids.as_slice()));
+    let n = table.count_any(&or_preds).unwrap();
+    client.send("#orc COUNT readings or sensor=2 value>=9000").unwrap();
+    assert_eq!(client.recv().unwrap(), fmt_ok_count(Some("orc"), n));
+    check_bystander("after the well-formed multi-predicate requests");
+
+    // Malformed IN-list / OR syntax: a tagged ERR each, connection and
+    // bystander intact.
+    for bad in [
+        "QUERY readings sensor=1..3,9", // range inside an IN-list
+        "QUERY readings sensor=5,,9",   // empty list item
+        "QUERY readings sensor=5,",     // trailing comma
+        "QUERY readings OR",            // empty OR group
+        "COUNT readings or",            // ditto, case-insensitive
+    ] {
+        match client.roundtrip(bad).unwrap() {
+            Reply::Err(_) => {}
+            other => panic!("{bad:?} must be answered ERR, got {other:?}"),
+        }
+        check_bystander("after a malformed multi-predicate request");
+    }
+    // An IN-list item that fails schema typing errs at dispatch, after
+    // admission — still a tagged ERR, still a live connection.
+    match client.roundtrip("QUERY readings sensor=1,66000").unwrap() {
+        Reply::Err(msg) => assert!(msg.contains("66000"), "typing error names the value: {msg}"),
+        other => panic!("out-of-range IN-list item must ERR, got {other:?}"),
+    }
+    assert_eq!(client.count("readings", &["sensor=1"]).unwrap().count(), Some(oracle_count));
+    check_bystander("after the mistyped IN-list item");
 }
 
 #[test]
