@@ -19,6 +19,7 @@
 
 pub mod bitmap;
 pub mod scan;
+pub mod storage;
 pub mod wah;
 pub mod zonemap;
 

@@ -1,0 +1,155 @@
+//! Binary persistence of a zonemap index.
+//!
+//! Sealed segments persist the zonemap next to the imprint so a restart
+//! can recover the full adaptive path set without re-scanning the column.
+//! The format reuses the checksummed [`colstore::storage`] primitives:
+//!
+//! ```text
+//! magic "CIMZ" | version u16 | type tag u8 | pad u8
+//! | values_per_zone u32 | rows u64
+//! | n_zones u64 | mins: n × scalar | maxs: n × scalar
+//! | crc32
+//! ```
+
+use std::io::{Read, Write};
+
+use colstore::storage::{Reader, Writer};
+use colstore::{ColumnType, Error, Result, Scalar};
+
+use crate::ZoneMap;
+
+/// Magic bytes identifying a zonemap file.
+pub const ZONE_MAGIC: [u8; 4] = *b"CIMZ";
+/// Current zonemap file format version.
+pub const ZONE_VERSION: u16 = 1;
+
+/// Serializes `zm` to `out`.
+pub fn write_zonemap<T: Scalar, W: Write>(zm: &ZoneMap<T>, out: &mut W) -> Result<()> {
+    let mut w = Writer::new();
+    w.put_u16(ZONE_VERSION);
+    w.put_u8(T::TYPE.tag());
+    w.put_u8(0);
+    w.put_u32(zm.values_per_zone() as u32);
+    w.put_u64(zm.rows() as u64);
+    w.put_u64(zm.zone_count() as u64);
+    for z in 0..zm.zone_count() {
+        w.put_scalar(zm.zone_bounds(z).0);
+    }
+    for z in 0..zm.zone_count() {
+        w.put_scalar(zm.zone_bounds(z).1);
+    }
+    w.finish(&ZONE_MAGIC, out)
+}
+
+/// Deserializes a zonemap written by [`write_zonemap`]; validates magic,
+/// checksum, scalar type and zone geometry before allocating.
+pub fn read_zonemap<T: Scalar, R: Read>(input: &mut R) -> Result<ZoneMap<T>> {
+    let mut r = Reader::open(&ZONE_MAGIC, input)?;
+    let version = r.get_u16()?;
+    if version != ZONE_VERSION {
+        return Err(Error::Corrupt(format!("unsupported zonemap version {version}")));
+    }
+    let tag = r.get_u8()?;
+    let ty = ColumnType::from_tag(tag)
+        .ok_or_else(|| Error::Corrupt(format!("unknown type tag {tag}")))?;
+    if ty != T::TYPE {
+        return Err(Error::Mismatch(format!("file maps {ty}, requested {}", T::TYPE)));
+    }
+    let _pad = r.get_u8()?;
+    let values_per_zone = r.get_u32()? as usize;
+    let rows = r.get_u64()? as usize;
+    // Each zone contributes a min and a max bound at the scalar's width.
+    let n_zones = r.get_count(2 * std::mem::size_of::<T>(), "zone")?;
+    let mut mins = Vec::with_capacity(n_zones);
+    for _ in 0..n_zones {
+        mins.push(r.get_scalar::<T>()?);
+    }
+    let mut maxs = Vec::with_capacity(n_zones);
+    for _ in 0..n_zones {
+        maxs.push(r.get_scalar::<T>()?);
+    }
+    if r.remaining() != 0 {
+        return Err(Error::Corrupt(format!("{} trailing bytes", r.remaining())));
+    }
+    ZoneMap::from_raw_parts(mins, maxs, rows, values_per_zone).map_err(Error::Corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colstore::{Column, RangeIndex, RangePredicate};
+
+    fn roundtrip<T: Scalar>(zm: &ZoneMap<T>) -> ZoneMap<T> {
+        let mut bytes = Vec::new();
+        write_zonemap(zm, &mut bytes).unwrap();
+        read_zonemap::<T, _>(&mut bytes.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let col: Column<i32> = (0..12_345).map(|i| (i * 13) % 777).collect();
+        let zm = ZoneMap::build(&col);
+        let back = roundtrip(&zm);
+        assert_eq!(back.rows(), zm.rows());
+        assert_eq!(back.zone_count(), zm.zone_count());
+        assert_eq!(back.values_per_zone(), zm.values_per_zone());
+        for z in 0..zm.zone_count() {
+            assert_eq!(back.zone_bounds(z), zm.zone_bounds(z));
+        }
+        let pred = RangePredicate::between(10, 100);
+        assert_eq!(back.evaluate(&col, &pred), zm.evaluate(&col, &pred));
+    }
+
+    #[test]
+    fn roundtrip_partial_tail_and_empty() {
+        let col: Column<u16> = (0..999).map(|i| i as u16).collect();
+        let back = roundtrip(&ZoneMap::build(&col));
+        assert_eq!(back.rows(), 999);
+
+        let empty: Column<f32> = Column::new();
+        let back = roundtrip(&ZoneMap::build(&empty));
+        assert_eq!(back.zone_count(), 0);
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let col: Column<i32> = (0..100).collect();
+        let mut bytes = Vec::new();
+        write_zonemap(&ZoneMap::build(&col), &mut bytes).unwrap();
+        let err = read_zonemap::<u64, _>(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, Error::Mismatch(_)));
+    }
+
+    #[test]
+    fn geometry_lies_rejected() {
+        // A CRC-valid file whose zone count disagrees with rows/vpz.
+        let mut w = Writer::new();
+        w.put_u16(ZONE_VERSION);
+        w.put_u8(ColumnType::I32.tag());
+        w.put_u8(0);
+        w.put_u32(16);
+        w.put_u64(1000); // 1000 rows at 16/zone needs 63 zones, not 1
+        w.put_u64(1);
+        w.put_scalar(0i32);
+        w.put_scalar(9i32);
+        let mut bytes = Vec::new();
+        w.finish(&ZONE_MAGIC, &mut bytes).unwrap();
+        let err = read_zonemap::<i32, _>(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "got {err}");
+    }
+
+    #[test]
+    fn crafted_zone_count_rejected_before_allocating() {
+        let mut w = Writer::new();
+        w.put_u16(ZONE_VERSION);
+        w.put_u8(ColumnType::I32.tag());
+        w.put_u8(0);
+        w.put_u32(16);
+        w.put_u64(1000);
+        w.put_u64(u64::MAX);
+        let mut bytes = Vec::new();
+        w.finish(&ZONE_MAGIC, &mut bytes).unwrap();
+        let err = read_zonemap::<i32, _>(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "got {err}");
+    }
+}

@@ -53,7 +53,7 @@ impl ExpConfig {
 }
 
 /// All experiment names accepted by [`run`].
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "table1",
     "fig3",
     "fig4",
@@ -71,6 +71,7 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
     "multipred",
     "refine",
     "qps",
+    "recovery",
 ];
 
 /// Runs the experiment called `name` ("all" runs everything). Returns
@@ -99,6 +100,7 @@ pub fn run(name: &str, cfg: &ExpConfig) -> bool {
         "multipred" => multipred(cfg),
         "refine" => refine(cfg),
         "qps" => qps(cfg),
+        "recovery" => recovery(cfg),
         _ => return false,
     }
     true
@@ -1884,6 +1886,161 @@ pub fn qps_with_rows(cfg: &ExpConfig, rows: usize) {
     cfg.save(&t, "qps");
 }
 
+/// Restart recovery and imprint-resident cold eviction: a durable table
+/// is sealed to disk, "killed", and reopened both ways — reading the
+/// persisted indexes back (data stays evicted) and rebuilding every
+/// index from the column data — with the answers asserted byte-identical
+/// to the pre-shutdown oracle. The eviction claim rides along: after the
+/// fast reopen, a fully-covered COUNT must be answered by the resident
+/// imprints with zero data bytes faulted from disk, while an
+/// id-materializing query faults data back in and still matches.
+pub fn recovery(cfg: &ExpConfig) {
+    recovery_with_rows(cfg, cfg.rows);
+}
+
+/// [`recovery`] with an explicit row count (used small in CI).
+pub fn recovery_with_rows(cfg: &ExpConfig, rows: usize) {
+    use colstore::relation::AnyColumn;
+    use colstore::{ColumnType, IdList, Value};
+    use imprints_engine::{Engine, EngineConfig, StorageOptions, ValueRange};
+    use std::time::Instant;
+
+    let root = std::env::temp_dir().join(format!("imprints_bench_recovery_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let domain = 1i64 << 20;
+    let ecfg = |load_indexes: bool| EngineConfig {
+        segment_rows: 1 << 14,
+        workers: 1,
+        storage: StorageOptions { root: Some(root.clone()), load_indexes, ..Default::default() },
+        ..Default::default()
+    };
+
+    println!("[recovery] sealing {rows} clustered rows to {}…", root.display());
+    let values = entropy_sweep::entropy_dial(rows, domain, 0.2, cfg.seed);
+    let engine = Engine::new(ecfg(true));
+    let table = engine.create_table("t", &[("v", ColumnType::I64)]).unwrap();
+    let t_load = Instant::now();
+    table.append_batch(vec![AnyColumn::I64(values.into_iter().collect())]).unwrap();
+    engine.flush();
+    let load_s = t_load.elapsed().as_secs_f64();
+    let total_rows = table.row_count();
+
+    let preds: Vec<ValueRange> = (0..32)
+        .map(|q| {
+            let lo = (q as i64 * 7919 * 131) % domain;
+            ValueRange::between(Value::I64(lo), Value::I64(lo + domain / 100))
+        })
+        .collect();
+    let measure = |engine: &Engine| -> (Vec<IdList>, f64) {
+        let mut times_us: Vec<f64> = Vec::with_capacity(preds.len());
+        let results = preds
+            .iter()
+            .map(|range| {
+                let t0 = Instant::now();
+                let ids = engine.query("t", &[("v", *range)]).unwrap();
+                times_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                ids
+            })
+            .collect();
+        (results, median(&mut times_us))
+    };
+    let (oracle, before_us) = measure(&engine);
+    let stats = engine.catalog().storage_stats();
+    println!(
+        "[recovery] loaded in {load_s:.2}s → {} sealed segments, {} data, {} indexes",
+        stats.sealed_segments,
+        fmt_bytes(stats.data_bytes_resident + stats.data_bytes_evicted),
+        fmt_bytes(stats.index_bytes),
+    );
+    drop(engine);
+
+    let mut t = Table::new(
+        "Recovery: reopen wall time and answer fidelity per restart path",
+        &[
+            "path",
+            "open ms",
+            "idx recovered",
+            "idx rebuilt",
+            "resident",
+            "evicted",
+            "median query µs",
+        ],
+    );
+    t.row(vec![
+        "before shutdown".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt_bytes(stats.data_bytes_resident),
+        fmt_bytes(stats.data_bytes_evicted),
+        format!("{before_us:.1}"),
+    ]);
+
+    // Fast path: indexes read back, data left evicted on disk.
+    let t0 = Instant::now();
+    let (engine, report) = Engine::open(ecfg(true)).unwrap();
+    let open_fast_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.rows, total_rows, "recovery lost rows");
+    assert!(report.indexes_rebuilt == 0, "clean restart must not rebuild");
+    // Snapshot the post-open residency before any query faults data in:
+    // the fast path leaves everything evicted behind resident imprints.
+    let s = engine.catalog().storage_stats();
+    assert_eq!(s.data_bytes_resident, 0, "fast restart must leave data evicted");
+
+    // The eviction claim, on the freshly recovered (all-evicted) engine:
+    // a fully-covered COUNT is answered by imprints alone.
+    let n = engine
+        .count("t", &[("v", ValueRange::between(Value::I64(i64::MIN), Value::I64(i64::MAX)))])
+        .unwrap();
+    assert_eq!(n, total_rows);
+    let faulted = engine.catalog().storage_stats().faulted_bytes;
+    assert_eq!(faulted, 0, "imprint-covered count must fault zero data bytes");
+    let (fast, fast_us) = measure(&engine);
+    assert_eq!(fast, oracle, "fast-path recovery changed query answers");
+    let faulted = engine.catalog().storage_stats().faulted_bytes;
+    assert!(faulted > 0, "id-materializing queries must fault data back in");
+    t.row(vec![
+        "recover indexes".into(),
+        format!("{open_fast_ms:.1}"),
+        report.indexes_recovered.to_string(),
+        report.indexes_rebuilt.to_string(),
+        fmt_bytes(s.data_bytes_resident),
+        fmt_bytes(s.data_bytes_evicted),
+        format!("{fast_us:.1}"),
+    ]);
+    drop(engine);
+
+    // Rebuild baseline: indexes ignored, everything rebuilt from data.
+    let t0 = Instant::now();
+    let (engine, report) = Engine::open(ecfg(false)).unwrap();
+    let open_rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(report.indexes_recovered == 0);
+    assert!(report.indexes_rebuilt > 0);
+    let (rebuilt, rebuild_us) = measure(&engine);
+    assert_eq!(rebuilt, oracle, "rebuild-path recovery changed query answers");
+    let s = engine.catalog().storage_stats();
+    t.row(vec![
+        "rebuild from data".into(),
+        format!("{open_rebuild_ms:.1}"),
+        report.indexes_recovered.to_string(),
+        report.indexes_rebuilt.to_string(),
+        fmt_bytes(s.data_bytes_resident),
+        fmt_bytes(s.data_bytes_evicted),
+        format!("{rebuild_us:.1}"),
+    ]);
+    drop(engine);
+
+    t.print();
+    println!(
+        "[recovery] open: {open_fast_ms:.1}ms recovering indexes vs {open_rebuild_ms:.1}ms \
+         rebuilding ({:.2}×); answers byte-identical on both paths; {} faulted for refinement",
+        open_rebuild_ms / open_fast_ms.max(1e-9),
+        fmt_bytes(faulted as usize),
+    );
+    cfg.save(&t, "recovery");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1900,6 +2057,13 @@ mod tests {
     #[test]
     fn unknown_experiment_rejected() {
         assert!(!run("fig99", &tiny_cfg()));
+    }
+
+    #[test]
+    fn recovery_runs_small() {
+        let cfg = ExpConfig { rows: 12_000, ..tiny_cfg() };
+        assert!(run("recovery", &cfg));
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub fn crc32(data: &[u8]) -> u32 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
                 k += 1;
             }
+            // panic-ok: the loop bound keeps `i` inside the 256-entry table.
             t[i] = c;
             i += 1;
         }
@@ -49,6 +50,8 @@ pub fn crc32(data: &[u8]) -> u32 {
     static TABLE: [u32; 256] = table();
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
+        // panic-ok: the index is masked to 0xFF, always inside the
+        // 256-entry table.
         crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
@@ -97,6 +100,7 @@ impl Writer {
     /// Appends a scalar at its native width, little endian.
     pub fn put_scalar<T: Scalar>(&mut self, v: T) {
         let bits = v.to_bits64().to_le_bytes();
+        // panic-ok: every Scalar is at most 8 bytes wide, the size of `bits`.
         self.buf.extend_from_slice(&bits[..std::mem::size_of::<T>()]);
     }
 
@@ -125,12 +129,16 @@ impl Reader {
         if all.len() < 8 {
             return Err(Error::Corrupt("file shorter than header".into()));
         }
-        if &all[..4] != magic {
-            return Err(Error::Corrupt(format!("bad magic {:?}, expected {:?}", &all[..4], magic)));
+        let (head, rest) = all.split_at(4);
+        if head != magic {
+            return Err(Error::Corrupt(format!("bad magic {head:?}, expected {magic:?}")));
         }
-        let crc_pos = all.len() - 4;
-        let expected = u32::from_le_bytes(all[crc_pos..].try_into().expect("4 bytes"));
-        let payload = &all[4..crc_pos];
+        let (payload, crc_bytes) = rest.split_at(rest.len() - 4);
+        let mut crc = [0u8; 4];
+        for (d, s) in crc.iter_mut().zip(crc_bytes) {
+            *d = *s;
+        }
+        let expected = u32::from_le_bytes(crc);
         let actual = crc32(payload);
         if expected != actual {
             return Err(Error::ChecksumMismatch { expected, actual });
@@ -138,37 +146,52 @@ impl Reader {
         Ok(Reader { buf: payload.to_vec(), pos: 0 })
     }
 
+    /// The next `n` payload bytes. The offset advance uses `checked_add`:
+    /// a crafted length near `usize::MAX` must come back as
+    /// [`Error::Corrupt`], not wrap the bounds check and panic below it.
     fn take(&mut self, n: usize) -> Result<&[u8]> {
-        if self.pos + n > self.buf.len() {
+        let end = self.pos.checked_add(n).ok_or_else(|| {
+            Error::Corrupt(format!("length overflow: wanted {n} bytes at offset {}", self.pos))
+        })?;
+        let Some(s) = self.buf.get(self.pos..end) else {
             return Err(Error::Corrupt(format!(
                 "truncated payload: wanted {n} bytes at offset {}, have {}",
                 self.pos,
                 self.buf.len() - self.pos
             )));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        };
+        self.pos = end;
         Ok(s)
+    }
+
+    /// The next `N` bytes as a fixed array (`take` guarantees the length).
+    fn fixed<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        for (d, v) in out.iter_mut().zip(s) {
+            *d = *v;
+        }
+        Ok(out)
     }
 
     /// Reads a `u8`.
     pub fn get_u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(self.fixed::<1>()?))
     }
 
     /// Reads a `u16`, little endian.
     pub fn get_u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(self.fixed::<2>()?))
     }
 
     /// Reads a `u32`, little endian.
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.fixed::<4>()?))
     }
 
     /// Reads a `u64`, little endian.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.fixed::<8>()?))
     }
 
     /// Reads `n` raw bytes.
@@ -179,9 +202,30 @@ impl Reader {
     /// Reads a scalar at its native width.
     pub fn get_scalar<T: Scalar>(&mut self) -> Result<T> {
         let w = std::mem::size_of::<T>();
+        let s = self.take(w)?;
         let mut bits = [0u8; 8];
-        bits[..w].copy_from_slice(self.take(w)?);
+        for (d, v) in bits.iter_mut().zip(s) {
+            *d = *v;
+        }
         Ok(T::from_bits64(u64::from_le_bytes(bits)))
+    }
+
+    /// Reads a `u64` count field that sizes an upcoming allocation,
+    /// validating it against the bytes actually left: `n` elements of
+    /// `elem_bytes` each must fit in the remaining payload. Without the
+    /// check a CRC-valid crafted file declaring `u64::MAX` elements would
+    /// abort the process on the allocation instead of returning
+    /// [`Error::Corrupt`].
+    pub fn get_count(&mut self, elem_bytes: usize, what: &str) -> Result<usize> {
+        let n = self.get_u64()?;
+        let need = n.checked_mul(elem_bytes as u64).filter(|&b| b <= self.remaining() as u64);
+        if need.is_none() {
+            return Err(Error::Corrupt(format!(
+                "{what} count {n} × {elem_bytes} B exceeds the {} remaining payload bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
     }
 
     /// Bytes remaining in the payload.
@@ -218,7 +262,18 @@ pub fn read_column<T: Scalar, R: Read>(input: &mut R) -> Result<Column<T>> {
         return Err(Error::Mismatch(format!("file holds {ty}, requested {}", T::TYPE)));
     }
     let _pad = r.get_u8()?;
-    let n = r.get_u64()? as usize;
+    // Validate the declared row count against the bytes actually present
+    // *before* allocating: `n * size_of::<T>()` must equal the remaining
+    // payload exactly, so a CRC-valid crafted file declaring `u64::MAX`
+    // rows errors out instead of OOM-aborting on the reservation.
+    let width = std::mem::size_of::<T>();
+    let n = r.get_count(width, "row")?;
+    if n.checked_mul(width) != Some(r.remaining()) {
+        return Err(Error::Corrupt(format!(
+            "row count {n} × {width} B disagrees with the {} remaining payload bytes",
+            r.remaining()
+        )));
+    }
     let mut col = Column::with_capacity(n);
     for _ in 0..n {
         col.push(r.get_scalar::<T>()?);
@@ -304,6 +359,76 @@ mod tests {
     fn truncated_file_detected() {
         let err = read_column::<u8, _>(&mut &b"CIM"[..]).unwrap_err();
         assert!(matches!(err, Error::Corrupt(_)));
+    }
+
+    /// A CRC-valid crafted file declaring `u64::MAX` rows must come back
+    /// as `Corrupt`, not OOM-abort on the eager allocation.
+    #[test]
+    fn crafted_row_count_rejected_before_allocating() {
+        let mut w = Writer::new();
+        w.put_u16(COLUMN_VERSION);
+        w.put_u8(ColumnType::U32.tag());
+        w.put_u8(0);
+        w.put_u64(u64::MAX);
+        let mut bytes = Vec::new();
+        w.finish(&COLUMN_MAGIC, &mut bytes).unwrap();
+        let err = read_column::<u32, _>(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "got {err}");
+    }
+
+    /// A row count that disagrees with the value bytes present (in either
+    /// direction) is corrupt, even when the checksum holds.
+    #[test]
+    fn row_count_payload_mismatch_rejected() {
+        for declared in [1u64, 4] {
+            let mut w = Writer::new();
+            w.put_u16(COLUMN_VERSION);
+            w.put_u8(ColumnType::I16.tag());
+            w.put_u8(0);
+            w.put_u64(declared);
+            for v in [1i16, 2, 3] {
+                w.put_scalar(v);
+            }
+            let mut bytes = Vec::new();
+            w.finish(&COLUMN_MAGIC, &mut bytes).unwrap();
+            let err = read_column::<i16, _>(&mut bytes.as_slice()).unwrap_err();
+            assert!(matches!(err, Error::Corrupt(_)), "declared {declared}: got {err}");
+        }
+    }
+
+    /// A crafted length near `usize::MAX` must not wrap the bounds check
+    /// (the old `pos + n` overflowed and the slice below panicked).
+    #[test]
+    fn take_overflow_is_corrupt_not_panic() {
+        let mut w = Writer::new();
+        w.put_bytes(b"abc");
+        let mut out = Vec::new();
+        w.finish(b"TEST", &mut out).unwrap();
+        let mut r = Reader::open(b"TEST", &mut out.as_slice()).unwrap();
+        assert_eq!(r.get_u8().unwrap(), b'a');
+        let err = r.get_bytes(usize::MAX).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "got {err}");
+        // The reader stays usable after the rejected take.
+        assert_eq!(r.get_u8().unwrap(), b'b');
+    }
+
+    #[test]
+    fn get_count_validates_against_remaining() {
+        let mut w = Writer::new();
+        w.put_u64(3);
+        w.put_bytes(&[0u8; 24]);
+        let mut out = Vec::new();
+        w.finish(b"TEST", &mut out).unwrap();
+        let mut r = Reader::open(b"TEST", &mut out.as_slice()).unwrap();
+        assert_eq!(r.get_count(8, "entry").unwrap(), 3);
+
+        let mut w = Writer::new();
+        w.put_u64(4); // declares 4 × 8 B, only 8 B follow
+        w.put_bytes(&[0u8; 8]);
+        let mut out = Vec::new();
+        w.finish(b"TEST", &mut out).unwrap();
+        let mut r = Reader::open(b"TEST", &mut out.as_slice()).unwrap();
+        assert!(matches!(r.get_count(8, "entry").unwrap_err(), Error::Corrupt(_)));
     }
 
     #[test]

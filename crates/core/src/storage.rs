@@ -104,12 +104,12 @@ pub fn read_index<T: Scalar, R: Read>(input: &mut R) -> Result<ColumnImprints<T>
     let rows = r.get_u64()? as usize;
     let tail_imprint = r.get_u64()?;
     let tail_len = r.get_u64()? as usize;
-    let n_imprints = r.get_u64()? as usize;
+    let n_imprints = r.get_count(8, "imprint vector")?;
     let mut imprints = Vec::with_capacity(n_imprints);
     for _ in 0..n_imprints {
         imprints.push(r.get_u64()?);
     }
-    let n_dict = r.get_u64()? as usize;
+    let n_dict = r.get_count(4, "dictionary")?;
     let mut dict = Vec::with_capacity(n_dict);
     for _ in 0..n_dict {
         dict.push(DictEntry::from_raw(r.get_u32()?));

@@ -73,6 +73,9 @@ pub struct EngineConfig {
     pub conjunction_planning: bool,
     /// Background maintenance thresholds.
     pub maintenance: MaintenanceConfig,
+    /// Durable storage: where sealed segments persist and how much of
+    /// their data stays memory-resident.
+    pub storage: StorageOptions,
     /// Serving-layer knobs consumed by the network front-end
     /// (`imprints-server`): admission-queue depth and batching tick. Kept
     /// on the engine configuration so a deployment tunes its engine and
@@ -93,6 +96,7 @@ impl Default for EngineConfig {
             path_buckets: crate::paths::NUM_BUCKETS,
             conjunction_planning: true,
             maintenance: MaintenanceConfig::default(),
+            storage: StorageOptions::default(),
             service: ServiceConfig::default(),
         }
     }
@@ -118,6 +122,43 @@ impl EngineConfig {
             crate::paths::NUM_BUCKETS
         );
         self.service.validate();
+    }
+}
+
+/// Durable-storage knobs: the on-disk root of sealed segments and the
+/// budget for the imprint-resident cold-eviction policy.
+///
+/// The paper's size argument (§5: an imprint is a few percent of its
+/// column) is what makes eviction worthwhile: with `root` set, every
+/// sealed segment's columns, imprints and zonemaps are persisted under
+/// `root/<table>/seg-*` and a restart recovers tables via
+/// [`Catalog::open`](crate::Catalog::open); with a finite
+/// `max_resident_data_bytes`, the maintenance planner drops the *data*
+/// pages of the coldest persisted segments while their imprints stay
+/// resident — counts that the imprint fully covers are answered without
+/// touching disk, and only refinement faults data back in.
+#[derive(Debug, Clone)]
+pub struct StorageOptions {
+    /// Directory holding one subdirectory per table. `None` (the default)
+    /// disables persistence entirely: segments live in memory only and
+    /// eviction never runs.
+    pub root: Option<std::path::PathBuf>,
+    /// Per-table budget of memory-resident sealed-segment data bytes. When
+    /// a maintenance tick finds more resident data than this, it evicts
+    /// persisted segments coldest-first until back under budget.
+    /// `usize::MAX` (the default) never evicts.
+    pub max_resident_data_bytes: usize,
+    /// Whether [`Catalog::open`](crate::Catalog::open) reads persisted
+    /// indexes back (leaving segment data evicted until first touched) or
+    /// ignores them and rebuilds every index from the column data. `true`
+    /// is the fast restart path; `false` is the rebuild baseline the
+    /// `recovery` bench experiment compares against.
+    pub load_indexes: bool,
+}
+
+impl Default for StorageOptions {
+    fn default() -> Self {
+        StorageOptions { root: None, max_resident_data_bytes: usize::MAX, load_indexes: true }
     }
 }
 

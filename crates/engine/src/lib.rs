@@ -60,6 +60,7 @@ pub mod catalog;
 pub mod config;
 pub mod executor;
 pub mod paths;
+pub mod persist;
 pub mod planner;
 pub mod segment;
 pub mod table;
@@ -71,11 +72,12 @@ use std::time::Duration;
 use colstore::{ColumnType, IdList, Result};
 
 pub use catalog::{Catalog, StorageStats};
-pub use config::{EngineConfig, MaintenanceConfig, ServiceConfig};
+pub use config::{EngineConfig, MaintenanceConfig, ServiceConfig, StorageOptions};
 pub use executor::WorkerPool;
 pub use imprints::relation_index::{ValueRange, ValueSet};
 pub use imprints::simd::RefineKernel;
 pub use paths::{PathChooser, PathKind, MAX_PATHS, NUM_BUCKETS};
+pub use persist::RecoveryReport;
 pub use planner::{
     maintenance_tick, path_report, BucketPathReport, ColumnPathReport, CompactionAction,
     MaintenanceAction, MaintenanceDaemon, MaintenanceReport, RebuildReason,
@@ -99,6 +101,23 @@ impl Engine {
         cfg.validate();
         let pool = Arc::new(WorkerPool::new(cfg.effective_workers()));
         Engine { cfg, catalog: Arc::new(Catalog::new()), pool, daemon: Mutex::new(None) }
+    }
+
+    /// Builds an engine by **recovering** the catalog from the durable
+    /// state under `cfg.storage.root` (see [`Catalog::open`]). New tables
+    /// created afterwards persist under the same root.
+    pub fn open(cfg: EngineConfig) -> Result<(Engine, RecoveryReport)> {
+        cfg.validate();
+        let (catalog, report) = Catalog::open(&cfg)?;
+        let pool = Arc::new(WorkerPool::new(cfg.effective_workers()));
+        Ok((Engine { cfg, catalog: Arc::new(catalog), pool, daemon: Mutex::new(None) }, report))
+    }
+
+    /// Seals every table's non-empty open write head, making all appended
+    /// rows durable — call before a planned shutdown (see
+    /// [`Catalog::flush`]). Returns how many tables sealed a head.
+    pub fn flush(&self) -> usize {
+        self.catalog.flush()
     }
 
     /// The engine configuration.

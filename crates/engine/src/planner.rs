@@ -109,12 +109,17 @@ pub struct MaintenanceReport {
     pub compaction_bytes: usize,
     /// Compaction merges that lost the swap race.
     pub compaction_races: usize,
+    /// Segments whose cold data was evicted to disk this pass.
+    pub evicted_segments: usize,
+    /// Data bytes freed by those evictions.
+    pub evicted_bytes: usize,
 }
 
 impl MaintenanceReport {
-    /// Whether the pass changed nothing (no rebuilds, no compactions).
+    /// Whether the pass changed nothing (no rebuilds, no compactions, no
+    /// evictions).
     pub fn is_idle(&self) -> bool {
-        self.applied.is_empty() && self.compacted.is_empty()
+        self.applied.is_empty() && self.compacted.is_empty() && self.evicted_segments == 0
     }
 }
 
@@ -365,8 +370,53 @@ pub fn maintenance_tick(catalog: &Catalog) -> MaintenanceReport {
             }
         }
         compact_table(&table, &cfg, &mut report);
+        evict_cold(&table, &mut report);
     }
     report
+}
+
+/// The eviction half of one tick: when a table's resident sealed data
+/// exceeds the table's configured `storage.max_resident_data_bytes`
+/// budget, persisted segments
+/// are evicted **coldest first** — ascending cumulative per-column query
+/// counts, the same observation stream the rebuild planner reads — until
+/// the table is back under budget. Only the data pages go; imprints and
+/// zonemaps stay resident, so evicted segments keep answering
+/// fully-covered counts from memory and pruning candidates for
+/// everything else. Never-persisted segments (memory-only tables, or a
+/// segment whose durable write failed) are silently skipped: eviction
+/// must not lose data.
+fn evict_cold(table: &Table, report: &mut MaintenanceReport) {
+    let budget = table.config().storage.max_resident_data_bytes;
+    if budget == usize::MAX {
+        return;
+    }
+    let sealed = table.sealed_snapshot();
+    let mut resident: usize = sealed.iter().map(|s| s.data_bytes_resident()).sum();
+    if resident <= budget {
+        return;
+    }
+    let heat = |seg: &SealedSegment| -> u64 {
+        seg.columns()
+            .iter()
+            // ordering: a heat estimate — a stale count only shifts the
+            // eviction order, never correctness.
+            .map(|c| c.observations().queries.load(std::sync::atomic::Ordering::Relaxed))
+            .sum()
+    };
+    let mut order: Vec<usize> = (0..sealed.len()).collect();
+    order.sort_by_key(|&i| heat(&sealed[i]));
+    for i in order {
+        if resident <= budget {
+            break;
+        }
+        let freed = sealed[i].evict();
+        if freed > 0 {
+            resident = resident.saturating_sub(freed);
+            report.evicted_segments += 1;
+            report.evicted_bytes += freed;
+        }
+    }
 }
 
 /// The compaction half of one tick. Each pass of the outer loop freezes one

@@ -13,8 +13,10 @@
 //! the maintenance planner never copy data, they swap segment pointers.
 
 use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
 use baselines::{SeqScan, WahBitmap, WahVector, ZoneMap};
@@ -31,6 +33,143 @@ use imprints::simd::{self, RefineKernel, SetKernel};
 
 use crate::config::EngineConfig;
 use crate::paths::{PathChooser, PathKind, PlanChooser, PlanKind};
+use crate::persist;
+
+/// The data payload of one sealed segment column: memory-resident, or
+/// *evicted* to its durable column file with only the metadata (and the
+/// indexes owning it) left in memory.
+///
+/// Eviction is what turns the imprint's size advantage into a memory
+/// story: the per-column indexes stay resident, the data pages go, and
+/// [`DataSlot::get`] faults the column back in from its file the first
+/// time refinement actually needs a value. The slot can only evict once
+/// [`DataSlot::mark_durable`] pinned a file — un-persisted data is never
+/// dropped.
+#[derive(Debug)]
+struct DataSlot<T: Scalar> {
+    /// `Some` while resident, `None` while evicted (lock class
+    /// `segment.data`; held only for pointer swaps and the fault-in read).
+    cold: RwLock<Option<Arc<Column<T>>>>,
+    rows: usize,
+    bytes: usize,
+    /// The durable column file backing fault-in, set once persisted. A
+    /// rebuilt or merged copy starts without one until the replacement
+    /// segment is persisted in turn.
+    file: OnceLock<PathBuf>,
+    /// Data bytes faulted back in from disk over this slot's lifetime.
+    faulted: AtomicU64,
+}
+
+impl<T: Scalar> DataSlot<T> {
+    fn new(col: Arc<Column<T>>) -> Self {
+        DataSlot {
+            rows: col.len(),
+            bytes: col.data_bytes(),
+            cold: RwLock::new(Some(col)),
+            file: OnceLock::new(),
+            faulted: AtomicU64::new(0),
+        }
+    }
+
+    /// A slot born evicted — the recovery path, where the manifest vouches
+    /// for the file and the data is only read if a query refines into it.
+    fn evicted(rows: usize, bytes: usize, file: PathBuf) -> Self {
+        let slot = DataSlot {
+            rows,
+            bytes,
+            cold: RwLock::new(None),
+            file: OnceLock::new(),
+            faulted: AtomicU64::new(0),
+        };
+        let _ = slot.file.set(file);
+        slot
+    }
+
+    fn len(&self) -> usize {
+        self.rows
+    }
+
+    fn data_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn is_resident(&self) -> bool {
+        self.cold.read().unwrap_or_else(PoisonError::into_inner).is_some()
+    }
+
+    /// The resident column, faulting it back in from its durable file if
+    /// evicted (double-checked under the write lock, so concurrent readers
+    /// fault at most once).
+    ///
+    /// # Panics
+    /// Panics if an evicted column's file can no longer be read or no
+    /// longer matches its recorded geometry. The file was written and
+    /// checksummed by this process (or validated at recovery); losing it
+    /// mid-run is environmental damage on par with memory corruption, and
+    /// the checksum turns silent bit rot into this loud stop.
+    fn get(&self) -> Arc<Column<T>> {
+        {
+            let slot = self.cold.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(col) = slot.as_ref() {
+                return Arc::clone(col);
+            }
+        }
+        let mut slot = self.cold.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(col) = slot.as_ref() {
+            return Arc::clone(col);
+        }
+        let file = self.file.get().expect("evicted column always has a durable file");
+        let col = persist::read_column_file::<T>(file).unwrap_or_else(|e| {
+            panic!("faulting column back in from {} failed: {e}", file.display())
+        });
+        assert_eq!(col.len(), self.rows, "faulted column geometry changed on disk");
+        let col = Arc::new(col);
+        self.faulted.fetch_add(self.bytes as u64, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&col));
+        col
+    }
+
+    /// Pins the durable file backing this slot. First caller wins: a slot
+    /// that already points at a (still valid) file keeps it.
+    fn mark_durable(&self, file: PathBuf) {
+        let _ = self.file.set(file);
+    }
+
+    /// Drops the resident data if a durable file backs it, returning the
+    /// bytes freed (0 when not persisted or already evicted).
+    fn evict(&self) -> usize {
+        if self.file.get().is_none() {
+            return 0;
+        }
+        let mut slot = self.cold.write().unwrap_or_else(PoisonError::into_inner);
+        match slot.take() {
+            Some(_) => self.bytes,
+            None => 0,
+        }
+    }
+
+    fn faulted_bytes(&self) -> u64 {
+        self.faulted.load(Ordering::Relaxed)
+    }
+
+    /// A clone sharing the resident `Arc` (or the evicted state) and the
+    /// durable file pointer — the shallow-clone side of a segment swap,
+    /// where this column's data and file are unchanged.
+    fn share(&self) -> DataSlot<T> {
+        let cur = self.cold.read().unwrap_or_else(PoisonError::into_inner).clone();
+        let slot = DataSlot {
+            rows: self.rows,
+            bytes: self.bytes,
+            cold: RwLock::new(cur),
+            file: OnceLock::new(),
+            faulted: AtomicU64::new(self.faulted.load(Ordering::Relaxed)),
+        };
+        if let Some(f) = self.file.get() {
+            let _ = slot.file.set(f.clone());
+        }
+        slot
+    }
+}
 
 /// Cumulative per-column observation counters, updated lock-free by
 /// concurrent readers and consumed by the maintenance planner.
@@ -115,7 +254,7 @@ impl<T: Scalar> WahSlot<T> {
 /// One column of one sealed segment: aligned data plus its access paths.
 #[derive(Debug)]
 pub struct SegCol<T: Scalar> {
-    data: Arc<Column<T>>,
+    data: DataSlot<T>,
     imprints: ColumnImprints<T>,
     zonemap: ZoneMap<T>,
     wah: WahSlot<T>,
@@ -158,7 +297,7 @@ impl<T: Scalar> SegCol<T> {
         };
         let zonemap = <ZoneMap<T> as BuildableIndex<T>>::build_index(&col);
         SegCol {
-            data: Arc::new(col),
+            data: DataSlot::new(Arc::new(col)),
             imprints,
             zonemap,
             wah: WahSlot::new(cfg.wah_budget_bytes),
@@ -177,9 +316,10 @@ impl<T: Scalar> SegCol<T> {
     /// the new binning).
     pub fn rebuilt(&self) -> Self {
         let opts = *self.imprints.options();
-        let imprints = ColumnImprints::build_with(&self.data, opts);
+        let data = self.data.get();
+        let imprints = ColumnImprints::build_with(&data, opts);
         SegCol {
-            data: Arc::clone(&self.data),
+            data: self.data.share(),
             imprints,
             zonemap: self.zonemap.clone(),
             wah: self.wah.fresh(),
@@ -235,7 +375,8 @@ impl<T: Scalar> SegCol<T> {
             return None;
         }
         let built = self.wah.cell.get_or_init(|| {
-            let bm = WahBitmap::build_with_binning(&self.data, self.imprints.binning().clone());
+            let data = self.data.get();
+            let bm = WahBitmap::build_with_binning(&data, self.imprints.binning().clone());
             (RangeIndex::size_bytes(&bm) <= self.wah.budget).then_some(bm)
         });
         if built.is_none() {
@@ -256,11 +397,15 @@ impl<T: Scalar> SegCol<T> {
             // without advancing the cadence again — one query, one count.
             path = self.chooser.rechoose(bucket);
         }
+        // Fault evicted data in *before* the cost timer starts: the one-off
+        // disk read must not enter the path's EWMA (same rule as the lazy
+        // WAH build).
+        let data = self.data.get();
         let t0 = Instant::now();
         let (ids, stats) = match path {
             PathKind::Imprints => {
                 let (ids, istats) =
-                    query::evaluate_with_kernel(&self.imprints, &self.data, pred, self.kernel);
+                    query::evaluate_with_kernel(&self.imprints, &data, pred, self.kernel);
                 // Ids not emitted via a full line each passed the value
                 // check; `ids_via_full_lines` is exact even when a partial
                 // tail cacheline was emitted wholesale, so this no longer
@@ -270,16 +415,16 @@ impl<T: Scalar> SegCol<T> {
                 self.obs.matches.fetch_add(via_checks, Ordering::Relaxed);
                 (ids, istats.access)
             }
-            PathKind::ZoneMap => self.zonemap.evaluate_with_kernel(&self.data, pred, self.kernel),
-            PathKind::Scan => <SeqScan as BuildableIndex<T>>::build_index(&self.data)
-                .evaluate_with_kernel(&self.data, pred, self.kernel),
+            PathKind::ZoneMap => self.zonemap.evaluate_with_kernel(&data, pred, self.kernel),
+            PathKind::Scan => <SeqScan as BuildableIndex<T>>::build_index(&data)
+                .evaluate_with_kernel(&data, pred, self.kernel),
             PathKind::Wah => self
                 .wah_index()
                 .expect("wah availability resolved before dispatch")
-                .evaluate_with_kernel(&self.data, pred, self.kernel),
+                .evaluate_with_kernel(&data, pred, self.kernel),
         };
         self.chooser.record(bucket, path, t0.elapsed().as_nanos() as u64);
-        self.chooser.record_selectivity(bucket, ids.len() as u64, self.data.len() as u64);
+        self.chooser.record_selectivity(bucket, ids.len() as u64, data.len() as u64);
         self.obs.queries.fetch_add(1, Ordering::Relaxed);
         (ids, stats)
     }
@@ -291,33 +436,65 @@ impl<T: Scalar> SegCol<T> {
     /// planner and the chooser exactly like materializing queries do.
     /// Every arm reports the [`AccessStats`] its evaluate twin reports.
     fn count_adaptive(&self, pred: &colstore::RangePredicate<T>) -> (u64, AccessStats) {
+        if !self.data.is_resident() {
+            // Evicted cold data: answer from the resident imprint alone
+            // when it is exact, leaving the data pages on disk.
+            if let Some(out) = self.count_from_imprint(pred) {
+                return out;
+            }
+        }
         let bucket = self.bucket_of(pred);
         let mut path = self.chooser.choose(bucket);
         if path == PathKind::Wah && self.wah_index().is_none() {
             path = self.chooser.rechoose(bucket);
         }
+        let data = self.data.get();
         let t0 = Instant::now();
         let (n, stats) = match path {
             PathKind::Imprints => {
                 let (n, istats) =
-                    query::count_with_kernel(&self.imprints, &self.data, pred, self.kernel);
+                    query::count_with_kernel(&self.imprints, &data, pred, self.kernel);
                 let via_checks = n.saturating_sub(istats.ids_via_full_lines);
                 self.obs.comparisons.fetch_add(istats.access.value_comparisons, Ordering::Relaxed);
                 self.obs.matches.fetch_add(via_checks, Ordering::Relaxed);
                 (n, istats.access)
             }
-            PathKind::ZoneMap => self.zonemap.count_with_kernel(&self.data, pred, self.kernel),
-            PathKind::Scan => <SeqScan as BuildableIndex<T>>::build_index(&self.data)
-                .count_with_kernel(&self.data, pred, self.kernel),
+            PathKind::ZoneMap => self.zonemap.count_with_kernel(&data, pred, self.kernel),
+            PathKind::Scan => <SeqScan as BuildableIndex<T>>::build_index(&data).count_with_kernel(
+                &data,
+                pred,
+                self.kernel,
+            ),
             PathKind::Wah => self
                 .wah_index()
                 .expect("wah availability resolved before dispatch")
-                .count_with_kernel(&self.data, pred, self.kernel),
+                .count_with_kernel(&data, pred, self.kernel),
         };
         self.chooser.record(bucket, path, t0.elapsed().as_nanos() as u64);
-        self.chooser.record_selectivity(bucket, n, self.data.len() as u64);
+        self.chooser.record_selectivity(bucket, n, data.len() as u64);
         self.obs.queries.fetch_add(1, Ordering::Relaxed);
         (n, stats)
+    }
+
+    /// Counts from the resident imprint alone — the evicted-segment fast
+    /// path. `Some` exactly when every candidate cacheline is *fully*
+    /// covered by the predicate's inner mask, making the imprint count
+    /// exact with zero data bytes touched; `None` when any candidate line
+    /// needs value refinement, in which case the caller falls through to
+    /// the normal adaptive path (faulting the data back in).
+    fn count_from_imprint(&self, pred: &colstore::RangePredicate<T>) -> Option<(u64, AccessStats)> {
+        let words = self.imprints.rows().div_ceil(64);
+        let masks = make_masks_union(self.imprints.binning(), std::slice::from_ref(pred));
+        let mut cand = vec![0u64; words];
+        let mut full = vec![0u64; words];
+        let istats = query::classify_rows(&self.imprints, &masks, &mut cand, &mut full);
+        if cand != full {
+            return None;
+        }
+        let n: u64 = cand.iter().map(|w| u64::from(w.count_ones())).sum();
+        self.chooser.record_selectivity(self.bucket_of(pred), n, self.imprints.rows() as u64);
+        self.obs.queries.fetch_add(1, Ordering::Relaxed);
+        Some((n, istats.access))
     }
 
     /// The WAH bitmap only when it was **already** built within budget.
@@ -357,9 +534,14 @@ impl<T: Scalar> SegCol<T> {
             v
         });
         let kernel = SetKernel::with_kernel(&preds, self.kernel);
-        let values = self.data.values();
+        // Data is resolved lazily inside the checker: a conjunction whose
+        // joint candidates never reach this column's value check leaves an
+        // evicted column's data on disk.
+        let slot = &self.data;
+        let cell: OnceLock<Arc<Column<T>>> = OnceLock::new();
         let obs = &self.obs;
         let check: WordCheck<'_> = Box::new(move |w, need| {
+            let values = cell.get_or_init(|| slot.get()).values();
             let start = w * 64;
             let end = (start + 64).min(values.len());
             let mm = kernel.match_mask(&values[start..end]);
@@ -401,7 +583,8 @@ impl<T: Scalar> SegCol<T> {
         let preds: Vec<colstore::RangePredicate<T>> =
             set.to_predicates().expect("predicates validated against schema");
         let kernel = SetKernel::with_kernel(&preds, self.kernel);
-        let values = self.data.values();
+        let data = self.data.get();
+        let values = data.values();
         let mut out = Vec::new();
         let mut cmp = 0u64;
         // `ranges` is already in row-id space (candidate_id_ranges converts
@@ -427,10 +610,87 @@ impl<T: Scalar> SegCol<T> {
             set.to_predicates().expect("predicates validated against schema");
         let kernel = SetKernel::with_kernel(&preds, self.kernel);
         let mut cmp = 0u64;
-        kernel.filter_ids(self.data.values(), ids, &mut cmp);
+        let data = self.data.get();
+        kernel.filter_ids(data.values(), ids, &mut cmp);
         stats.value_comparisons += cmp;
         self.obs.comparisons.fetch_add(cmp, Ordering::Relaxed);
         self.obs.matches.fetch_add(ids.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Recovers this column from its persisted files in `dir`. With
+    /// `load_indexes`, the imprint and zonemap are read back and the data
+    /// stays **evicted** — the imprint-resident restart, where column data
+    /// is only faulted in when a query refines into it. When the index
+    /// files are missing, corrupt, or `load_indexes` is off, the column
+    /// data is read and the indexes rebuilt from scratch (the checksummed
+    /// data file is the ground truth; indexes are derived state). Returns
+    /// the column and whether its indexes were recovered (vs rebuilt).
+    fn recover(
+        dir: &Path,
+        ci: usize,
+        rows: usize,
+        cfg: &EngineConfig,
+        load_indexes: bool,
+    ) -> colstore::Result<(SegCol<T>, bool)> {
+        let data_file = dir.join(persist::column_file(ci));
+        if load_indexes {
+            if let Ok((imprints, zonemap)) = Self::read_indexes(dir, ci, rows) {
+                let bytes = rows * std::mem::size_of::<T>();
+                let slot = DataSlot::evicted(rows, bytes, data_file);
+                return Ok((Self::from_recovered(slot, imprints, zonemap, cfg), true));
+            }
+        }
+        let col = persist::read_column_file::<T>(&data_file)?;
+        if col.len() != rows {
+            return Err(colstore::Error::Corrupt(format!(
+                "segment column {ci} holds {} rows, manifest says {rows}",
+                col.len()
+            )));
+        }
+        let col = SegCol::seal(col, None, cfg);
+        col.data.mark_durable(data_file);
+        Ok((col, false))
+    }
+
+    fn read_indexes(
+        dir: &Path,
+        ci: usize,
+        rows: usize,
+    ) -> colstore::Result<(ColumnImprints<T>, ZoneMap<T>)> {
+        let mut f = persist::open_file(&dir.join(persist::imprint_file(ci)))?;
+        let imprints = imprints::storage::read_index::<T, _>(&mut f)?;
+        let mut f = persist::open_file(&dir.join(persist::zonemap_file(ci)))?;
+        let zonemap = baselines::storage::read_zonemap::<T, _>(&mut f)?;
+        if imprints.rows() != rows || zonemap.rows() != rows {
+            return Err(colstore::Error::Mismatch(format!(
+                "column {ci} indexes cover {}/{} rows, manifest says {rows}",
+                imprints.rows(),
+                zonemap.rows()
+            )));
+        }
+        Ok((imprints, zonemap))
+    }
+
+    /// Assembles a column from recovered parts: indexes read back, data
+    /// evicted, and every learned signal (drift, path costs, observations)
+    /// reset — cost profiles do not survive a restart.
+    fn from_recovered(
+        data: DataSlot<T>,
+        imprints: ColumnImprints<T>,
+        zonemap: ZoneMap<T>,
+        cfg: &EngineConfig,
+    ) -> SegCol<T> {
+        SegCol {
+            data,
+            imprints,
+            zonemap,
+            wah: WahSlot::new(cfg.wah_budget_bytes),
+            drift: 0.0,
+            rebuilds: 0,
+            kernel: simd::effective_kernel(cfg.refine_kernel),
+            chooser: chooser_for(cfg),
+            obs: ColumnObservations::default(),
+        }
     }
 }
 
@@ -613,9 +873,9 @@ impl AnySegCol {
         seg_dispatch!(self, s => s.data.len())
     }
 
-    /// The value at local row `id`.
+    /// The value at local row `id` (faults evicted data back in).
     pub fn value(&self, id: usize) -> Option<Value> {
-        seg_dispatch!(self, s => s.data.get(id).map(Scalar::into_value))
+        seg_dispatch!(self, s => s.data.get().get(id).map(Scalar::into_value))
     }
 
     /// Index bytes (imprint + zonemap + built WAH bitmap) for storage
@@ -640,9 +900,76 @@ impl AnySegCol {
         seg_dispatch!(self, s => s.wah.cell.get().map(Option::is_some))
     }
 
-    /// Raw data bytes.
+    /// Raw data bytes (resident or not — the column's logical size).
     pub fn data_bytes(&self) -> usize {
         seg_dispatch!(self, s => s.data.data_bytes())
+    }
+
+    /// `true` while the data payload is memory-resident (not evicted).
+    pub fn data_resident(&self) -> bool {
+        seg_dispatch!(self, s => s.data.is_resident())
+    }
+
+    /// Drops the resident data if a durable file backs it; returns the
+    /// bytes freed.
+    pub fn evict(&self) -> usize {
+        seg_dispatch!(self, s => s.data.evict())
+    }
+
+    /// Data bytes faulted back in from disk over this column's lifetime.
+    pub fn faulted_bytes(&self) -> u64 {
+        seg_dispatch!(self, s => s.data.faulted_bytes())
+    }
+
+    /// Pins the durable column file backing eviction and fault-in.
+    pub(crate) fn mark_durable(&self, file: PathBuf) {
+        seg_dispatch!(self, s => s.data.mark_durable(file))
+    }
+
+    /// Serializes the column data (faulting it in if evicted).
+    pub(crate) fn write_data_to(&self, mut out: &mut dyn Write) -> colstore::Result<()> {
+        seg_dispatch!(self, s => colstore::storage::write_column(s.data.get().as_ref(), &mut out))
+    }
+
+    /// Serializes the column's imprint index.
+    pub(crate) fn write_index_to(&self, mut out: &mut dyn Write) -> colstore::Result<()> {
+        seg_dispatch!(self, s => imprints::storage::write_index(&s.imprints, &mut out))
+    }
+
+    /// Serializes the column's zonemap.
+    pub(crate) fn write_zonemap_to(&self, mut out: &mut dyn Write) -> colstore::Result<()> {
+        seg_dispatch!(self, s => baselines::storage::write_zonemap(&s.zonemap, &mut out))
+    }
+
+    /// Recovers one column of type `ty` from its persisted files (see
+    /// [`SegCol::recover`]). The bool reports indexes recovered vs rebuilt.
+    pub(crate) fn recover(
+        ty: colstore::ColumnType,
+        dir: &Path,
+        ci: usize,
+        rows: usize,
+        cfg: &EngineConfig,
+        load_indexes: bool,
+    ) -> colstore::Result<(AnySegCol, bool)> {
+        use colstore::ColumnType as Ty;
+        macro_rules! arm {
+            ($v:ident, $t:ty) => {{
+                let (col, recovered) = SegCol::<$t>::recover(dir, ci, rows, cfg, load_indexes)?;
+                (AnySegCol::$v(col), recovered)
+            }};
+        }
+        Ok(match ty {
+            Ty::I8 => arm!(I8, i8),
+            Ty::U8 => arm!(U8, u8),
+            Ty::I16 => arm!(I16, i16),
+            Ty::U16 => arm!(U16, u16),
+            Ty::I32 => arm!(I32, i32),
+            Ty::U32 => arm!(U32, u32),
+            Ty::I64 => arm!(I64, i64),
+            Ty::U64 => arm!(U64, u64),
+            Ty::F32 => arm!(F32, f32),
+            Ty::F64 => arm!(F64, f64),
+        })
     }
 
     /// Imprint saturation (mean bits-set fraction; 1.0 filters nothing).
@@ -723,14 +1050,16 @@ impl AnySegCol {
     fn merged(parts: &[&AnySegCol], cfg: &EngineConfig) -> AnySegCol {
         macro_rules! arm {
             ($v:ident) => {{
-                let typed: Vec<&Column<_>> = parts
+                // Faults evicted parts back in: a merge reads every value.
+                let typed: Vec<Arc<Column<_>>> = parts
                     .iter()
                     .map(|p| match p {
-                        AnySegCol::$v(s) => s.data.as_ref(),
+                        AnySegCol::$v(s) => s.data.get(),
                         _ => unreachable!("merging segments with mismatched column types"),
                     })
                     .collect();
-                AnySegCol::$v(SegCol::seal(Column::concat(&typed), None, cfg))
+                let refs: Vec<&Column<_>> = typed.iter().map(Arc::as_ref).collect();
+                AnySegCol::$v(SegCol::seal(Column::concat(&refs), None, cfg))
             }};
         }
         match parts.first().expect("merge needs at least one segment") {
@@ -787,6 +1116,10 @@ pub struct SealedSegment {
     /// [`EngineConfig::conjunction_planning`] at seal time: `false` pins
     /// every multi-predicate query to the per-predicate plan.
     conjunction_planning: bool,
+    /// The durable segment-directory name under the table's storage root,
+    /// set once the segment is persisted (or recovered). Empty for a
+    /// memory-only segment, whose data is consequently never evictable.
+    durable: OnceLock<String>,
 }
 
 impl SealedSegment {
@@ -811,6 +1144,7 @@ impl SealedSegment {
             cols,
             plans: Mutex::new(HashMap::new()),
             conjunction_planning: cfg.conjunction_planning,
+            durable: OnceLock::new(),
         }
     }
 
@@ -848,6 +1182,7 @@ impl SealedSegment {
             cols,
             plans: Mutex::new(HashMap::new()),
             conjunction_planning: cfg.conjunction_planning,
+            durable: OnceLock::new(),
         }
     }
 
@@ -869,6 +1204,7 @@ impl SealedSegment {
             // start over (the per-path choosers already reset likewise).
             plans: Mutex::new(HashMap::new()),
             conjunction_planning: self.conjunction_planning,
+            durable: OnceLock::new(),
         }
     }
 
@@ -885,6 +1221,84 @@ impl SealedSegment {
     /// The per-column structures.
     pub fn columns(&self) -> &[AnySegCol] {
         &self.cols
+    }
+
+    /// The durable segment-directory name, once persisted or recovered.
+    pub fn durable_name(&self) -> Option<&str> {
+        self.durable.get().map(String::as_str)
+    }
+
+    /// Records that this segment was persisted as directory `name` under
+    /// `dir`, pinning each column's durable data file. First caller wins.
+    pub(crate) fn mark_durable(&self, name: &str, dir: &Path) {
+        for (ci, col) in self.cols.iter().enumerate() {
+            col.mark_durable(dir.join(persist::column_file(ci)));
+        }
+        let _ = self.durable.set(name.to_string());
+    }
+
+    /// Memory-resident data bytes across this segment's columns.
+    pub fn data_bytes_resident(&self) -> usize {
+        self.cols.iter().filter(|c| c.data_resident()).map(AnySegCol::data_bytes).sum()
+    }
+
+    /// Evicted (on-disk only) data bytes across this segment's columns.
+    pub fn data_bytes_evicted(&self) -> usize {
+        self.cols.iter().filter(|c| !c.data_resident()).map(AnySegCol::data_bytes).sum()
+    }
+
+    /// `true` while every column's data payload is memory-resident.
+    pub fn data_resident(&self) -> bool {
+        self.cols.iter().all(AnySegCol::data_resident)
+    }
+
+    /// Evicts every persisted column's data, keeping the imprints and
+    /// zonemaps resident; returns the bytes freed (0 when the segment was
+    /// never persisted).
+    pub fn evict(&self) -> usize {
+        self.cols.iter().map(AnySegCol::evict).sum()
+    }
+
+    /// Data bytes faulted back in from disk over this segment's lifetime.
+    pub fn faulted_bytes(&self) -> u64 {
+        self.cols.iter().map(AnySegCol::faulted_bytes).sum()
+    }
+
+    /// Recovers a sealed segment from its durable directory as listed in
+    /// the table manifest. Returns the segment plus how many columns came
+    /// back with recovered indexes vs rebuilt ones (see
+    /// [`SegCol::recover`] for the per-column decision).
+    pub(crate) fn recover(
+        base: u64,
+        rows: usize,
+        types: &[colstore::ColumnType],
+        name: &str,
+        dir: &Path,
+        cfg: &EngineConfig,
+        load_indexes: bool,
+    ) -> colstore::Result<(SealedSegment, usize, usize)> {
+        let mut recovered = 0;
+        let mut rebuilt = 0;
+        let mut cols = Vec::with_capacity(types.len());
+        for (ci, &ty) in types.iter().enumerate() {
+            let (col, rec) = AnySegCol::recover(ty, dir, ci, rows, cfg, load_indexes)?;
+            if rec {
+                recovered += 1;
+            } else {
+                rebuilt += 1;
+            }
+            cols.push(col);
+        }
+        let seg = SealedSegment {
+            base,
+            rows,
+            cols,
+            plans: Mutex::new(HashMap::new()),
+            conjunction_planning: cfg.conjunction_planning,
+            durable: OnceLock::new(),
+        };
+        let _ = seg.durable.set(name.to_string());
+        Ok((seg, recovered, rebuilt))
     }
 
     /// Evaluates a conjunction of (column index, value set) predicates
@@ -1151,7 +1565,7 @@ impl AnySegCol {
         macro_rules! arm {
             ($v:ident, $s:expr) => {
                 AnySegCol::$v(SegCol {
-                    data: Arc::clone(&$s.data),
+                    data: $s.data.share(),
                     imprints: $s.imprints.clone(),
                     zonemap: $s.zonemap.clone(),
                     wah: $s.wah.clone_state(),

@@ -33,6 +33,7 @@ use imprints::relation_index::{ValueRange, ValueSet};
 
 use crate::config::EngineConfig;
 use crate::executor::WorkerPool;
+use crate::persist::{SegmentEntry, TableStore};
 use crate::segment::SealedSegment;
 use crate::tail::AnyTailIndex;
 
@@ -168,6 +169,14 @@ pub struct Table {
     open: RwLock<OpenSegment>,
     epoch: AtomicU64,
     stats: TableStats,
+    /// The durable side of the table when
+    /// [`StorageOptions::root`](crate::StorageOptions::root) is set;
+    /// `None` keeps the table memory-only.
+    store: Option<TableStore>,
+    /// Failed persistence attempts (segment writes or manifest commits).
+    /// A failure degrades durability to in-memory availability — appends
+    /// and queries keep working — and rings this counter instead.
+    persist_errors: AtomicU64,
 }
 
 impl Table {
@@ -190,6 +199,10 @@ impl Table {
             defs.push(ColumnDef { name: (*cname).to_string(), ty: *ty });
         }
         let bufs = defs.iter().map(|d| AnyColumn::new_empty(d.ty)).collect();
+        let store = match &cfg.storage.root {
+            Some(root) => Some(TableStore::create(root, name, &defs)?),
+            None => None,
+        };
         Ok(Table {
             name: name.to_string(),
             schema: defs,
@@ -198,7 +211,35 @@ impl Table {
             open: RwLock::new(OpenSegment { base: 0, bufs, tails: None }),
             epoch: AtomicU64::new(0),
             stats: TableStats::default(),
+            store,
+            persist_errors: AtomicU64::new(0),
         })
+    }
+
+    /// Reassembles a table from its recovered durable state — sealed
+    /// segments as listed in the committed manifest, the open write head
+    /// empty and starting right after the last sealed row.
+    pub(crate) fn recover(
+        name: &str,
+        schema: Vec<ColumnDef>,
+        cfg: EngineConfig,
+        store: TableStore,
+        segments: Vec<Arc<SealedSegment>>,
+        epoch: u64,
+    ) -> Table {
+        let base = segments.last().map_or(0, |s| s.base() + s.rows() as u64);
+        let bufs = schema.iter().map(|d| AnyColumn::new_empty(d.ty)).collect();
+        Table {
+            name: name.to_string(),
+            schema,
+            cfg,
+            sealed: RwLock::new(Arc::new(segments)),
+            open: RwLock::new(OpenSegment { base, bufs, tails: None }),
+            epoch: AtomicU64::new(epoch),
+            stats: TableStats::default(),
+            store: Some(store),
+            persist_errors: AtomicU64::new(0),
+        }
     }
 
     /// Table name.
@@ -337,6 +378,14 @@ impl Table {
     /// open write lock, which is what makes the seal atomic to readers. The
     /// tail imprint is discarded here: the sealed segment builds its real
     /// per-segment imprint (with binning inheritance) below.
+    ///
+    /// Index building and the durable segment write both happen *before*
+    /// the sealed lock — only the list swap needs it. Seals are serialized
+    /// by the open write lock the caller holds, so the previous segment
+    /// (read from a snapshot for binning inheritance) cannot be outpaced
+    /// by another seal; a concurrent maintenance swap of it is harmless,
+    /// the pinned `Arc` stays valid. Persisting first also means a
+    /// manifest can never name a directory that is not fully on disk.
     fn seal_open(&self, open: &mut OpenSegment) {
         open.tails = None;
         let bufs = std::mem::replace(
@@ -345,17 +394,90 @@ impl Table {
         );
         let base = open.base;
         let rows = bufs.first().map_or(0, AnyColumn::len);
+        let prev = self.sealed_snapshot();
+        let seg =
+            Arc::new(SealedSegment::seal(base, bufs, prev.last().map(Arc::as_ref), &self.cfg));
+        self.persist_segment(&seg);
         let mut sealed = self.sealed.write().expect("sealed lock");
-        let seg = SealedSegment::seal(base, bufs, sealed.last().map(Arc::as_ref), &self.cfg);
         let mut list: Vec<Arc<SealedSegment>> = sealed.as_ref().clone();
-        list.push(Arc::new(seg));
+        list.push(seg);
         *sealed = Arc::new(list);
         // Bump while still holding the write lock, so a reader holding the
         // read lock always sees an epoch that matches the list it pinned.
         self.epoch.fetch_add(1, Ordering::AcqRel);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let snapshot = sealed.clone();
         drop(sealed);
         open.base = base + rows as u64;
         self.stats.segments_sealed.fetch_add(1, Ordering::Relaxed);
+        self.commit_manifest_for(epoch, &snapshot);
+    }
+
+    /// Seals the open write head even when partially filled — the
+    /// clean-shutdown hook making every appended row durable before the
+    /// process exits. A later append simply starts a fresh segment, and
+    /// queries are unaffected (a sealed partial segment answers exactly
+    /// like the open rows did). Returns whether anything was sealed.
+    pub fn flush_open(&self) -> bool {
+        let mut open = self.open.write().expect("open lock");
+        if open.len() == 0 {
+            return false;
+        }
+        self.seal_open(&mut open);
+        true
+    }
+
+    /// Writes `seg`'s durable directory when the table persists, counting
+    /// (not propagating) failures: availability beats durability, and the
+    /// manifest commit below refuses to name a segment that never made it
+    /// to disk.
+    fn persist_segment(&self, seg: &SealedSegment) {
+        if let Some(store) = &self.store {
+            if store.persist_segment(seg).is_err() {
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Commits the manifest naming `list` at `epoch` on a durable table.
+    /// A list containing a never-persisted segment (an earlier write
+    /// failure) skips the commit — the durable state stays at its last
+    /// good epoch — and counts a persistence error.
+    fn commit_manifest_for(&self, epoch: u64, list: &[Arc<SealedSegment>]) {
+        let Some(store) = &self.store else { return };
+        let entries: Option<Vec<SegmentEntry>> = list
+            .iter()
+            .map(|s| {
+                s.durable_name().map(|dir| SegmentEntry {
+                    base: s.base(),
+                    rows: s.rows() as u64,
+                    dir: dir.to_string(),
+                })
+            })
+            .collect();
+        let committed = match entries {
+            Some(entries) => store.commit_manifest(epoch, &self.schema, &entries).is_ok(),
+            None => false,
+        };
+        if !committed {
+            self.persist_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Failed persistence attempts so far (see [`Table::recover`] docs on
+    /// the availability-over-durability policy).
+    pub fn persist_errors(&self) -> u64 {
+        self.persist_errors.load(Ordering::Relaxed)
+    }
+
+    /// `true` when the table writes durable state.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The durable store, for catalog-level operations (`drop_table`).
+    pub(crate) fn store(&self) -> Option<&TableStore> {
+        self.store.as_ref()
     }
 
     /// Atomically replaces sealed segment `idx` if it is still `old` —
@@ -366,15 +488,22 @@ impl Table {
         old: &Arc<SealedSegment>,
         new: SealedSegment,
     ) -> bool {
+        let new = Arc::new(new);
+        // Persist before the swap: losing the race below merely leaves an
+        // orphan directory for the next startup's garbage collection.
+        self.persist_segment(&new);
         let mut sealed = self.sealed.write().expect("sealed lock");
         match sealed.get(idx) {
             Some(cur) if Arc::ptr_eq(cur, old) => {
                 let mut list: Vec<Arc<SealedSegment>> = sealed.as_ref().clone();
-                list[idx] = Arc::new(new);
+                list[idx] = new;
                 *sealed = Arc::new(list);
                 self.epoch.fetch_add(1, Ordering::AcqRel);
+                let epoch = self.epoch.load(Ordering::Acquire);
+                let snapshot = sealed.clone();
                 drop(sealed);
                 self.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+                self.commit_manifest_for(epoch, &snapshot);
                 true
             }
             _ => false,
@@ -402,6 +531,8 @@ impl Table {
             old.iter().map(|s| s.rows()).sum::<usize>(),
             "merged segment must keep every row"
         );
+        let new = Arc::new(new);
+        self.persist_segment(&new);
         let mut sealed = self.sealed.write().expect("sealed lock");
         let window = match sealed.get(start..start + old.len()) {
             Some(w) => w,
@@ -412,13 +543,16 @@ impl Table {
         }
         let mut list: Vec<Arc<SealedSegment>> = Vec::with_capacity(sealed.len() - old.len() + 1);
         list.extend(sealed[..start].iter().cloned());
-        list.push(Arc::new(new));
+        list.push(new);
         list.extend(sealed[start + old.len()..].iter().cloned());
         *sealed = Arc::new(list);
         self.epoch.fetch_add(1, Ordering::AcqRel);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let snapshot = sealed.clone();
         drop(sealed);
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
         self.stats.segments_compacted.fetch_add(old.len() as u64, Ordering::Relaxed);
+        self.commit_manifest_for(epoch, &snapshot);
         true
     }
 

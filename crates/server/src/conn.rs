@@ -214,6 +214,11 @@ fn stats_line(shared: &Shared, tag: Option<&str>, table: Option<&str>) -> String
                 format!("rows={}", storage.rows),
                 format!("sealed_segments={}", storage.sealed_segments),
                 format!("index_bytes={}", storage.index_bytes),
+                format!("data_bytes_resident={}", storage.data_bytes_resident),
+                format!("data_bytes_evicted={}", storage.data_bytes_evicted),
+                format!("evicted_segments={}", storage.evicted_segments),
+                format!("faulted_bytes={}", storage.faulted_bytes),
+                format!("persist_errors={}", storage.persist_errors),
                 format!("connections={}", st.connections),
                 format!("requests={}", st.requests),
                 format!("admitted={}", st.admitted),

@@ -1,0 +1,239 @@
+//! Restart recovery and imprint-resident cold eviction, end to end: a
+//! durable engine is killed and reopened, answers must come back
+//! byte-identical; evicted-cold segments must answer fully-covered
+//! counts from the resident imprint alone (zero data bytes faulted) and
+//! fault data back in only when a query materializes row ids.
+
+use column_imprints::colstore::relation::AnyColumn;
+use column_imprints::colstore::{ColumnType, IdList, Value};
+use column_imprints::engine::{Engine, EngineConfig, StorageOptions, ValueRange};
+
+fn tmproot(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("imprints_rec_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_cfg(root: &std::path::Path) -> EngineConfig {
+    EngineConfig {
+        segment_rows: 1024,
+        workers: 2,
+        storage: StorageOptions { root: Some(root.to_path_buf()), ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Three sealed segments plus a flushed partial head: 3500 rows of
+/// `(i, i % 97)` in table `t`.
+fn seed_engine(cfg: EngineConfig) -> Engine {
+    let engine = Engine::new(cfg);
+    engine.create_table("t", &[("id", ColumnType::I64), ("grp", ColumnType::I64)]).unwrap();
+    let t = engine.table("t").unwrap();
+    let ids: Vec<i64> = (0..3500).collect();
+    let grps: Vec<i64> = (0..3500).map(|i| i % 97).collect();
+    t.append_batch(vec![
+        AnyColumn::I64(ids.into_iter().collect()),
+        AnyColumn::I64(grps.into_iter().collect()),
+    ])
+    .unwrap();
+    assert_eq!(engine.flush(), 1, "the partial head must seal durably");
+    engine
+}
+
+fn probes() -> Vec<Vec<(&'static str, ValueRange)>> {
+    vec![
+        vec![("id", ValueRange::between(Value::I64(100), Value::I64(180)))],
+        vec![("grp", ValueRange::between(Value::I64(3), Value::I64(5)))],
+        vec![
+            ("id", ValueRange::between(Value::I64(900), Value::I64(2900))),
+            ("grp", ValueRange::at_most(Value::I64(10))),
+        ],
+        vec![("id", ValueRange::at_least(Value::I64(3400)))],
+    ]
+}
+
+fn answers(engine: &Engine) -> Vec<IdList> {
+    probes()
+        .iter()
+        .map(|p| {
+            let preds: Vec<(&str, ValueRange)> = p.clone();
+            engine.query("t", &preds).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn restart_recovers_byte_identical_answers() {
+    let root = tmproot("restart");
+    let engine = seed_engine(durable_cfg(&root));
+    let oracle = answers(&engine);
+    let rows = engine.table("t").unwrap().row_count();
+    drop(engine);
+
+    let (engine, report) = Engine::open(durable_cfg(&root)).unwrap();
+    assert_eq!(report.tables, 1);
+    assert_eq!(report.segments, 4, "3 full segments + 1 flushed head");
+    assert_eq!(report.rows, rows);
+    assert!(report.indexes_recovered > 0, "persisted indexes must be read back");
+    assert_eq!(report.indexes_rebuilt, 0, "no rebuild needed on a clean restart");
+
+    // The fast restart path leaves data evicted until first touched.
+    let stats = engine.catalog().storage_stats();
+    assert_eq!(stats.data_bytes_resident, 0);
+    assert!(stats.data_bytes_evicted > 0);
+
+    assert_eq!(engine.table("t").unwrap().row_count(), rows);
+    assert_eq!(answers(&engine), oracle, "recovered answers must be byte-identical");
+
+    // Appending keeps working after recovery: row ids resume past the
+    // recovered tail.
+    let t = engine.table("t").unwrap();
+    t.append_batch(vec![
+        AnyColumn::I64((3500..3600).collect()),
+        AnyColumn::I64((3500..3600).map(|i| i % 97).collect()),
+    ])
+    .unwrap();
+    assert_eq!(t.row_count(), rows + 100);
+    let tail = engine.query("t", &[("id", ValueRange::at_least(Value::I64(3550)))]).unwrap();
+    assert_eq!(tail.len(), 50);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn rebuild_path_answers_identically() {
+    let root = tmproot("rebuild");
+    let engine = seed_engine(durable_cfg(&root));
+    let oracle = answers(&engine);
+    drop(engine);
+
+    let mut cfg = durable_cfg(&root);
+    cfg.storage.load_indexes = false;
+    let (engine, report) = Engine::open(cfg).unwrap();
+    assert_eq!(report.indexes_recovered, 0);
+    assert!(report.indexes_rebuilt > 0, "indexes must be rebuilt from column data");
+    assert!(report.rebuild_nanos > 0);
+    assert_eq!(answers(&engine), oracle, "rebuilt answers must be byte-identical");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn evicted_count_answers_from_imprint_alone() {
+    let root = tmproot("evict");
+    let mut cfg = durable_cfg(&root);
+    cfg.storage.max_resident_data_bytes = 0;
+    let engine = seed_engine(cfg);
+    let rows = engine.table("t").unwrap().row_count();
+    let oracle = answers(&engine);
+
+    let report = engine.maintenance_tick();
+    assert!(report.evicted_segments > 0, "a zero budget must evict every persisted segment");
+    assert!(report.evicted_bytes > 0);
+    let stats = engine.catalog().storage_stats();
+    assert_eq!(stats.data_bytes_resident, 0, "everything sealed is persisted, so evictable");
+    assert!(stats.data_bytes_evicted > 0);
+    assert_eq!(stats.faulted_bytes, 0);
+
+    // A fully-covered COUNT is answered by the resident imprint: exact
+    // answer, zero data bytes read back from disk.
+    let n = engine
+        .count("t", &[("id", ValueRange::between(Value::I64(i64::MIN), Value::I64(i64::MAX)))])
+        .unwrap();
+    assert_eq!(n, rows);
+    assert_eq!(
+        engine.catalog().storage_stats().faulted_bytes,
+        0,
+        "imprint-covered count must not touch evicted data"
+    );
+
+    // Materializing row ids needs value refinement: the data faults back
+    // in and the answers still match the pre-eviction oracle.
+    assert_eq!(answers(&engine), oracle, "faulted-in answers must match the oracle");
+    assert!(engine.catalog().storage_stats().faulted_bytes > 0, "refinement must fault data in");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn orphan_directories_are_garbage_collected() {
+    let root = tmproot("orphan");
+    let engine = seed_engine(durable_cfg(&root));
+    drop(engine);
+
+    // A crashed segment write (tmp dir) and a lost-race replacement dir
+    // that no manifest references.
+    let tdir = root.join("t");
+    std::fs::create_dir_all(tdir.join("seg-000000009999-7.tmp")).unwrap();
+    std::fs::create_dir_all(tdir.join("seg-000000009999-8")).unwrap();
+
+    let (engine, report) = Engine::open(durable_cfg(&root)).unwrap();
+    assert_eq!(report.orphans_removed, 2);
+    assert!(!tdir.join("seg-000000009999-7.tmp").exists());
+    assert!(!tdir.join("seg-000000009999-8").exists());
+    assert_eq!(engine.table("t").unwrap().row_count(), 3500);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn corrupt_index_file_falls_back_to_rebuild() {
+    let root = tmproot("corrupt_idx");
+    let engine = seed_engine(durable_cfg(&root));
+    let oracle = answers(&engine);
+    drop(engine);
+
+    let imp = find_file(&root.join("t"), "c0.imp");
+    flip_byte(&imp, 40);
+
+    let (engine, report) = Engine::open(durable_cfg(&root)).unwrap();
+    assert!(report.indexes_rebuilt >= 1, "the damaged imprint must be rebuilt from data");
+    assert!(report.indexes_recovered > 0, "undamaged columns still take the fast path");
+    assert_eq!(answers(&engine), oracle, "data is ground truth; answers survive index damage");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn corrupt_data_and_manifest_surface_typed_errors() {
+    let root = tmproot("corrupt_data");
+    let engine = seed_engine(durable_cfg(&root));
+    drop(engine);
+
+    // Damage one column's data *and* index: nothing left to recover that
+    // column from, so open must fail with a typed error — not a panic,
+    // not a silently wrong table.
+    let seg = find_file(&root.join("t"), "c0.col");
+    flip_byte(&seg, 100);
+    flip_byte(&seg.with_extension("imp"), 100);
+    assert!(Engine::open(durable_cfg(&root)).is_err());
+
+    // A damaged manifest is detected before any segment is read.
+    let root2 = tmproot("corrupt_manifest");
+    let engine = seed_engine(durable_cfg(&root2));
+    drop(engine);
+    flip_byte(&root2.join("t").join("MANIFEST"), 9);
+    assert!(Engine::open(durable_cfg(&root2)).is_err());
+
+    let _ = std::fs::remove_dir_all(root);
+    let _ = std::fs::remove_dir_all(root2);
+}
+
+/// First file named `name` under any segment directory of `table_dir`.
+fn find_file(table_dir: &std::path::Path, name: &str) -> std::path::PathBuf {
+    let mut dirs: Vec<_> = std::fs::read_dir(table_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for d in dirs {
+        let f = d.join(name);
+        if f.is_file() {
+            return f;
+        }
+    }
+    panic!("no {name} under {}", table_dir.display());
+}
+
+fn flip_byte(path: &std::path::Path, at: usize) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let i = at.min(bytes.len() - 1);
+    bytes[i] ^= 0x40;
+    std::fs::write(path, bytes).unwrap();
+}
